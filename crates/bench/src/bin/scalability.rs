@@ -1,0 +1,61 @@
+//! Regenerates the §7.1 performance paragraph and the §2 scalability claim: execution
+//! time of the synthesized motivating-example program as the document grows towards a
+//! million elements, for both the optimized (join-based) engine and the naive
+//! cross-product semantics (the latter only at small sizes).
+//!
+//! Run with: `cargo run -p mitra-bench --release --bin scalability [max_elements]`
+
+use mitra_datagen::social;
+use mitra_dsl::eval::eval_program;
+use mitra_synth::exec::execute_with_stats;
+use mitra_synth::synthesize::{learn_transformation, SynthConfig};
+use std::time::Instant;
+
+fn main() {
+    let max_elements: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let example = social::training_example();
+    let start = Instant::now();
+    let synthesis = learn_transformation(&[example], &SynthConfig::default()).expect("synthesis");
+    println!(
+        "Synthesized the motivating-example program in {:.2?}\n",
+        start.elapsed()
+    );
+
+    println!(
+        "{:>12} {:>10} | {:>14} {:>12} | {:>16}",
+        "elements", "rows", "optimized(s)", "throughput", "naive(s)"
+    );
+    let mut size = 1_000usize;
+    while size <= max_elements {
+        let doc = social::social_network_with_elements(size, 2);
+        let elements = doc.element_count();
+
+        let start = Instant::now();
+        let (table, _stats) = execute_with_stats(&doc, &synthesis.program);
+        let optimized = start.elapsed();
+
+        // The naive cross-product semantics is only feasible on small documents.
+        let naive = if elements <= 5_000 {
+            let start = Instant::now();
+            let naive_table = eval_program(&doc, &synthesis.program);
+            assert!(naive_table.same_bag(&table));
+            format!("{:.2}", start.elapsed().as_secs_f64())
+        } else {
+            "-".to_string()
+        };
+
+        println!(
+            "{:>12} {:>10} | {:>14.2} {:>10.0}/s | {:>16}",
+            elements,
+            table.len(),
+            optimized.as_secs_f64(),
+            elements as f64 / optimized.as_secs_f64(),
+            naive
+        );
+        size *= 10;
+    }
+}

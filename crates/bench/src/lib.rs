@@ -1,0 +1,146 @@
+//! # mitra-bench — the evaluation harness
+//!
+//! One regenerating target per table/figure of the paper's evaluation (see the
+//! experiment index in DESIGN.md):
+//!
+//! * `cargo run -p mitra-bench --release --bin table1` — Table 1 (the 98-task corpus):
+//!   per-category solved counts, median/average synthesis time, example sizes,
+//!   predicate counts and LOC of the emitted code;
+//! * `cargo run -p mitra-bench --release --bin table2` — Table 2 (full-database
+//!   migration of the four dataset simulators): per-dataset table/column counts,
+//!   synthesis and execution times, row counts;
+//! * `cargo run -p mitra-bench --release --bin scalability` — the §7.1 performance
+//!   paragraph and §2 claim: execution time of synthesized programs against document
+//!   size;
+//! * `cargo bench -p mitra-bench` — Criterion micro-benchmarks (synthesis latency per
+//!   category, execution scaling, and the E7 ablations).
+//!
+//! The library part of this crate contains the shared measurement helpers so the bins
+//! and the Criterion benches report identical quantities.
+
+use mitra_codegen::{generate, Backend};
+use mitra_datagen::corpus::{DocFormat, Task};
+use mitra_synth::synthesize::{learn_transformation, SynthConfig, Synthesis};
+use std::time::Duration;
+
+/// Result of running the synthesizer on one corpus task.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// The task's id.
+    pub id: usize,
+    /// The task's name.
+    pub name: String,
+    /// Format of the input document.
+    pub format: DocFormat,
+    /// Whether a program consistent with the example was found.
+    pub solved: bool,
+    /// Synthesis wall-clock time.
+    pub time: Duration,
+    /// Elements in the input example.
+    pub elements: usize,
+    /// Rows in the output example.
+    pub rows: usize,
+    /// Number of atomic predicates in the synthesized program (0 when unsolved).
+    pub predicates: usize,
+    /// Lines of code of the emitted artifact (0 when unsolved).
+    pub loc: usize,
+}
+
+/// Runs the synthesizer on one corpus task and gathers the Table 1 statistics.
+pub fn run_task(task: &Task, config: &SynthConfig) -> TaskResult {
+    let start = std::time::Instant::now();
+    let outcome: Result<Synthesis, _> = learn_transformation(std::slice::from_ref(&task.example), config);
+    let time = start.elapsed();
+    match outcome {
+        Ok(synthesis) => {
+            let backend = match task.format {
+                DocFormat::Xml => Backend::Xslt,
+                DocFormat::Json => Backend::JavaScript,
+            };
+            let artifact = generate(&synthesis.program, backend);
+            TaskResult {
+                id: task.id,
+                name: task.name.clone(),
+                format: task.format,
+                solved: true,
+                time,
+                elements: task.element_count(),
+                rows: task.row_count(),
+                predicates: synthesis.cost.atoms,
+                loc: artifact.loc(),
+            }
+        }
+        Err(_) => TaskResult {
+            id: task.id,
+            name: task.name.clone(),
+            format: task.format,
+            solved: false,
+            time,
+            elements: task.element_count(),
+            rows: task.row_count(),
+            predicates: 0,
+            loc: 0,
+        },
+    }
+}
+
+/// Median of a slice of f64 values (0.0 for an empty slice).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 0 {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Mean of a slice of f64 values (0.0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// The synthesis configuration used by the Table 1 harness (the default configuration,
+/// as an end user would run it).
+pub fn table1_config() -> SynthConfig {
+    SynthConfig {
+        timeout: Some(Duration::from_secs(60)),
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitra_datagen::generate_corpus;
+
+    #[test]
+    fn median_and_mean() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn run_task_reports_solved_and_unsolved() {
+        let tasks = generate_corpus();
+        let config = table1_config();
+        let easy = tasks.iter().find(|t| t.expressible).unwrap();
+        let hard = tasks.iter().find(|t| !t.expressible).unwrap();
+        let solved = run_task(easy, &config);
+        assert!(solved.solved);
+        assert!(solved.loc > 0);
+        let unsolved = run_task(hard, &config);
+        assert!(!unsolved.solved);
+        assert_eq!(unsolved.predicates, 0);
+    }
+}

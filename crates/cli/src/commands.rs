@@ -1,0 +1,416 @@
+//! Implementations of the CLI subcommands.
+//!
+//! Every command is a pure function from parsed inputs (document text, example CSV,
+//! options) to a rendered output string, so the commands are unit-testable without
+//! touching the filesystem; [`crate::run_cli`] wires them to files and stdout.
+
+use mitra_codegen::{generate, Backend};
+use mitra_core::{parse_csv_table, Mitra};
+use mitra_datagen::corpus::generate_corpus;
+use mitra_datagen::datasets::{all_datasets, dataset_synth_config, DatasetSpec};
+use mitra_dsl::validate::validate_against;
+use mitra_dsl::parse::parse_program;
+use mitra_dsl::pretty;
+use mitra_hdt::Hdt;
+use mitra_migrate::query::run_query;
+use mitra_synth::exec::execute;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::CliError;
+
+/// Input document formats the CLI understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// XML documents (the Mitra-xml plug-in).
+    Xml,
+    /// JSON documents (the Mitra-json plug-in).
+    Json,
+    /// HTML documents (the HTML plug-in).
+    Html,
+}
+
+impl Format {
+    /// Parses a `--format` value.
+    pub fn from_option(text: &str) -> Result<Format, CliError> {
+        match text.to_ascii_lowercase().as_str() {
+            "xml" => Ok(Format::Xml),
+            "json" => Ok(Format::Json),
+            "html" | "htm" => Ok(Format::Html),
+            other => Err(CliError::Usage(format!(
+                "unknown format `{other}` (expected xml, json or html)"
+            ))),
+        }
+    }
+
+    /// Infers the format from a file name, falling back to XML.
+    pub fn from_path(path: &str) -> Format {
+        let lower = path.to_ascii_lowercase();
+        if lower.ends_with(".json") {
+            Format::Json
+        } else if lower.ends_with(".html") || lower.ends_with(".htm") {
+            Format::Html
+        } else {
+            Format::Xml
+        }
+    }
+
+    /// Parses a document of this format into an HDT.
+    pub fn parse(self, document: &str) -> Result<Hdt, CliError> {
+        let tree = match self {
+            Format::Xml => mitra_hdt::xml::xml_to_hdt(document),
+            Format::Json => mitra_hdt::json::json_to_hdt(document),
+            Format::Html => mitra_hdt::html::html_to_hdt(document),
+        };
+        tree.map_err(|e| CliError::Input(format!("failed to parse input document: {e}")))
+    }
+
+    /// The natural code-generation backend for this format.
+    pub fn backend(self) -> Backend {
+        match self {
+            Format::Xml | Format::Html => Backend::Xslt,
+            Format::Json => Backend::JavaScript,
+        }
+    }
+}
+
+/// What `synthesize` should print.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitKind {
+    /// The DSL program in the paper's textual syntax.
+    Dsl,
+    /// An XSLT stylesheet (the Mitra-xml back end).
+    Xslt,
+    /// A JavaScript program (the Mitra-json back end).
+    JavaScript,
+}
+
+impl EmitKind {
+    /// Parses an `--emit` value.
+    pub fn from_option(text: &str) -> Result<EmitKind, CliError> {
+        match text.to_ascii_lowercase().as_str() {
+            "dsl" | "program" => Ok(EmitKind::Dsl),
+            "xslt" | "xsl" => Ok(EmitKind::Xslt),
+            "js" | "javascript" => Ok(EmitKind::JavaScript),
+            other => Err(CliError::Usage(format!(
+                "unknown emit target `{other}` (expected dsl, xslt or js)"
+            ))),
+        }
+    }
+}
+
+/// `synthesize`: learn a program from one (document, output CSV) example.
+///
+/// Returns the rendered output (program text plus a short report).
+pub fn synthesize(
+    document: &str,
+    output_csv: &str,
+    format: Format,
+    emit: EmitKind,
+) -> Result<String, CliError> {
+    let mitra = Mitra::new();
+    let examples = [(document, output_csv)];
+    let start = Instant::now();
+    let synthesis = match format {
+        Format::Xml => mitra.synthesize_from_xml(&examples),
+        Format::Json => mitra.synthesize_from_json(&examples),
+        Format::Html => mitra.synthesize_from_html(&examples),
+    }
+    .map_err(|e| CliError::Synthesis(e.to_string()))?;
+    let elapsed = start.elapsed();
+
+    let mut out = String::new();
+    match emit {
+        EmitKind::Dsl => out.push_str(&pretty::program(&synthesis.program)),
+        EmitKind::Xslt => out.push_str(&generate(&synthesis.program, Backend::Xslt).source),
+        EmitKind::JavaScript => {
+            out.push_str(&generate(&synthesis.program, Backend::JavaScript).source)
+        }
+    }
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "-- synthesized in {:.2}s ({} candidate table extractors, {} consistent programs, {} predicate atoms)",
+        elapsed.as_secs_f64(),
+        synthesis.candidates_tried,
+        synthesis.programs_found,
+        synthesis.cost.atoms,
+    );
+    Ok(out)
+}
+
+/// `run`: evaluate a DSL program (in the paper's textual syntax) over a document and
+/// render the resulting table as CSV.  Validation warnings are prepended as `--`
+/// comment lines.
+pub fn run_program(document: &str, program_text: &str, format: Format) -> Result<String, CliError> {
+    let program = parse_program(program_text)
+        .map_err(|e| CliError::Input(format!("failed to parse program: {e}")))?;
+    let tree = format.parse(document)?;
+
+    let validation = validate_against(&program, &tree);
+    if !validation.is_valid() {
+        let messages: Vec<String> = validation
+            .errors()
+            .iter()
+            .map(|d| d.message.clone())
+            .collect();
+        return Err(CliError::Input(format!(
+            "program failed validation: {}",
+            messages.join("; ")
+        )));
+    }
+
+    let mut out = String::new();
+    for warning in validation.warnings() {
+        let _ = writeln!(out, "-- warning: {}", warning.message);
+    }
+    let table = execute(&tree, &program);
+    out.push_str(&table.to_csv());
+    Ok(out)
+}
+
+/// `corpus`: run the first `limit` tasks of the 98-task benchmark corpus and print a
+/// per-task line plus a Table 1-style summary.
+pub fn corpus_report(limit: usize) -> String {
+    let tasks = generate_corpus();
+    let config = mitra_bench::table1_config();
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<4} {:<34} {:>6} {:>9} {:>7}", "id", "task", "format", "time(s)", "solved");
+    let mut solved = 0usize;
+    let mut times = Vec::new();
+    for task in tasks.iter().take(limit) {
+        let result = mitra_bench::run_task(task, &config);
+        if result.solved {
+            solved += 1;
+        }
+        times.push(result.time.as_secs_f64());
+        let _ = writeln!(
+            out,
+            "{:<4} {:<34} {:>6} {:>9.2} {:>7}",
+            result.id,
+            truncate(&result.name, 34),
+            format!("{:?}", result.format),
+            result.time.as_secs_f64(),
+            if result.solved { "yes" } else { "no" },
+        );
+    }
+    let attempted = limit.min(tasks.len());
+    let _ = writeln!(
+        out,
+        "solved {solved}/{attempted} tasks; median {:.2}s, average {:.2}s",
+        mitra_bench::median(&times),
+        mitra_bench::mean(&times),
+    );
+    out
+}
+
+/// `datasets`: migrate one of the built-in dataset simulators into a relational
+/// database at the given scale and optionally run a SQL query over the result.
+pub fn migrate_dataset(
+    name: &str,
+    per_entity: usize,
+    query: Option<&str>,
+) -> Result<String, CliError> {
+    let spec = find_dataset(name)?;
+    let (document, _expected) = spec.generate(per_entity);
+    let plan = spec.migration_plan();
+    let report = plan
+        .run(&document)
+        .map_err(|e| CliError::Synthesis(format!("migration failed: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dataset {}: {} tables, {} columns, {} rows migrated in {:.2}s (synthesis {:.2}s)",
+        spec.name,
+        spec.table_count(),
+        spec.schema().total_columns(),
+        report.total_rows(),
+        report.total_execution_time().as_secs_f64(),
+        report.total_synthesis_time().as_secs_f64(),
+    );
+    let violations = report.database.check_constraints();
+    let _ = writeln!(out, "constraint violations: {}", violations.len());
+    for table in &report.tables {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} rows  synth {:>6.2}s  exec {:>6.2}s",
+            table.table,
+            table.rows,
+            table.synthesis_time.as_secs_f64(),
+            table.execution_time.as_secs_f64(),
+        );
+    }
+    if let Some(sql) = query {
+        let result = run_query(&report.database, sql)
+            .map_err(|e| CliError::Input(format!("query failed: {e}")))?;
+        let _ = writeln!(out, "query: {sql}");
+        out.push_str(&result.to_csv());
+    }
+    Ok(out)
+}
+
+/// Lists the built-in dataset simulators.
+pub fn list_datasets() -> String {
+    let mut out = String::new();
+    for spec in all_datasets() {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>2} tables {:>4} columns ({})",
+            spec.name,
+            spec.table_count(),
+            spec.schema().total_columns(),
+            spec.format,
+        );
+    }
+    out
+}
+
+fn find_dataset(name: &str) -> Result<DatasetSpec, CliError> {
+    all_datasets()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown dataset `{name}` (expected one of: {})",
+                all_datasets()
+                    .iter()
+                    .map(|d| d.name.to_ascii_lowercase())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}
+
+/// Makes sure the synthesis configuration used for dataset migrations is exposed for
+/// interested callers (the CLI prints it with `--verbose`).
+pub fn dataset_config_summary() -> String {
+    let config = dataset_synth_config();
+    format!(
+        "dataset synthesis config: {} column candidates, {} table candidates, timeout {:?}",
+        config.max_column_candidates, config.max_table_candidates, config.timeout
+    )
+}
+
+/// Validates an example CSV early so the user gets a CSV error rather than a synthesis
+/// failure when the output example is malformed.
+pub fn check_output_example(csv: &str) -> Result<(), CliError> {
+    parse_csv_table(csv)
+        .map(|_| ())
+        .map_err(|e| CliError::Input(e.to_string()))
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XML: &str = r#"<root>
+      <person><name>Ada</name><role>engineer</role></person>
+      <person><name>Grace</name><role>admiral</role></person>
+    </root>"#;
+    const OUT: &str = "name,role\nAda,engineer\nGrace,admiral\n";
+
+    #[test]
+    fn format_detection_and_parsing() {
+        assert_eq!(Format::from_path("a/b/doc.json"), Format::Json);
+        assert_eq!(Format::from_path("page.HTML"), Format::Html);
+        assert_eq!(Format::from_path("data.xml"), Format::Xml);
+        assert_eq!(Format::from_path("noext"), Format::Xml);
+        assert!(Format::from_option("yaml").is_err());
+        assert!(Format::Xml.parse(XML).is_ok());
+        assert!(Format::Json.parse("{\"a\": 1}").is_ok());
+        assert!(Format::Json.parse("{broken").is_err());
+    }
+
+    #[test]
+    fn synthesize_emits_dsl_and_code() {
+        let dsl = synthesize(XML, OUT, Format::Xml, EmitKind::Dsl).unwrap();
+        assert!(dsl.contains("filter"));
+        assert!(dsl.contains("synthesized in"));
+        let xslt = synthesize(XML, OUT, Format::Xml, EmitKind::Xslt).unwrap();
+        assert!(xslt.contains("xsl:stylesheet"));
+        let js = synthesize(XML, OUT, Format::Xml, EmitKind::JavaScript).unwrap();
+        assert!(js.contains("function transform"));
+    }
+
+    #[test]
+    fn synthesize_reports_failures() {
+        let err = synthesize(XML, "name\nNotInTheDocument\n", Format::Xml, EmitKind::Dsl);
+        assert!(matches!(err, Err(CliError::Synthesis(_))));
+    }
+
+    #[test]
+    fn run_round_trips_a_synthesized_program() {
+        // Synthesize, print the DSL program, parse it back, and run it: the output must
+        // match the original example.
+        let printed = synthesize(XML, OUT, Format::Xml, EmitKind::Dsl).unwrap();
+        let program_text: String = printed
+            .lines()
+            .filter(|l| !l.starts_with("--"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let csv = run_program(XML, &program_text, Format::Xml).unwrap();
+        assert!(csv.contains("Ada,engineer"));
+        assert!(csv.contains("Grace,admiral"));
+    }
+
+    #[test]
+    fn run_rejects_invalid_programs() {
+        assert!(run_program(XML, "not a program", Format::Xml).is_err());
+    }
+
+    #[test]
+    fn run_warns_about_foreign_tags() {
+        // A program that references tags absent from the document still runs, but the
+        // CSV is prefixed with warning comments.
+        let program_text =
+            "\\tau. filter((\\s.pchildren(children(s, nosuch), name, 0)){root(tau)}, \\t. true)";
+        let out = run_program(XML, program_text, Format::Xml).unwrap();
+        assert!(out.contains("-- warning"));
+    }
+
+    #[test]
+    fn corpus_report_runs_a_prefix_of_the_suite() {
+        // Unoptimized synthesis is slow, so the dev-profile run covers fewer tasks.
+        let limit = if cfg!(debug_assertions) { 1 } else { 3 };
+        let report = corpus_report(limit);
+        assert!(report.contains("solved"));
+        assert!(report.lines().count() >= limit + 2);
+    }
+
+    #[test]
+    fn dataset_listing_and_lookup() {
+        let listing = list_datasets();
+        for name in ["DBLP", "IMDB", "MONDIAL", "YELP"] {
+            assert!(listing.contains(name), "{listing}");
+        }
+        assert!(find_dataset("imdb").is_ok());
+        assert!(find_dataset("oracle").is_err());
+        assert!(!dataset_config_summary().is_empty());
+    }
+
+    #[test]
+    fn migrate_dataset_with_query() {
+        let scale = if cfg!(debug_assertions) { 2 } else { 3 };
+        let out = migrate_dataset("yelp", scale, Some("SELECT COUNT(*) FROM business")).unwrap();
+        assert!(out.contains("constraint violations: 0"), "{out}");
+        assert!(out.contains("COUNT(*)"), "{out}");
+    }
+
+    #[test]
+    fn output_example_validation() {
+        assert!(check_output_example(OUT).is_ok());
+        assert!(check_output_example("").is_err());
+        assert!(check_output_example("a,b\n1\n").is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! # mitra-cli — command-line front end for the Mitra reproduction
+//!
+//! The binary wires the library crates to files and stdout:
+//!
+//! ```text
+//! mitra-cli synthesize --input doc.xml --output example.csv [--format xml|json|html]
+//!                      [--emit dsl|xslt|js] [--out program.txt]
+//! mitra-cli run        --program program.dsl --input big.xml [--format ...] [--out rows.csv]
+//! mitra-cli corpus     [--limit N]
+//! mitra-cli datasets
+//! mitra-cli migrate    <dblp|imdb|mondial|yelp> [--scale N] [--query 'SELECT ...']
+//! ```
+//!
+//! All the work happens in [`commands`], which operates on strings and is therefore
+//! unit-testable; [`run_cli`] performs the I/O.
+
+pub mod args;
+pub mod commands;
+
+use args::ParsedArgs;
+use commands::{EmitKind, Format};
+use std::fmt;
+use std::fs;
+
+/// Errors surfaced to the user by the CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line itself is malformed.
+    Usage(String),
+    /// An input file or document could not be read or parsed.
+    Input(String),
+    /// Synthesis or migration failed.
+    Synthesis(String),
+    /// Writing an output file failed.
+    Output(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Input(m) => write!(f, "input error: {m}"),
+            CliError::Synthesis(m) => write!(f, "synthesis error: {m}"),
+            CliError::Output(m) => write!(f, "output error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The help text printed by `mitra-cli help` (and on usage errors).
+pub const USAGE: &str = "mitra-cli — programming-by-example migration of hierarchical data to relational tables
+
+USAGE:
+    mitra-cli synthesize --input <doc> --output <example.csv> [--format xml|json|html] [--emit dsl|xslt|js] [--out <file>]
+    mitra-cli run --program <program.dsl> --input <doc> [--format xml|json|html] [--out <file>]
+    mitra-cli corpus [--limit <n>]
+    mitra-cli datasets
+    mitra-cli migrate <dblp|imdb|mondial|yelp> [--scale <per-entity>] [--query <sql>]
+    mitra-cli help
+
+The synthesize command learns a transformation program from a single input document and
+the relational table it should produce (given as CSV with a header line).  The run
+command executes a previously saved program (in the textual DSL syntax) over a new,
+usually much larger, document.";
+
+/// Runs the CLI on already-split arguments and returns the text to print.
+///
+/// Separated from `main` so integration tests can drive the full command dispatch
+/// without spawning a process.
+pub fn run_cli<I, S>(raw_args: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args = ParsedArgs::parse(raw_args).map_err(CliError::Usage)?;
+    let Some(command) = args.command.clone() else {
+        return Ok(USAGE.to_string());
+    };
+
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "synthesize" => {
+            let input_path = args.require("input").map_err(CliError::Usage)?;
+            let output_path = args.require("output").map_err(CliError::Usage)?;
+            let document = read_file(input_path)?;
+            let example = read_file(output_path)?;
+            commands::check_output_example(&example)?;
+            let format = resolve_format(&args, input_path)?;
+            let emit = match args.option("emit") {
+                Some(kind) => EmitKind::from_option(kind)?,
+                None => EmitKind::Dsl,
+            };
+            let rendered = commands::synthesize(&document, &example, format, emit)?;
+            write_or_return(&args, rendered)
+        }
+        "run" => {
+            let program_path = args.require("program").map_err(CliError::Usage)?;
+            let input_path = args.require("input").map_err(CliError::Usage)?;
+            let program_text = read_file(program_path)?;
+            let document = read_file(input_path)?;
+            let format = resolve_format(&args, input_path)?;
+            // Strip report/comment lines so `synthesize --out p.dsl` output can be fed
+            // back directly.
+            let program_text: String = program_text
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("--"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let rendered = commands::run_program(&document, &program_text, format)?;
+            write_or_return(&args, rendered)
+        }
+        "corpus" => {
+            let limit = args.numeric_option("limit", 98).map_err(CliError::Usage)?;
+            Ok(commands::corpus_report(limit))
+        }
+        "datasets" => {
+            let mut out = commands::list_datasets();
+            if args.has_flag("verbose") {
+                out.push_str(&commands::dataset_config_summary());
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        "migrate" => {
+            let dataset = args
+                .positional
+                .first()
+                .cloned()
+                .ok_or_else(|| CliError::Usage("migrate expects a dataset name".to_string()))?;
+            let scale = args.numeric_option("scale", 25).map_err(CliError::Usage)?;
+            let rendered = commands::migrate_dataset(&dataset, scale, args.option("query"))?;
+            write_or_return(&args, rendered)
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn resolve_format(args: &ParsedArgs, input_path: &str) -> Result<Format, CliError> {
+    match args.option("format") {
+        Some(f) => Format::from_option(f),
+        None => Ok(Format::from_path(input_path)),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|e| CliError::Input(format!("cannot read `{path}`: {e}")))
+}
+
+fn write_or_return(args: &ParsedArgs, rendered: String) -> Result<String, CliError> {
+    match args.option("out") {
+        None => Ok(rendered),
+        Some(path) => {
+            fs::write(path, &rendered)
+                .map_err(|e| CliError::Output(format!("cannot write `{path}`: {e}")))?;
+            Ok(format!("wrote {} bytes to {path}\n", rendered.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(name: &str, contents: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mitra-cli-test-{}-{name}", std::process::id()));
+        fs::write(&path, contents).unwrap();
+        path
+    }
+
+    const XML: &str = "<root><person><name>Ada</name><role>engineer</role></person>\
+                       <person><name>Grace</name><role>admiral</role></person></root>";
+    const OUT: &str = "name,role\nAda,engineer\nGrace,admiral\n";
+
+    #[test]
+    fn no_arguments_prints_usage() {
+        let out = run_cli(Vec::<String>::new()).unwrap();
+        assert!(out.contains("USAGE"));
+        assert_eq!(run_cli(["help"]).unwrap(), USAGE);
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        assert!(matches!(run_cli(["frobnicate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn synthesize_then_run_through_files() {
+        let doc = temp_file("doc.xml", XML);
+        let example = temp_file("example.csv", OUT);
+        let program_out = run_cli([
+            "synthesize",
+            "--input",
+            doc.to_str().unwrap(),
+            "--output",
+            example.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(program_out.contains("filter"));
+
+        // Save the program and run it over the same document.
+        let program_file = temp_file("program.dsl", &program_out);
+        let csv = run_cli([
+            "run",
+            "--program",
+            program_file.to_str().unwrap(),
+            "--input",
+            doc.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(csv.contains("Ada,engineer"));
+        for path in [doc, example, program_file] {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn missing_files_are_input_errors() {
+        let err = run_cli([
+            "synthesize",
+            "--input",
+            "/no/such/file.xml",
+            "--output",
+            "/also/missing.csv",
+        ]);
+        assert!(matches!(err, Err(CliError::Input(_))));
+    }
+
+    #[test]
+    fn migrate_requires_a_dataset_name() {
+        assert!(matches!(run_cli(["migrate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn datasets_listing_includes_all_four() {
+        let out = run_cli(["datasets", "--verbose"]).unwrap();
+        for name in ["DBLP", "IMDB", "MONDIAL", "YELP"] {
+            assert!(out.contains(name));
+        }
+        assert!(out.contains("synthesis config"));
+    }
+}

@@ -1,0 +1,23 @@
+//! The `mitra-cli` binary: parse arguments, dispatch, print, exit non-zero on error.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mitra_cli::run_cli(args) {
+        Ok(output) => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let _ = lock.write_all(output.as_bytes());
+            if !output.ends_with('\n') {
+                let _ = lock.write_all(b"\n");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("{error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! # mitra-core — the high-level Mitra engine
+//!
+//! This crate is the public face of the reproduction: it ties together the plug-ins
+//! (XML/JSON → HDT), the synthesis engine, the optimized execution engine, the code
+//! generators and the full-database migration machinery behind one small API, mirroring
+//! the architecture of Figure 14 in the paper (a language-agnostic core plus
+//! domain-specific plug-ins).
+//!
+//! ```
+//! use mitra_core::Mitra;
+//!
+//! let xml = r#"<root>
+//!   <person><name>Ada</name><role>engineer</role></person>
+//!   <person><name>Grace</name><role>admiral</role></person>
+//! </root>"#;
+//! let output = "name,role\nAda,engineer\nGrace,admiral\n";
+//!
+//! let mitra = Mitra::new();
+//! let synthesized = mitra.synthesize_from_xml(&[(xml, output)]).unwrap();
+//! let table = mitra.run_on_xml(&synthesized.program, xml).unwrap();
+//! assert_eq!(table.len(), 2);
+//! ```
+
+use mitra_codegen::{generate, Artifact, Backend};
+use mitra_dsl::{Program, Table, Value};
+use mitra_hdt::{Hdt, HdtError};
+use mitra_synth::exec::execute;
+use mitra_synth::synthesize::{learn_transformation, Example, SynthConfig, SynthError, Synthesis};
+use std::fmt;
+
+pub use mitra_codegen as codegen;
+pub use mitra_dsl as dsl;
+pub use mitra_hdt as hdt;
+pub use mitra_migrate as migrate;
+pub use mitra_synth as synth;
+
+/// Errors surfaced by the high-level engine.
+#[derive(Debug)]
+pub enum MitraError {
+    /// The input document could not be parsed.
+    Parse(HdtError),
+    /// The output-example CSV could not be interpreted.
+    BadOutputExample(String),
+    /// Synthesis failed.
+    Synthesis(SynthError),
+}
+
+impl fmt::Display for MitraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MitraError::Parse(e) => write!(f, "failed to parse input document: {e}"),
+            MitraError::BadOutputExample(e) => write!(f, "bad output example: {e}"),
+            MitraError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MitraError {}
+
+impl From<HdtError> for MitraError {
+    fn from(e: HdtError) -> Self {
+        MitraError::Parse(e)
+    }
+}
+
+impl From<SynthError> for MitraError {
+    fn from(e: SynthError) -> Self {
+        MitraError::Synthesis(e)
+    }
+}
+
+/// The high-level Mitra engine: a synthesis configuration plus convenience entry
+/// points for the XML and JSON plug-ins.
+#[derive(Debug, Clone, Default)]
+pub struct Mitra {
+    /// The synthesis configuration used by all `synthesize_*` calls.
+    pub config: SynthConfig,
+}
+
+impl Mitra {
+    /// Creates an engine with the default configuration.
+    pub fn new() -> Self {
+        Mitra {
+            config: SynthConfig::default(),
+        }
+    }
+
+    /// Creates an engine with a custom configuration.
+    pub fn with_config(config: SynthConfig) -> Self {
+        Mitra { config }
+    }
+
+    /// Synthesizes a program from (XML document, output CSV) example pairs.
+    ///
+    /// The CSV's first line is treated as the header (column names); remaining lines
+    /// are the expected rows.
+    pub fn synthesize_from_xml(&self, examples: &[(&str, &str)]) -> Result<Synthesis, MitraError> {
+        let examples = examples
+            .iter()
+            .map(|(doc, out)| {
+                Ok(Example::new(
+                    mitra_hdt::xml::xml_to_hdt(doc)?,
+                    parse_csv_table(out)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, MitraError>>()?;
+        Ok(learn_transformation(&examples, &self.config)?)
+    }
+
+    /// Synthesizes a program from (JSON document, output CSV) example pairs.
+    pub fn synthesize_from_json(&self, examples: &[(&str, &str)]) -> Result<Synthesis, MitraError> {
+        let examples = examples
+            .iter()
+            .map(|(doc, out)| {
+                Ok(Example::new(
+                    mitra_hdt::json::json_to_hdt(doc)?,
+                    parse_csv_table(out)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, MitraError>>()?;
+        Ok(learn_transformation(&examples, &self.config)?)
+    }
+
+    /// Synthesizes a program from (HTML document, output CSV) example pairs.
+    pub fn synthesize_from_html(&self, examples: &[(&str, &str)]) -> Result<Synthesis, MitraError> {
+        let examples = examples
+            .iter()
+            .map(|(doc, out)| {
+                Ok(Example::new(
+                    mitra_hdt::html::html_to_hdt(doc)?,
+                    parse_csv_table(out)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, MitraError>>()?;
+        Ok(learn_transformation(&examples, &self.config)?)
+    }
+
+    /// Synthesizes a program from already-constructed examples (any plug-in).
+    pub fn synthesize(&self, examples: &[Example]) -> Result<Synthesis, MitraError> {
+        Ok(learn_transformation(examples, &self.config)?)
+    }
+
+    /// Runs a program over an XML document using the optimized execution engine.
+    pub fn run_on_xml(&self, program: &Program, document: &str) -> Result<Table, MitraError> {
+        let tree = mitra_hdt::xml::xml_to_hdt(document)?;
+        Ok(execute(&tree, program))
+    }
+
+    /// Runs a program over a JSON document using the optimized execution engine.
+    pub fn run_on_json(&self, program: &Program, document: &str) -> Result<Table, MitraError> {
+        let tree = mitra_hdt::json::json_to_hdt(document)?;
+        Ok(execute(&tree, program))
+    }
+
+    /// Runs a program over an HTML document using the optimized execution engine.
+    pub fn run_on_html(&self, program: &Program, document: &str) -> Result<Table, MitraError> {
+        let tree = mitra_hdt::html::html_to_hdt(document)?;
+        Ok(execute(&tree, program))
+    }
+
+    /// Runs a program over an already-parsed HDT.
+    pub fn run(&self, program: &Program, tree: &Hdt) -> Table {
+        execute(tree, program)
+    }
+
+    /// Emits executable code for a synthesized program (XSLT for the XML plug-in,
+    /// JavaScript for the JSON plug-in).
+    pub fn emit(&self, program: &Program, backend: Backend) -> Artifact {
+        generate(program, backend)
+    }
+}
+
+/// Parses a tiny CSV dialect (comma-separated, double-quote escaping) into a table.
+/// The first line is the header.
+pub fn parse_csv_table(text: &str) -> Result<Table, MitraError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let Some(header) = lines.next() else {
+        return Err(MitraError::BadOutputExample("empty output example".into()));
+    };
+    let columns = split_csv_line(header);
+    let mut table = Table::new(columns.clone());
+    for line in lines {
+        let cells = split_csv_line(line);
+        if cells.len() != columns.len() {
+            return Err(MitraError::BadOutputExample(format!(
+                "row `{line}` has {} cells but the header has {}",
+                cells.len(),
+                columns.len()
+            )));
+        }
+        table.push(cells.iter().map(|c| Value::from_data(c)).collect());
+    }
+    if table.is_empty() {
+        return Err(MitraError::BadOutputExample(
+            "output example has a header but no rows".into(),
+        ));
+    }
+    Ok(table)
+}
+
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                cells.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            c => cur.push(c),
+        }
+    }
+    cells.push(cur.trim().to_string());
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XML: &str = r#"<root>
+      <person><name>Ada</name><role>engineer</role></person>
+      <person><name>Grace</name><role>admiral</role></person>
+      <person><name>Edsger</name><role>professor</role></person>
+    </root>"#;
+
+    const JSON: &str = r#"{"person": [
+      {"name": "Ada", "role": "engineer"},
+      {"name": "Grace", "role": "admiral"},
+      {"name": "Edsger", "role": "professor"}
+    ]}"#;
+
+    const OUT: &str = "name,role\nAda,engineer\nGrace,admiral\nEdsger,professor\n";
+
+    #[test]
+    fn csv_parsing_handles_quotes_and_blank_lines() {
+        let t = parse_csv_table("a,b\n\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.columns, vec!["a", "b"]);
+        assert_eq!(t.rows[0][1], Value::str("x,y"));
+        assert_eq!(t.rows[1][1], Value::str("say \"hi\""));
+        assert!(parse_csv_table("").is_err());
+        assert!(parse_csv_table("a,b\n1\n").is_err());
+        assert!(parse_csv_table("a,b\n").is_err());
+    }
+
+    #[test]
+    fn xml_end_to_end_synthesis_and_execution() {
+        let mitra = Mitra::new();
+        let result = mitra.synthesize_from_xml(&[(XML, OUT)]).unwrap();
+        let table = mitra.run_on_xml(&result.program, XML).unwrap();
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.columns, vec!["name", "role"]);
+    }
+
+    #[test]
+    fn json_end_to_end_synthesis_and_execution() {
+        let mitra = Mitra::new();
+        let result = mitra.synthesize_from_json(&[(JSON, OUT)]).unwrap();
+        let table = mitra.run_on_json(&result.program, JSON).unwrap();
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn html_end_to_end_synthesis_and_execution() {
+        let html = r#"<html><body><table>
+          <tr><td class="name">Ada</td><td class="role">engineer</td></tr>
+          <tr><td class="name">Grace</td><td class="role">admiral</td></tr>
+          <tr><td class="name">Edsger</td><td class="role">professor</td></tr>
+        </table></body></html>"#;
+        let mitra = Mitra::new();
+        let result = mitra.synthesize_from_html(&[(html, OUT)]).unwrap();
+        let table = mitra.run_on_html(&result.program, html).unwrap();
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.columns, vec!["name", "role"]);
+    }
+
+    #[test]
+    fn emit_produces_both_backends() {
+        let mitra = Mitra::new();
+        let result = mitra.synthesize_from_xml(&[(XML, OUT)]).unwrap();
+        assert!(mitra.emit(&result.program, Backend::Xslt).source.contains("xsl:stylesheet"));
+        assert!(mitra
+            .emit(&result.program, Backend::JavaScript)
+            .source
+            .contains("function transform"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let mitra = Mitra::new();
+        assert!(matches!(
+            mitra.synthesize_from_xml(&[("<broken", OUT)]),
+            Err(MitraError::Parse(_))
+        ));
+        assert!(matches!(
+            mitra.synthesize_from_xml(&[(XML, "")]),
+            Err(MitraError::BadOutputExample(_))
+        ));
+    }
+
+    #[test]
+    fn synthesis_errors_are_reported() {
+        let mitra = Mitra::new();
+        let bad_out = "name,role\nNotInTheDocument,whatever\n";
+        assert!(matches!(
+            mitra.synthesize_from_xml(&[(XML, bad_out)]),
+            Err(MitraError::Synthesis(_))
+        ));
+    }
+}

@@ -1,0 +1,24 @@
+//! # mitra-datagen — synthetic workloads for the evaluation
+//!
+//! The paper evaluates Mitra on 98 StackOverflow transformation tasks (Table 1) and on
+//! four multi-gigabyte real-world datasets (Table 2).  Neither is shipped with the
+//! paper, so this crate provides behaviour-preserving substitutes (see DESIGN.md §4):
+//!
+//! * [`corpus`] — 98 programmatically generated tree-to-table tasks, 51 XML and 47
+//!   JSON, stratified by output-column count with the same per-category counts as
+//!   Table 1 and covering the same kinds of transformation logic (projections,
+//!   positional access, parent/child joins, value joins, constant filters) plus a few
+//!   tasks intentionally outside the DSL to reproduce the unsolved rows;
+//! * [`datasets`] — schema-faithful scaled-down generators for DBLP-, IMDB-, MONDIAL-
+//!   and YELP-like documents, with target relational schemas matching the paper's
+//!   table/column counts and ready-made migration plans;
+//! * [`social`] — re-exports of the motivating-example generator from `mitra-hdt` plus
+//!   helpers to produce XML/JSON text of arbitrary size for the scalability
+//!   experiment (E3).
+
+pub mod corpus;
+pub mod datasets;
+pub mod social;
+
+pub use corpus::{generate_corpus, Category, DocFormat, Task};
+pub use datasets::{DatasetSpec, dblp, imdb, mondial, yelp};

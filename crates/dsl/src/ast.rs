@@ -1,0 +1,541 @@
+//! Abstract syntax of the tree-to-table DSL (Figure 6).
+
+use crate::value::Value;
+
+/// Comparison operators usable in predicates (the ⊙ of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CompareOp {
+    /// All operators, in a stable order (used by predicate-universe enumeration).
+    pub const ALL: [CompareOp; 6] = [
+        CompareOp::Eq,
+        CompareOp::Ne,
+        CompareOp::Lt,
+        CompareOp::Le,
+        CompareOp::Gt,
+        CompareOp::Ge,
+    ];
+
+    /// Applies the operator to an `Ordering`-like comparison result.
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CompareOp::Eq => ord == Equal,
+            CompareOp::Ne => ord != Equal,
+            CompareOp::Lt => ord == Less,
+            CompareOp::Le => ord != Greater,
+            CompareOp::Gt => ord == Greater,
+            CompareOp::Ge => ord != Less,
+        }
+    }
+
+    /// The textual symbol used by the pretty printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+}
+
+/// Column extractor π: maps a set of nodes to a set of nodes by walking the tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ColumnExtractor {
+    /// The identity extractor `s` (returns the input node set).
+    Input,
+    /// `children(π, tag)` — all children with the given tag.
+    Children {
+        /// Inner extractor applied first.
+        inner: Box<ColumnExtractor>,
+        /// Tag to select.
+        tag: String,
+    },
+    /// `pchildren(π, tag, pos)` — children with the given tag *and* position.
+    PChildren {
+        /// Inner extractor applied first.
+        inner: Box<ColumnExtractor>,
+        /// Tag to select.
+        tag: String,
+        /// Position among same-tag siblings.
+        pos: usize,
+    },
+    /// `descendants(π, tag)` — all descendants with the given tag.
+    Descendants {
+        /// Inner extractor applied first.
+        inner: Box<ColumnExtractor>,
+        /// Tag to select.
+        tag: String,
+    },
+}
+
+impl ColumnExtractor {
+    /// Convenience constructor for `children(inner, tag)`.
+    pub fn children(inner: ColumnExtractor, tag: impl Into<String>) -> Self {
+        ColumnExtractor::Children {
+            inner: Box::new(inner),
+            tag: tag.into(),
+        }
+    }
+
+    /// Convenience constructor for `pchildren(inner, tag, pos)`.
+    pub fn pchildren(inner: ColumnExtractor, tag: impl Into<String>, pos: usize) -> Self {
+        ColumnExtractor::PChildren {
+            inner: Box::new(inner),
+            tag: tag.into(),
+            pos,
+        }
+    }
+
+    /// Convenience constructor for `descendants(inner, tag)`.
+    pub fn descendants(inner: ColumnExtractor, tag: impl Into<String>) -> Self {
+        ColumnExtractor::Descendants {
+            inner: Box::new(inner),
+            tag: tag.into(),
+        }
+    }
+
+    /// Builds an extractor from a sequence of [`ExtractorStep`]s applied to the input.
+    pub fn from_steps(steps: &[ExtractorStep]) -> Self {
+        let mut cur = ColumnExtractor::Input;
+        for s in steps {
+            cur = match s {
+                ExtractorStep::Children(tag) => ColumnExtractor::children(cur, tag.clone()),
+                ExtractorStep::PChildren(tag, pos) => {
+                    ColumnExtractor::pchildren(cur, tag.clone(), *pos)
+                }
+                ExtractorStep::Descendants(tag) => ColumnExtractor::descendants(cur, tag.clone()),
+            };
+        }
+        cur
+    }
+
+    /// Flattens the extractor into the sequence of steps applied to the input set.
+    pub fn steps(&self) -> Vec<ExtractorStep> {
+        let mut out = Vec::new();
+        self.collect_steps(&mut out);
+        out
+    }
+
+    fn collect_steps(&self, out: &mut Vec<ExtractorStep>) {
+        match self {
+            ColumnExtractor::Input => {}
+            ColumnExtractor::Children { inner, tag } => {
+                inner.collect_steps(out);
+                out.push(ExtractorStep::Children(tag.clone()));
+            }
+            ColumnExtractor::PChildren { inner, tag, pos } => {
+                inner.collect_steps(out);
+                out.push(ExtractorStep::PChildren(tag.clone(), *pos));
+            }
+            ColumnExtractor::Descendants { inner, tag } => {
+                inner.collect_steps(out);
+                out.push(ExtractorStep::Descendants(tag.clone()));
+            }
+        }
+    }
+
+    /// Number of constructs (operators) used — the secondary component of the cost θ.
+    pub fn size(&self) -> usize {
+        match self {
+            ColumnExtractor::Input => 0,
+            ColumnExtractor::Children { inner, .. }
+            | ColumnExtractor::PChildren { inner, .. }
+            | ColumnExtractor::Descendants { inner, .. } => 1 + inner.size(),
+        }
+    }
+}
+
+/// One step of a column extractor, i.e. one letter of the DFA alphabet (Figure 9).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExtractorStep {
+    /// `children_tag`
+    Children(String),
+    /// `pchildren_{tag,pos}`
+    PChildren(String, usize),
+    /// `descendants_tag`
+    Descendants(String),
+}
+
+/// Table extractor ψ: the cross product of column extractors, each applied to
+/// `{root(τ)}`.
+///
+/// The paper's grammar allows arbitrary nesting `ψ1 × ψ2`; since × is associative we
+/// normalize to a flat list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableExtractor {
+    /// One column extractor per output column, in column order.
+    pub columns: Vec<ColumnExtractor>,
+}
+
+impl TableExtractor {
+    /// Creates a table extractor from its per-column extractors.
+    pub fn new(columns: Vec<ColumnExtractor>) -> Self {
+        TableExtractor { columns }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total construct count across all column extractors.
+    pub fn size(&self) -> usize {
+        self.columns.iter().map(ColumnExtractor::size).sum()
+    }
+}
+
+/// Node extractor ϕ: maps one node to another by following parent/child edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeExtractor {
+    /// The identity extractor `n`.
+    Id,
+    /// `parent(ϕ)`.
+    Parent(Box<NodeExtractor>),
+    /// `child(ϕ, tag, pos)`.
+    Child {
+        /// Inner extractor applied first.
+        inner: Box<NodeExtractor>,
+        /// Tag of the child to follow.
+        tag: String,
+        /// Position of the child to follow.
+        pos: usize,
+    },
+}
+
+impl NodeExtractor {
+    /// Convenience constructor for `parent(inner)`.
+    pub fn parent(inner: NodeExtractor) -> Self {
+        NodeExtractor::Parent(Box::new(inner))
+    }
+
+    /// Convenience constructor for `child(inner, tag, pos)`.
+    pub fn child(inner: NodeExtractor, tag: impl Into<String>, pos: usize) -> Self {
+        NodeExtractor::Child {
+            inner: Box::new(inner),
+            tag: tag.into(),
+            pos,
+        }
+    }
+
+    /// Number of parent/child steps.
+    pub fn size(&self) -> usize {
+        match self {
+            NodeExtractor::Id => 0,
+            NodeExtractor::Parent(inner) => 1 + inner.size(),
+            NodeExtractor::Child { inner, .. } => 1 + inner.size(),
+        }
+    }
+}
+
+/// The right-hand side of an atomic predicate comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A constant value `c`.
+    Const(Value),
+    /// Another tuple component `(λn.ϕ) t[j]`.
+    Column {
+        /// Node extractor applied to the tuple component.
+        extractor: NodeExtractor,
+        /// Index of the tuple component.
+        index: usize,
+    },
+}
+
+/// Predicates φ used by the top-level `filter`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Constantly true (the neutral element for ∧; `filter(ψ, true)` keeps all rows).
+    True,
+    /// Constantly false.
+    False,
+    /// Atomic comparison `((λn.ϕ) t[i]) ⊙ rhs`.
+    Compare {
+        /// Node extractor applied to tuple component `index`.
+        extractor: NodeExtractor,
+        /// Index `i` of the tuple component on the left-hand side.
+        index: usize,
+        /// The comparison operator ⊙.
+        op: CompareOp,
+        /// The right-hand side (constant or another extracted node).
+        rhs: Operand,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Builds `a ∧ b`, simplifying `True` operands away.
+    pub fn and(a: Predicate, b: Predicate) -> Predicate {
+        match (a, b) {
+            (Predicate::True, x) | (x, Predicate::True) => x,
+            (Predicate::False, _) | (_, Predicate::False) => Predicate::False,
+            (x, y) => Predicate::And(Box::new(x), Box::new(y)),
+        }
+    }
+
+    /// Builds `a ∨ b`, simplifying `False` operands away.
+    pub fn or(a: Predicate, b: Predicate) -> Predicate {
+        match (a, b) {
+            (Predicate::False, x) | (x, Predicate::False) => x,
+            (Predicate::True, _) | (_, Predicate::True) => Predicate::True,
+            (x, y) => Predicate::Or(Box::new(x), Box::new(y)),
+        }
+    }
+
+    /// Builds `¬a`, collapsing double negation and constants.
+    pub fn not(a: Predicate) -> Predicate {
+        match a {
+            Predicate::True => Predicate::False,
+            Predicate::False => Predicate::True,
+            Predicate::Not(inner) => *inner,
+            x => Predicate::Not(Box::new(x)),
+        }
+    }
+
+    /// Conjunction over an iterator of predicates (`True` for an empty iterator).
+    pub fn conjunction(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
+        preds
+            .into_iter()
+            .fold(Predicate::True, Predicate::and)
+    }
+
+    /// Disjunction over an iterator of predicates (`False` for an empty iterator).
+    pub fn disjunction(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
+        preds
+            .into_iter()
+            .fold(Predicate::False, Predicate::or)
+    }
+
+    /// Number of atomic comparisons in the predicate — the primary component of the
+    /// cost θ (Section 6).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Predicate::True | Predicate::False => 0,
+            Predicate::Compare { .. } => 1,
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.atom_count() + b.atom_count(),
+            Predicate::Not(a) => a.atom_count(),
+        }
+    }
+
+    /// Collects the distinct atomic comparisons appearing in the predicate.
+    pub fn atoms(&self) -> Vec<Predicate> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<Predicate>) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::Compare { .. } => {
+                if !out.contains(self) {
+                    out.push(self.clone());
+                }
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+            Predicate::Not(a) => a.collect_atoms(out),
+        }
+    }
+
+    /// Converts the predicate to conjunctive normal form (list of clauses, each clause
+    /// a list of literals).  Used by the Appendix C optimizer.
+    pub fn to_cnf(&self) -> Vec<Vec<Predicate>> {
+        match self {
+            Predicate::True => vec![],
+            Predicate::False => vec![vec![]],
+            Predicate::Compare { .. } => vec![vec![self.clone()]],
+            Predicate::Not(inner) => match inner.as_ref() {
+                Predicate::Compare { .. } => vec![vec![self.clone()]],
+                Predicate::True => vec![vec![]],
+                Predicate::False => vec![],
+                Predicate::Not(x) => x.to_cnf(),
+                Predicate::And(a, b) => {
+                    Predicate::or(Predicate::not(*a.clone()), Predicate::not(*b.clone())).to_cnf()
+                }
+                Predicate::Or(a, b) => {
+                    Predicate::and(Predicate::not(*a.clone()), Predicate::not(*b.clone())).to_cnf()
+                }
+            },
+            Predicate::And(a, b) => {
+                let mut out = a.to_cnf();
+                out.extend(b.to_cnf());
+                out
+            }
+            Predicate::Or(a, b) => {
+                // Distribute: (A1∧…∧An) ∨ (B1∧…∧Bm) = ∧_{i,j} (Ai ∨ Bj)
+                let ca = a.to_cnf();
+                let cb = b.to_cnf();
+                if ca.is_empty() {
+                    return vec![];
+                }
+                if cb.is_empty() {
+                    return vec![];
+                }
+                let mut out = Vec::with_capacity(ca.len() * cb.len());
+                for x in &ca {
+                    for y in &cb {
+                        let mut clause = x.clone();
+                        clause.extend(y.clone());
+                        out.push(clause);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A complete DSL program `λτ. filter(ψ, λt. φ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The table extractor whose cross product overapproximates the output table.
+    pub extractor: TableExtractor,
+    /// The row-filtering predicate.
+    pub predicate: Predicate,
+    /// Optional column names for the produced table.
+    pub column_names: Vec<String>,
+}
+
+impl Program {
+    /// Creates a program with anonymous output columns.
+    pub fn new(extractor: TableExtractor, predicate: Predicate) -> Self {
+        Program {
+            extractor,
+            predicate,
+            column_names: Vec::new(),
+        }
+    }
+
+    /// Output arity of the program.
+    pub fn arity(&self) -> usize {
+        self.extractor.arity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(i: usize) -> Predicate {
+        Predicate::Compare {
+            extractor: NodeExtractor::Id,
+            index: i,
+            op: CompareOp::Eq,
+            rhs: Operand::Const(Value::int(1)),
+        }
+    }
+
+    #[test]
+    fn compare_op_test_table() {
+        use std::cmp::Ordering::*;
+        assert!(CompareOp::Eq.test(Equal));
+        assert!(!CompareOp::Eq.test(Less));
+        assert!(CompareOp::Ne.test(Greater));
+        assert!(CompareOp::Lt.test(Less));
+        assert!(CompareOp::Le.test(Equal));
+        assert!(CompareOp::Gt.test(Greater));
+        assert!(CompareOp::Ge.test(Equal));
+        assert!(!CompareOp::Ge.test(Less));
+    }
+
+    #[test]
+    fn extractor_steps_roundtrip() {
+        let pi = ColumnExtractor::pchildren(
+            ColumnExtractor::children(ColumnExtractor::Input, "Person"),
+            "name",
+            0,
+        );
+        let steps = pi.steps();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(ColumnExtractor::from_steps(&steps), pi);
+        assert_eq!(pi.size(), 2);
+    }
+
+    #[test]
+    fn predicate_smart_constructors_simplify() {
+        assert_eq!(Predicate::and(Predicate::True, atom(0)), atom(0));
+        assert_eq!(Predicate::and(Predicate::False, atom(0)), Predicate::False);
+        assert_eq!(Predicate::or(Predicate::False, atom(0)), atom(0));
+        assert_eq!(Predicate::or(Predicate::True, atom(0)), Predicate::True);
+        assert_eq!(Predicate::not(Predicate::not(atom(0))), atom(0));
+    }
+
+    #[test]
+    fn atom_counting_and_collection() {
+        let p = Predicate::and(atom(0), Predicate::or(atom(1), Predicate::not(atom(0))));
+        assert_eq!(p.atom_count(), 3);
+        assert_eq!(p.atoms().len(), 2); // distinct atoms
+    }
+
+    #[test]
+    fn cnf_of_conjunction_is_clause_list() {
+        let p = Predicate::and(atom(0), atom(1));
+        let cnf = p.to_cnf();
+        assert_eq!(cnf.len(), 2);
+        assert_eq!(cnf[0].len(), 1);
+    }
+
+    #[test]
+    fn cnf_distributes_or_over_and() {
+        // a ∨ (b ∧ c)  =>  (a∨b) ∧ (a∨c)
+        let p = Predicate::or(atom(0), Predicate::and(atom(1), atom(2)));
+        let cnf = p.to_cnf();
+        assert_eq!(cnf.len(), 2);
+        assert!(cnf.iter().all(|clause| clause.len() == 2));
+    }
+
+    #[test]
+    fn conjunction_disjunction_helpers() {
+        assert_eq!(Predicate::conjunction(vec![]), Predicate::True);
+        assert_eq!(Predicate::disjunction(vec![]), Predicate::False);
+        let c = Predicate::conjunction(vec![atom(0), atom(1)]);
+        assert_eq!(c.atom_count(), 2);
+    }
+
+    #[test]
+    fn table_extractor_size_sums_columns() {
+        let pi1 = ColumnExtractor::children(ColumnExtractor::Input, "a");
+        let pi2 = ColumnExtractor::descendants(
+            ColumnExtractor::children(ColumnExtractor::Input, "b"),
+            "c",
+        );
+        let psi = TableExtractor::new(vec![pi1, pi2]);
+        assert_eq!(psi.arity(), 2);
+        assert_eq!(psi.size(), 3);
+    }
+
+    #[test]
+    fn node_extractor_size() {
+        let phi = NodeExtractor::child(
+            NodeExtractor::parent(NodeExtractor::Id),
+            "id",
+            0,
+        );
+        assert_eq!(phi.size(), 2);
+    }
+}

@@ -1,0 +1,380 @@
+//! Denotational semantics of the DSL (Figure 7).
+//!
+//! This module implements the *naive* semantics: column extractors are evaluated
+//! against the tree, the table extractor materializes the full cross product, and the
+//! predicate filters rows.  This is exactly the meaning the synthesizer reasons about.
+//! The optimized execution engine that avoids materializing the cross product lives in
+//! `mitra-synth::exec` (Appendix C of the paper).
+
+use crate::ast::{ColumnExtractor, NodeExtractor, Operand, Predicate, Program, TableExtractor};
+use crate::table::Table;
+use crate::value::Value;
+use mitra_hdt::{Hdt, NodeId};
+
+/// Evaluates a column extractor on a set of starting nodes, returning the extracted
+/// node set in document order (duplicates possible, as in the paper's set-of-nodes with
+/// multiplicity given by the traversal).
+pub fn eval_column_from(tree: &Hdt, start: &[NodeId], pi: &ColumnExtractor) -> Vec<NodeId> {
+    match pi {
+        ColumnExtractor::Input => start.to_vec(),
+        ColumnExtractor::Children { inner, tag } => {
+            let base = eval_column_from(tree, start, inner);
+            base.iter()
+                .flat_map(|n| tree.children_with_tag(*n, tag))
+                .collect()
+        }
+        ColumnExtractor::PChildren { inner, tag, pos } => {
+            let base = eval_column_from(tree, start, inner);
+            base.iter()
+                .flat_map(|n| tree.children_with_tag_pos(*n, tag, *pos))
+                .collect()
+        }
+        ColumnExtractor::Descendants { inner, tag } => {
+            let base = eval_column_from(tree, start, inner);
+            base.iter()
+                .flat_map(|n| tree.descendants_with_tag(*n, tag))
+                .collect()
+        }
+    }
+}
+
+/// Evaluates a column extractor starting from `{root(τ)}` (the `(λs.π){root(τ)}` form).
+pub fn eval_column(tree: &Hdt, pi: &ColumnExtractor) -> Vec<NodeId> {
+    eval_column_from(tree, &[tree.root()], pi)
+}
+
+/// Evaluates a table extractor: the cross product of its columns.  Entries are node
+/// ids, matching the paper's intermediate tables whose cells are "pointers" to nodes.
+pub fn eval_table_extractor(tree: &Hdt, psi: &TableExtractor) -> Vec<Vec<NodeId>> {
+    let columns: Vec<Vec<NodeId>> = psi.columns.iter().map(|pi| eval_column(tree, pi)).collect();
+    cross_product(&columns)
+}
+
+/// Cross product of the per-column node lists.
+pub fn cross_product(columns: &[Vec<NodeId>]) -> Vec<Vec<NodeId>> {
+    if columns.is_empty() {
+        return vec![];
+    }
+    if columns.iter().any(|c| c.is_empty()) {
+        return vec![];
+    }
+    let total: usize = columns.iter().map(Vec::len).product();
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; columns.len()];
+    loop {
+        out.push(idx.iter().zip(columns).map(|(i, c)| c[*i]).collect());
+        // Increment the mixed-radix counter.
+        let mut k = columns.len();
+        loop {
+            if k == 0 {
+                return out;
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < columns[k].len() {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+/// Evaluates a node extractor on a node.  Returns `None` when the extractor "throws"
+/// (⊥): a missing parent or a missing child.
+pub fn eval_node_extractor(tree: &Hdt, node: NodeId, phi: &NodeExtractor) -> Option<NodeId> {
+    match phi {
+        NodeExtractor::Id => Some(node),
+        NodeExtractor::Parent(inner) => {
+            let n = eval_node_extractor(tree, node, inner)?;
+            tree.parent(n)
+        }
+        NodeExtractor::Child { inner, tag, pos } => {
+            let n = eval_node_extractor(tree, node, inner)?;
+            tree.child(n, tag, *pos)
+        }
+    }
+}
+
+/// The data value stored at a node, as a typed [`Value`] (NULL for internal nodes).
+pub fn node_value(tree: &Hdt, node: NodeId) -> Value {
+    match tree.data(node) {
+        Some(d) => Value::from_data(d),
+        None => Value::Null,
+    }
+}
+
+/// Evaluates a predicate on a tuple of nodes (Figure 7, bottom half).
+pub fn eval_predicate(tree: &Hdt, tuple: &[NodeId], phi: &Predicate) -> bool {
+    match phi {
+        Predicate::True => true,
+        Predicate::False => false,
+        Predicate::Not(p) => !eval_predicate(tree, tuple, p),
+        Predicate::And(a, b) => eval_predicate(tree, tuple, a) && eval_predicate(tree, tuple, b),
+        Predicate::Or(a, b) => eval_predicate(tree, tuple, a) || eval_predicate(tree, tuple, b),
+        Predicate::Compare {
+            extractor,
+            index,
+            op,
+            rhs,
+        } => {
+            let Some(&ni) = tuple.get(*index) else {
+                return false;
+            };
+            let Some(left) = eval_node_extractor(tree, ni, extractor) else {
+                return false;
+            };
+            match rhs {
+                Operand::Const(c) => {
+                    let lv = node_value(tree, left);
+                    match lv.compare(c) {
+                        Some(ord) => op.test(ord),
+                        None => false,
+                    }
+                }
+                Operand::Column {
+                    extractor: ext2,
+                    index: j,
+                } => {
+                    let Some(&nj) = tuple.get(*j) else {
+                        return false;
+                    };
+                    let Some(right) = eval_node_extractor(tree, nj, ext2) else {
+                        return false;
+                    };
+                    let left_leaf = tree.is_leaf(left);
+                    let right_leaf = tree.is_leaf(right);
+                    if left_leaf && right_leaf {
+                        let lv = node_value(tree, left);
+                        let rv = node_value(tree, right);
+                        match lv.compare(&rv) {
+                            Some(ord) => op.test(ord),
+                            None => false,
+                        }
+                    } else if !left_leaf && !right_leaf {
+                        // Only identity comparison is defined on internal nodes.
+                        match op {
+                            crate::ast::CompareOp::Eq => left == right,
+                            crate::ast::CompareOp::Ne => left != right,
+                            _ => false,
+                        }
+                    } else {
+                        false
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a full program on a tree, producing the relational output table
+/// (`filter(ψ, λt.φ)` of Figure 7): tuples of node *data* for the rows that satisfy φ.
+pub fn eval_program(tree: &Hdt, program: &Program) -> Table {
+    let mut table = if program.column_names.is_empty() {
+        Table::anonymous(program.arity())
+    } else {
+        Table::new(program.column_names.clone())
+    };
+    for tuple in eval_table_extractor(tree, &program.extractor) {
+        if eval_predicate(tree, &tuple, &program.predicate) {
+            table.push(tuple.iter().map(|n| node_value(tree, *n)).collect());
+        }
+    }
+    table
+}
+
+/// Evaluates a program but keeps node ids instead of projecting to data values.
+/// Useful for key generation during full-database migration (Section 6).
+pub fn eval_program_nodes(tree: &Hdt, program: &Program) -> Vec<Vec<NodeId>> {
+    eval_table_extractor(tree, &program.extractor)
+        .into_iter()
+        .filter(|tuple| eval_predicate(tree, tuple, &program.predicate))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CompareOp;
+    use mitra_hdt::generate::social_network;
+    use mitra_hdt::HdtBuilder;
+
+    /// The synthesized program of Figure 3, built by hand.
+    fn figure3_program() -> Program {
+        use ColumnExtractor as CE;
+        let pi11 = CE::pchildren(CE::children(CE::Input, "Person"), "name", 0);
+        let pi21 = pi11.clone();
+        let pi_f = CE::pchildren(CE::children(CE::Input, "Person"), "Friendship", 0);
+        let pi31 = CE::pchildren(CE::children(pi_f, "Friend"), "years", 0);
+        let psi = TableExtractor::new(vec![pi11, pi21, pi31]);
+
+        // φ1: parent(t[0]) = parent(parent(parent(t[2])))
+        let phi1 = Predicate::Compare {
+            extractor: NodeExtractor::parent(NodeExtractor::Id),
+            index: 0,
+            op: CompareOp::Eq,
+            rhs: Operand::Column {
+                extractor: NodeExtractor::parent(NodeExtractor::parent(NodeExtractor::parent(
+                    NodeExtractor::Id,
+                ))),
+                index: 2,
+            },
+        };
+        // φ2: child(parent(t[1]), id, 0) = child(parent(t[2]), fid, 0)
+        let phi2 = Predicate::Compare {
+            extractor: NodeExtractor::child(NodeExtractor::parent(NodeExtractor::Id), "id", 0),
+            index: 1,
+            op: CompareOp::Eq,
+            rhs: Operand::Column {
+                extractor: NodeExtractor::child(NodeExtractor::parent(NodeExtractor::Id), "fid", 0),
+                index: 2,
+            },
+        };
+        Program::new(psi, Predicate::and(phi1, phi2))
+    }
+
+    #[test]
+    fn column_extractor_semantics() {
+        let t = social_network(2, 1);
+        let pi = ColumnExtractor::pchildren(
+            ColumnExtractor::children(ColumnExtractor::Input, "Person"),
+            "name",
+            0,
+        );
+        let nodes = eval_column(&t, &pi);
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(node_value(&t, nodes[0]), Value::str("Alice"));
+    }
+
+    #[test]
+    fn descendants_extractor_reaches_deep_nodes() {
+        let t = social_network(2, 1);
+        let pi = ColumnExtractor::descendants(ColumnExtractor::Input, "years");
+        assert_eq!(eval_column(&t, &pi).len(), 2);
+    }
+
+    #[test]
+    fn cross_product_sizes_multiply() {
+        let cols = vec![
+            vec![NodeId(1), NodeId(2)],
+            vec![NodeId(3)],
+            vec![NodeId(4), NodeId(5), NodeId(6)],
+        ];
+        assert_eq!(cross_product(&cols).len(), 6);
+        assert!(cross_product(&[vec![], vec![NodeId(1)]]).is_empty());
+        assert!(cross_product(&[]).is_empty());
+    }
+
+    #[test]
+    fn node_extractor_parent_child_and_bottom() {
+        let t = HdtBuilder::new("r")
+            .open("a")
+            .leaf("b", "1")
+            .close()
+            .build();
+        let a = t.children_with_tag(t.root(), "a")[0];
+        let b = t.child(a, "b", 0).unwrap();
+        assert_eq!(
+            eval_node_extractor(&t, b, &NodeExtractor::parent(NodeExtractor::Id)),
+            Some(a)
+        );
+        assert_eq!(
+            eval_node_extractor(&t, a, &NodeExtractor::child(NodeExtractor::Id, "b", 0)),
+            Some(b)
+        );
+        // root has no parent -> ⊥
+        assert_eq!(
+            eval_node_extractor(&t, t.root(), &NodeExtractor::parent(NodeExtractor::Id)),
+            None
+        );
+        // missing child -> ⊥
+        assert_eq!(
+            eval_node_extractor(&t, a, &NodeExtractor::child(NodeExtractor::Id, "zz", 0)),
+            None
+        );
+    }
+
+    #[test]
+    fn figure3_program_produces_expected_table() {
+        let t = social_network(2, 1);
+        let program = figure3_program();
+        let out = eval_program(&t, &program);
+        // Alice(1) friends Bob(2) for (1+2)%10+1=4 years; Bob friends Alice for 4 years.
+        let expected = Table::from_rows(
+            &["c0", "c1", "c2"],
+            &[&["Alice", "Bob", "12"], &["Bob", "Alice", "21"]],
+        );
+        assert!(out.same_bag(&expected), "got {out}");
+    }
+
+    #[test]
+    fn predicate_bottom_filters_row_out() {
+        let t = social_network(2, 1);
+        // Compare against a child that does not exist: must evaluate to false, not panic.
+        let p = Predicate::Compare {
+            extractor: NodeExtractor::child(NodeExtractor::Id, "missing", 0),
+            index: 0,
+            op: CompareOp::Eq,
+            rhs: Operand::Const(Value::int(1)),
+        };
+        let psi = TableExtractor::new(vec![ColumnExtractor::children(
+            ColumnExtractor::Input,
+            "Person",
+        )]);
+        let prog = Program::new(psi, p);
+        assert!(eval_program(&t, &prog).is_empty());
+    }
+
+    #[test]
+    fn internal_node_equality_compares_identity() {
+        let t = social_network(2, 1);
+        let persons = t.children_with_tag(t.root(), "Person");
+        // t[0] = t[1] where both are internal Person nodes.
+        let p = Predicate::Compare {
+            extractor: NodeExtractor::Id,
+            index: 0,
+            op: CompareOp::Eq,
+            rhs: Operand::Column {
+                extractor: NodeExtractor::Id,
+                index: 1,
+            },
+        };
+        assert!(eval_predicate(&t, &[persons[0], persons[0]], &p));
+        assert!(!eval_predicate(&t, &[persons[0], persons[1]], &p));
+        // Ordering comparison on internal nodes is always false.
+        let p_lt = Predicate::Compare {
+            extractor: NodeExtractor::Id,
+            index: 0,
+            op: CompareOp::Lt,
+            rhs: Operand::Column {
+                extractor: NodeExtractor::Id,
+                index: 1,
+            },
+        };
+        assert!(!eval_predicate(&t, &[persons[0], persons[1]], &p_lt));
+    }
+
+    #[test]
+    fn constant_comparison_with_numbers() {
+        let t = social_network(4, 1);
+        // Keep persons whose id < 3.
+        let pi = ColumnExtractor::children(ColumnExtractor::Input, "Person");
+        let p = Predicate::Compare {
+            extractor: NodeExtractor::child(NodeExtractor::Id, "id", 0),
+            index: 0,
+            op: CompareOp::Lt,
+            rhs: Operand::Const(Value::int(3)),
+        };
+        let prog = Program::new(TableExtractor::new(vec![pi]), p);
+        let out = eval_program_nodes(&t, &prog);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn eval_program_uses_column_names_when_given() {
+        let t = social_network(2, 1);
+        let mut prog = figure3_program();
+        prog.column_names = vec!["Person".into(), "Friend-with".into(), "years".into()];
+        let out = eval_program(&t, &prog);
+        assert_eq!(out.columns, vec!["Person", "Friend-with", "years"]);
+    }
+}

@@ -1,0 +1,425 @@
+//! Parser for the textual DSL syntax produced by [`crate::pretty`].
+//!
+//! This is not required by the synthesis algorithm itself; it exists so that programs
+//! can be stored in files, round-tripped in tests, and written by hand in examples.
+//! The grammar accepted is exactly the output of the pretty printer:
+//!
+//! ```text
+//! program   := "\tau." "filter(" table "," "\t." pred ")"
+//! table     := lambda ("x" lambda)*
+//! lambda    := "(\s." column "){root(tau)}"
+//! column    := "s" | ident "(" column "," ident ["," int] ")"
+//! pred      := or
+//! or        := and ("||" and)*
+//! and       := unary ("&&" unary)*
+//! unary     := "!" unary | "(" pred ")" | atom | "true" | "false"
+//! atom      := "((\n." node ") t[" int "])" cmp rhs
+//! node      := "n" | "parent(" node ")" | "child(" node "," ident "," int ")"
+//! rhs       := quoted-string | "((\n." node ") t[" int "])"
+//! ```
+
+use crate::ast::{ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, Program, TableExtractor};
+use crate::value::Value;
+
+/// Error type for DSL text parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the failure.
+    pub message: String,
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DSL parse error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a full program from its textual form.
+pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    let mut p = P::new(input);
+    p.ws();
+    p.expect("\\tau.")?;
+    p.ws();
+    p.expect("filter(")?;
+    let table = p.parse_table()?;
+    p.ws();
+    p.expect(",")?;
+    p.ws();
+    p.expect("\\t.")?;
+    let pred = p.parse_pred()?;
+    p.ws();
+    p.expect(")")?;
+    p.ws();
+    if !p.done() {
+        return Err(p.err("trailing input after program"));
+    }
+    Ok(Program::new(table, pred))
+}
+
+/// Parses a column extractor written in the `children(s, tag)` style.
+pub fn parse_column_extractor(input: &str) -> Result<ColumnExtractor, ParseError> {
+    let mut p = P::new(input);
+    p.ws();
+    let c = p.parse_column()?;
+    p.ws();
+    if !p.done() {
+        return Err(p.err("trailing input after column extractor"));
+    }
+    Ok(c)
+}
+
+/// Parses a predicate written in the pretty-printer syntax.
+pub fn parse_predicate(input: &str) -> Result<Predicate, ParseError> {
+    let mut p = P::new(input);
+    let pred = p.parse_pred()?;
+    p.ws();
+    if !p.done() {
+        return Err(p.err("trailing input after predicate"));
+    }
+    Ok(pred)
+}
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(input: &'a str) -> Self {
+        P { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{s}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while self
+            .rest()
+            .starts_with(|c: char| c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.')
+        {
+            self.pos += self.rest().chars().next().unwrap().len_utf8();
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn integer(&mut self) -> Result<usize, ParseError> {
+        let start = self.pos;
+        while self.rest().starts_with(|c: char| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected integer"));
+        }
+        self.input[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    fn parse_table(&mut self) -> Result<TableExtractor, ParseError> {
+        let mut cols = vec![self.parse_lambda()?];
+        loop {
+            self.ws();
+            let save = self.pos;
+            if self.eat("x") {
+                self.ws();
+                if self.rest().starts_with("(\\s.") {
+                    cols.push(self.parse_lambda()?);
+                    continue;
+                }
+                self.pos = save;
+            }
+            break;
+        }
+        Ok(TableExtractor::new(cols))
+    }
+
+    fn parse_lambda(&mut self) -> Result<ColumnExtractor, ParseError> {
+        self.ws();
+        self.expect("(\\s.")?;
+        let c = self.parse_column()?;
+        self.expect("){root(tau)}")?;
+        Ok(c)
+    }
+
+    fn parse_column(&mut self) -> Result<ColumnExtractor, ParseError> {
+        self.ws();
+        if self.eat("children(") {
+            let inner = self.parse_column()?;
+            self.expect(",")?;
+            self.ws();
+            let tag = self.ident()?;
+            self.expect(")")?;
+            return Ok(ColumnExtractor::children(inner, tag));
+        }
+        if self.eat("pchildren(") {
+            let inner = self.parse_column()?;
+            self.expect(",")?;
+            self.ws();
+            let tag = self.ident()?;
+            self.expect(",")?;
+            self.ws();
+            let pos = self.integer()?;
+            self.expect(")")?;
+            return Ok(ColumnExtractor::pchildren(inner, tag, pos));
+        }
+        if self.eat("descendants(") {
+            let inner = self.parse_column()?;
+            self.expect(",")?;
+            self.ws();
+            let tag = self.ident()?;
+            self.expect(")")?;
+            return Ok(ColumnExtractor::descendants(inner, tag));
+        }
+        if self.eat("s") {
+            return Ok(ColumnExtractor::Input);
+        }
+        Err(self.err("expected column extractor"))
+    }
+
+    fn parse_node(&mut self) -> Result<NodeExtractor, ParseError> {
+        self.ws();
+        if self.eat("parent(") {
+            let inner = self.parse_node()?;
+            self.expect(")")?;
+            return Ok(NodeExtractor::parent(inner));
+        }
+        if self.eat("child(") {
+            let inner = self.parse_node()?;
+            self.expect(",")?;
+            self.ws();
+            let tag = self.ident()?;
+            self.expect(",")?;
+            self.ws();
+            let pos = self.integer()?;
+            self.expect(")")?;
+            return Ok(NodeExtractor::child(inner, tag, pos));
+        }
+        if self.eat("n") {
+            return Ok(NodeExtractor::Id);
+        }
+        Err(self.err("expected node extractor"))
+    }
+
+    fn parse_pred(&mut self) -> Result<Predicate, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.parse_and()?;
+        loop {
+            self.ws();
+            if self.eat("||") {
+                let right = self.parse_and()?;
+                left = Predicate::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_and(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            self.ws();
+            if self.eat("&&") {
+                let right = self.parse_unary()?;
+                left = Predicate::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Predicate, ParseError> {
+        self.ws();
+        if self.eat("!") {
+            let inner = self.parse_unary()?;
+            return Ok(Predicate::Not(Box::new(inner)));
+        }
+        if self.eat("true") {
+            return Ok(Predicate::True);
+        }
+        if self.eat("false") {
+            return Ok(Predicate::False);
+        }
+        if self.rest().starts_with("((\\n.") {
+            return self.parse_atom();
+        }
+        if self.eat("(") {
+            let inner = self.parse_pred()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        Err(self.err("expected predicate"))
+    }
+
+    fn parse_accessor(&mut self) -> Result<(NodeExtractor, usize), ParseError> {
+        self.expect("((\\n.")?;
+        let node = self.parse_node()?;
+        self.expect(") t[")?;
+        let idx = self.integer()?;
+        self.expect("])")?;
+        Ok((node, idx))
+    }
+
+    fn parse_atom(&mut self) -> Result<Predicate, ParseError> {
+        let (extractor, index) = self.parse_accessor()?;
+        self.ws();
+        let op = self.parse_op()?;
+        self.ws();
+        let rhs = if self.rest().starts_with("((\\n.") {
+            let (e2, j) = self.parse_accessor()?;
+            Operand::Column {
+                extractor: e2,
+                index: j,
+            }
+        } else if self.rest().starts_with('"') {
+            Operand::Const(Value::from_data(&self.quoted_string()?))
+        } else {
+            return Err(self.err("expected constant or tuple accessor on the right-hand side"));
+        };
+        Ok(Predicate::Compare {
+            extractor,
+            index,
+            op,
+            rhs,
+        })
+    }
+
+    fn parse_op(&mut self) -> Result<CompareOp, ParseError> {
+        for (sym, op) in [
+            ("!=", CompareOp::Ne),
+            ("<=", CompareOp::Le),
+            (">=", CompareOp::Ge),
+            ("=", CompareOp::Eq),
+            ("<", CompareOp::Lt),
+            (">", CompareOp::Gt),
+        ] {
+            if self.eat(sym) {
+                return Ok(op);
+            }
+        }
+        Err(self.err("expected comparison operator"))
+    }
+
+    fn quoted_string(&mut self) -> Result<String, ParseError> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.rest().chars().next() else {
+                return Err(self.err("unterminated string constant"));
+            };
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(esc) = self.rest().chars().next() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += esc.len_utf8();
+                    out.push(esc);
+                }
+                c => out.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty;
+
+    #[test]
+    fn parses_column_extractors() {
+        let c = parse_column_extractor("pchildren(children(s, Person), name, 0)").unwrap();
+        assert_eq!(pretty::column_extractor(&c), "pchildren(children(s, Person), name, 0)");
+        assert!(parse_column_extractor("nonsense(s)").is_err());
+    }
+
+    #[test]
+    fn parses_predicates_and_respects_precedence() {
+        let p = parse_predicate(
+            "((\\n.parent(n)) t[0]) = ((\\n.parent(parent(n))) t[1]) || ((\\n.n) t[0]) < \"20\" && !false",
+        )
+        .unwrap();
+        // && binds tighter than ||
+        match p {
+            Predicate::Or(_, rhs) => match *rhs {
+                Predicate::And(_, _) => {}
+                other => panic!("expected And on the rhs, got {other:?}"),
+            },
+            other => panic!("expected Or at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn program_roundtrips_through_pretty_printer() {
+        let text = "\\tau. filter((\\s.pchildren(children(s, Person), name, 0)){root(tau)} x (\\s.children(s, Person)){root(tau)}, \\t. ((\\n.child(parent(n), id, 0)) t[0]) = ((\\n.n) t[1]))";
+        let prog = parse_program(text).unwrap();
+        let printed = pretty::program(&prog);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_predicate("true extra").is_err());
+        assert!(parse_program("\\tau. filter((\\s.s){root(tau)}, \\t. true) junk").is_err());
+    }
+
+    #[test]
+    fn parses_constants_with_escapes() {
+        let p = parse_predicate("((\\n.n) t[0]) = \"a\\\"b\"").unwrap();
+        match p {
+            Predicate::Compare { rhs: Operand::Const(v), .. } => {
+                assert_eq!(v.render(), "a\"b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Human-readable rendering of DSL programs in the paper's surface syntax
+//! (the style of Figure 3 and Figure 8c).
+
+use crate::ast::{ColumnExtractor, NodeExtractor, Operand, Predicate, Program, TableExtractor};
+
+/// Renders a column extractor, using `s` for the input set.
+pub fn column_extractor(pi: &ColumnExtractor) -> String {
+    match pi {
+        ColumnExtractor::Input => "s".to_string(),
+        ColumnExtractor::Children { inner, tag } => {
+            format!("children({}, {})", column_extractor(inner), tag)
+        }
+        ColumnExtractor::PChildren { inner, tag, pos } => {
+            format!("pchildren({}, {}, {})", column_extractor(inner), tag, pos)
+        }
+        ColumnExtractor::Descendants { inner, tag } => {
+            format!("descendants({}, {})", column_extractor(inner), tag)
+        }
+    }
+}
+
+/// Renders a node extractor, using `n` for the input node.
+pub fn node_extractor(phi: &NodeExtractor) -> String {
+    match phi {
+        NodeExtractor::Id => "n".to_string(),
+        NodeExtractor::Parent(inner) => format!("parent({})", node_extractor(inner)),
+        NodeExtractor::Child { inner, tag, pos } => {
+            format!("child({}, {}, {})", node_extractor(inner), tag, pos)
+        }
+    }
+}
+
+/// Renders a table extractor as a × of per-column lambdas.
+pub fn table_extractor(psi: &TableExtractor) -> String {
+    psi.columns
+        .iter()
+        .map(|pi| format!("(\\s.{}){{root(tau)}}", column_extractor(pi)))
+        .collect::<Vec<_>>()
+        .join(" x ")
+}
+
+/// Renders a predicate.
+pub fn predicate(p: &Predicate) -> String {
+    predicate_prec(p, 0)
+}
+
+fn predicate_prec(p: &Predicate, prec: u8) -> String {
+    match p {
+        Predicate::True => "true".to_string(),
+        Predicate::False => "false".to_string(),
+        Predicate::Compare {
+            extractor,
+            index,
+            op,
+            rhs,
+        } => {
+            let lhs = format!("((\\n.{}) t[{}])", node_extractor(extractor), index);
+            let rhs_s = match rhs {
+                Operand::Const(c) => format!("{:?}", c.render()),
+                Operand::Column { extractor, index } => {
+                    format!("((\\n.{}) t[{}])", node_extractor(extractor), index)
+                }
+            };
+            format!("{lhs} {} {rhs_s}", op.symbol())
+        }
+        Predicate::And(a, b) => {
+            let s = format!("{} && {}", predicate_prec(a, 2), predicate_prec(b, 2));
+            if prec > 2 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Predicate::Or(a, b) => {
+            let s = format!("{} || {}", predicate_prec(a, 1), predicate_prec(b, 1));
+            if prec > 1 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Predicate::Not(a) => format!("!{}", predicate_prec(a, 3)),
+    }
+}
+
+/// Renders a full program in the `λτ. filter(ψ, λt. φ)` shape of the paper.
+pub fn program(p: &Program) -> String {
+    format!(
+        "\\tau. filter({}, \\t. {})",
+        table_extractor(&p.extractor),
+        predicate(&p.predicate)
+    )
+}
+
+/// A short multi-line summary of a program: one line per column extractor plus the
+/// predicate.  Used by examples and the benchmark report printer.
+pub fn program_summary(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, pi) in p.extractor.columns.iter().enumerate() {
+        let name = p
+            .column_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("col{i}"));
+        out.push_str(&format!("  pi_{i} ({name}): {}\n", column_extractor(pi)));
+    }
+    out.push_str(&format!("  phi: {}\n", predicate(&p.predicate)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CompareOp;
+    use crate::value::Value;
+
+    #[test]
+    fn renders_figure3_style_column_extractor() {
+        let pi = ColumnExtractor::pchildren(
+            ColumnExtractor::children(ColumnExtractor::Input, "Person"),
+            "name",
+            0,
+        );
+        assert_eq!(column_extractor(&pi), "pchildren(children(s, Person), name, 0)");
+    }
+
+    #[test]
+    fn renders_node_extractor() {
+        let phi = NodeExtractor::child(NodeExtractor::parent(NodeExtractor::Id), "id", 0);
+        assert_eq!(node_extractor(&phi), "child(parent(n), id, 0)");
+    }
+
+    #[test]
+    fn renders_predicates_with_connectives() {
+        let a = Predicate::Compare {
+            extractor: NodeExtractor::Id,
+            index: 0,
+            op: CompareOp::Lt,
+            rhs: Operand::Const(Value::int(20)),
+        };
+        let b = Predicate::Compare {
+            extractor: NodeExtractor::parent(NodeExtractor::Id),
+            index: 0,
+            op: CompareOp::Eq,
+            rhs: Operand::Column {
+                extractor: NodeExtractor::parent(NodeExtractor::parent(NodeExtractor::Id)),
+                index: 1,
+            },
+        };
+        let s = predicate(&Predicate::and(a, Predicate::not(b)));
+        assert!(s.contains("t[0]) < \"20\""));
+        assert!(s.contains("&& !"));
+        assert!(s.contains("parent(parent(n))"));
+    }
+
+    #[test]
+    fn program_rendering_mentions_filter_and_root() {
+        let psi = TableExtractor::new(vec![ColumnExtractor::children(
+            ColumnExtractor::Input,
+            "a",
+        )]);
+        let prog = Program::new(psi, Predicate::True);
+        let s = program(&prog);
+        assert!(s.starts_with("\\tau. filter("));
+        assert!(s.contains("{root(tau)}"));
+    }
+
+    #[test]
+    fn summary_lists_each_column() {
+        let psi = TableExtractor::new(vec![ColumnExtractor::Input, ColumnExtractor::Input]);
+        let mut prog = Program::new(psi, Predicate::True);
+        prog.column_names = vec!["a".into(), "b".into()];
+        let s = program_summary(&prog);
+        assert!(s.contains("pi_0 (a)"));
+        assert!(s.contains("pi_1 (b)"));
+    }
+}

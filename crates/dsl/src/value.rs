@@ -1,0 +1,228 @@
+//! Typed relational cell values.
+//!
+//! HDT node data is stored as strings, but the relational tables Mitra produces (and
+//! the constants that appear in predicates) behave like typed values: `3` and `03`
+//! compare equal numerically, `"10" < "9"` is false when both parse as numbers, and so
+//! on.  [`Value`] captures this: it keeps the original text but compares numerically
+//! whenever both operands are numeric.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A relational cell value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Missing value (SQL NULL).
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Floating point value.
+    Float(f64),
+    /// Boolean value.
+    Bool(bool),
+    /// Arbitrary text.
+    Str(String),
+}
+
+impl Value {
+    /// Parses a raw data string into the most specific value type.
+    ///
+    /// Integers parse to [`Value::Int`], other numbers to [`Value::Float`],
+    /// `true`/`false` to [`Value::Bool`], `null` / empty to [`Value::Null`], everything
+    /// else stays a string.
+    pub fn from_data(s: &str) -> Value {
+        let t = s.trim();
+        if t.is_empty() || t == "null" {
+            return Value::Null;
+        }
+        if t == "true" {
+            return Value::Bool(true);
+        }
+        if t == "false" {
+            return Value::Bool(false);
+        }
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = t.parse::<f64>() {
+            return Value::Float(f);
+        }
+        Value::Str(s.to_string())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Numeric view of the value, if it has one.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(s) => s.trim().parse::<f64>().ok(),
+            Value::Null => None,
+        }
+    }
+
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Canonical textual rendering (what would be written into a CSV cell).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{}", *f as i64)
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// Comparison used by the DSL predicates: numeric when both sides are numeric,
+    /// textual otherwise.  NULL compares equal only to NULL and is unordered otherwise.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, Value::Null) => Some(Ordering::Equal),
+            (Value::Null, _) | (_, Value::Null) => None,
+            _ => {
+                if let (Some(a), Some(b)) = (self.as_number(), other.as_number()) {
+                    a.partial_cmp(&b)
+                } else {
+                    Some(self.render().cmp(&other.render()))
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash consistently with `eq`: numeric values hash by their canonical numeric
+        // rendering, everything else by its text.
+        if let Some(n) = self.as_number() {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                (n as i64).hash(state);
+            } else {
+                n.to_bits().hash(state);
+            }
+        } else {
+            self.render().hash(state);
+        }
+        self.is_null().hash(state);
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.compare(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::from_data(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::from_data(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsing_detects_types() {
+        assert_eq!(Value::from_data("42"), Value::Int(42));
+        assert_eq!(Value::from_data("4.5"), Value::Float(4.5));
+        assert_eq!(Value::from_data("true"), Value::Bool(true));
+        assert_eq!(Value::from_data(""), Value::Null);
+        assert_eq!(Value::from_data("abc"), Value::Str("abc".into()));
+    }
+
+    #[test]
+    fn numeric_comparison_beats_lexicographic() {
+        let a = Value::from_data("10");
+        let b = Value::from_data("9");
+        assert_eq!(a.compare(&b), Some(Ordering::Greater));
+        // As raw strings "10" < "9" lexicographically; typed comparison must not do that.
+        assert_ne!(a.render().cmp(&b.render()), Ordering::Greater);
+    }
+
+    #[test]
+    fn string_and_number_equality_is_numeric_when_possible() {
+        assert_eq!(Value::Str("3".into()), Value::Int(3));
+        assert_ne!(Value::Str("3a".into()), Value::Int(3));
+    }
+
+    #[test]
+    fn null_semantics() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn render_roundtrips_ints_and_floats() {
+        assert_eq!(Value::Int(7).render(), "7");
+        assert_eq!(Value::Float(7.0).render(), "7");
+        assert_eq!(Value::Float(7.25).render(), "7.25");
+        assert_eq!(Value::Bool(false).render(), "false");
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Int(3));
+        assert!(set.contains(&Value::Str("3".into())));
+        assert!(set.contains(&Value::Float(3.0)));
+        assert!(!set.contains(&Value::Int(4)));
+    }
+
+    #[test]
+    fn ordering_of_strings_is_lexicographic() {
+        assert_eq!(
+            Value::str("apple").compare(&Value::str("banana")),
+            Some(Ordering::Less)
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for HDT construction and document parsing.
+
+use std::fmt;
+
+/// Errors produced while parsing XML/JSON documents or building trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdtError {
+    /// A syntax error at a byte offset in the input document.
+    Parse {
+        /// Human readable description of what went wrong.
+        message: String,
+        /// Byte offset into the input where the error was detected.
+        offset: usize,
+    },
+    /// The document was well-formed but structurally unusable (e.g. empty).
+    Structure(String),
+    /// A node id was used with a tree it does not belong to.
+    InvalidNode(String),
+}
+
+impl HdtError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(message: impl Into<String>, offset: usize) -> Self {
+        HdtError::Parse {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for HdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdtError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            HdtError::Structure(msg) => write!(f, "structure error: {msg}"),
+            HdtError::InvalidNode(msg) => write!(f, "invalid node reference: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HdtError {}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, HdtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error_mentions_offset() {
+        let e = HdtError::parse("unexpected '<'", 42);
+        let s = e.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("unexpected"));
+    }
+
+    #[test]
+    fn display_structure_error() {
+        let e = HdtError::Structure("empty document".into());
+        assert!(e.to_string().contains("empty document"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(HdtError::parse("x", 1), HdtError::parse("x", 1));
+        assert_ne!(HdtError::parse("x", 1), HdtError::parse("x", 2));
+    }
+}

@@ -1,0 +1,704 @@
+//! From-scratch lenient HTML parsing and the HTML→HDT mapping.
+//!
+//! Section 6 of the paper notes that Mitra "can be easily extended to handle other
+//! forms of hierarchical documents (e.g., HTML and HDF) by implementing suitable
+//! plug-ins".  This module is that HTML plug-in.  Unlike the [`crate::xml`] parser it
+//! is deliberately forgiving, because real-world HTML rarely satisfies XML's
+//! well-formedness rules:
+//!
+//! * tag names and attribute names are case-insensitive (normalized to lowercase);
+//! * void elements (`<br>`, `<img>`, `<meta>`, ...) never take a closing tag;
+//! * attributes may be unquoted (`width=80`) or value-less (`disabled`);
+//! * a mismatched closing tag closes every open element up to the matching one, and a
+//!   closing tag with no matching open element is ignored;
+//! * `<li>`, `<p>`, `<td>`, `<tr>`, ... are implicitly closed by a new sibling, as in
+//!   the HTML5 "optional tags" rules (a pragmatic subset, not the full algorithm);
+//! * `<script>` and `<style>` contents are treated as raw text;
+//! * comments and the doctype are skipped.
+//!
+//! The HDT mapping is the same as the XML one (Section 3): each element becomes an
+//! internal node, each attribute becomes a leaf child tagged with the attribute name,
+//! and text content becomes a leaf child tagged `text`.
+
+use crate::error::{HdtError, Result};
+use crate::tree::Hdt;
+use crate::NodeId;
+
+/// A parsed HTML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtmlElement {
+    /// Lowercased element name.
+    pub name: String,
+    /// Attributes in document order, names lowercased.  Value-less attributes get an
+    /// empty-string value.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<HtmlElement>,
+    /// Concatenated, whitespace-trimmed text directly inside this element.
+    pub text: Option<String>,
+}
+
+impl HtmlElement {
+    /// Creates an element with the given (already lowercased) name and no content.
+    pub fn new(name: impl Into<String>) -> Self {
+        HtmlElement {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+            text: None,
+        }
+    }
+
+    /// Returns the value of the named attribute, if present.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Total number of elements in this subtree (including `self`).
+    pub fn element_count(&self) -> usize {
+        1 + self.children.iter().map(HtmlElement::element_count).sum::<usize>()
+    }
+}
+
+/// A parsed HTML document.
+///
+/// If the input has a single top-level element (usually `<html>`), that element is the
+/// root; otherwise a synthetic `html` root wraps the top-level elements, so that a
+/// fragment like `<table>...</table>` still maps to a single HDT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtmlDocument {
+    /// The root element.
+    pub root: HtmlElement,
+}
+
+impl HtmlDocument {
+    /// Converts the document into a hierarchical data tree (Section 3 mapping).
+    pub fn to_hdt(&self) -> Hdt {
+        let mut tree = Hdt::with_root(self.root.name.clone());
+        let root = tree.root();
+        Self::fill(&mut tree, root, &self.root);
+        tree
+    }
+
+    fn fill(tree: &mut Hdt, id: NodeId, elem: &HtmlElement) {
+        for (k, v) in &elem.attributes {
+            tree.add_child(id, k.clone(), Some(v.clone()));
+        }
+        if let Some(t) = &elem.text {
+            if !t.is_empty() {
+                tree.add_child(id, "text", Some(t.clone()));
+            }
+        }
+        for c in &elem.children {
+            let cid = tree.add_child(id, c.name.clone(), None);
+            Self::fill(tree, cid, c);
+        }
+    }
+}
+
+/// Parses an HTML document or fragment.
+pub fn parse_html(input: &str) -> Result<HtmlDocument> {
+    let mut parser = Parser::new(input);
+    let top = parser.parse_nodes()?;
+    let root = match top {
+        top if top.len() == 1 => top.into_iter().next().expect("length checked"),
+        top => {
+            let mut synthetic = HtmlElement::new("html");
+            synthetic.children = top;
+            synthetic
+        }
+    };
+    Ok(HtmlDocument { root })
+}
+
+/// Parses an HTML document and immediately converts it to an HDT.
+pub fn html_to_hdt(input: &str) -> Result<Hdt> {
+    Ok(parse_html(input)?.to_hdt())
+}
+
+/// Elements that never have content or a closing tag.
+const VOID_ELEMENTS: [&str; 14] = [
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
+    "source", "track", "wbr",
+];
+
+/// Elements whose contents are raw text up to the matching closing tag.
+const RAW_TEXT_ELEMENTS: [&str; 2] = ["script", "style"];
+
+fn is_void(name: &str) -> bool {
+    VOID_ELEMENTS.contains(&name)
+}
+
+fn is_raw_text(name: &str) -> bool {
+    RAW_TEXT_ELEMENTS.contains(&name)
+}
+
+/// Returns true if opening `incoming` implicitly closes an open `open` element, per a
+/// pragmatic subset of the HTML5 optional-tag rules.
+fn implicitly_closes(open: &str, incoming: &str) -> bool {
+    match open {
+        "li" => incoming == "li",
+        "p" => matches!(
+            incoming,
+            "p" | "div" | "ul" | "ol" | "table" | "section" | "article" | "h1" | "h2" | "h3"
+                | "h4" | "h5" | "h6" | "blockquote" | "pre" | "form"
+        ),
+        "td" | "th" => matches!(incoming, "td" | "th" | "tr"),
+        "tr" => incoming == "tr",
+        "dt" | "dd" => matches!(incoming, "dt" | "dd"),
+        "option" => matches!(incoming, "option" | "optgroup"),
+        "thead" | "tbody" | "tfoot" => matches!(incoming, "tbody" | "tfoot"),
+        _ => false,
+    }
+}
+
+/// An open element on the parse stack.
+struct OpenElement {
+    element: HtmlElement,
+    text: String,
+}
+
+impl OpenElement {
+    fn new(element: HtmlElement) -> Self {
+        OpenElement {
+            element,
+            text: String::new(),
+        }
+    }
+
+    fn finish(mut self) -> HtmlElement {
+        let trimmed = collapse_whitespace(&self.text);
+        if !trimmed.is_empty() {
+            self.element.text = Some(trimmed);
+        }
+        self.element
+    }
+}
+
+/// Collapses runs of whitespace to single spaces and trims the ends, the usual HTML
+/// rendering treatment of inter-element whitespace.
+fn collapse_whitespace(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_was_space = true;
+    for ch in s.chars() {
+        if ch.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+            }
+            last_was_space = true;
+        } else {
+            out.push(ch);
+            last_was_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Decodes the common named entities plus numeric character references.
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(rel_end) = s[i..].find(';').filter(|&e| e <= 12) {
+                let entity = &s[i + 1..i + rel_end];
+                let decoded = match entity {
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "amp" => Some('&'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    "nbsp" => Some(' '),
+                    _ => entity
+                        .strip_prefix('#')
+                        .and_then(|num| {
+                            if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                                u32::from_str_radix(hex, 16).ok()
+                            } else {
+                                num.parse::<u32>().ok()
+                            }
+                        })
+                        .and_then(char::from_u32),
+                };
+                if let Some(c) = decoded {
+                    out.push(c);
+                    i += rel_end + 1;
+                    continue;
+                }
+            }
+            // Not a recognized entity: keep the ampersand literally (lenient).
+            out.push('&');
+            i += 1;
+        } else {
+            let ch_len = s[i..].chars().next().map_or(1, char::len_utf8);
+            out.push_str(&s[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn rest(&self) -> &str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn starts_with_ci(&self, s: &str) -> bool {
+        let rest = self.rest();
+        rest.len() >= s.len() && rest[..s.len()].eq_ignore_ascii_case(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parses all top-level elements, driving the lenient stack machine.
+    fn parse_nodes(&mut self) -> Result<Vec<HtmlElement>> {
+        let mut finished: Vec<HtmlElement> = Vec::new();
+        let mut stack: Vec<OpenElement> = Vec::new();
+
+        while !self.at_end() {
+            if self.starts_with_ci("<!--") {
+                self.skip_comment();
+            } else if self.starts_with_ci("<!doctype") || self.rest().starts_with("<!") {
+                self.skip_until('>');
+            } else if self.rest().starts_with("</") {
+                self.handle_closing_tag(&mut stack, &mut finished)?;
+            } else if self.peek() == Some(b'<')
+                && self
+                    .input
+                    .as_bytes()
+                    .get(self.pos + 1)
+                    .is_some_and(|b| b.is_ascii_alphabetic())
+            {
+                self.handle_opening_tag(&mut stack, &mut finished)?;
+            } else {
+                // Text (or a stray '<' that does not start a tag — taken literally).
+                let text = self.take_text();
+                if let Some(open) = stack.last_mut() {
+                    open.text.push_str(&text);
+                    open.text.push(' ');
+                }
+            }
+        }
+
+        // Any elements still open at end-of-input are closed implicitly.
+        while let Some(open) = stack.pop() {
+            let element = open.finish();
+            match stack.last_mut() {
+                Some(parent) => parent.element.children.push(element),
+                None => finished.push(element),
+            }
+        }
+        if finished.is_empty() {
+            return Err(HdtError::parse("no elements found in HTML input", 0));
+        }
+        Ok(finished)
+    }
+
+    fn skip_comment(&mut self) {
+        match self.rest().find("-->") {
+            Some(rel) => self.bump(rel + 3),
+            None => self.pos = self.input.len(),
+        }
+    }
+
+    fn skip_until(&mut self, terminator: char) {
+        match self.rest().find(terminator) {
+            Some(rel) => self.bump(rel + terminator.len_utf8()),
+            None => self.pos = self.input.len(),
+        }
+    }
+
+    fn take_text(&mut self) -> String {
+        let start = self.pos;
+        // A '<' only starts markup if followed by a letter, '/', '!' or '?'.
+        loop {
+            match self.rest().find('<') {
+                None => {
+                    self.pos = self.input.len();
+                    break;
+                }
+                Some(rel) => {
+                    let candidate = self.pos + rel;
+                    let next = self.input.as_bytes().get(candidate + 1).copied();
+                    if next.is_some_and(|b| b.is_ascii_alphabetic() || b == b'/' || b == b'!' || b == b'?') {
+                        self.pos = candidate;
+                        break;
+                    }
+                    self.pos = candidate + 1;
+                }
+            }
+        }
+        decode_entities(&self.input[start..self.pos])
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b':')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(HdtError::parse("expected a tag name", self.pos));
+        }
+        Ok(self.input[start..self.pos].to_ascii_lowercase())
+    }
+
+    fn handle_closing_tag(
+        &mut self,
+        stack: &mut Vec<OpenElement>,
+        finished: &mut Vec<HtmlElement>,
+    ) -> Result<()> {
+        self.bump(2); // "</"
+        // A closing tag with no name (`</ >`, `</>`) is bogus markup; browsers drop it,
+        // and so do we.
+        let Ok(name) = self.parse_name() else {
+            self.skip_until('>');
+            return Ok(());
+        };
+        self.skip_until('>');
+        // Ignore a closing tag that matches nothing currently open (lenient).
+        if !stack.iter().any(|open| open.element.name == name) {
+            return Ok(());
+        }
+        // Pop (and implicitly close) everything up to and including the match.
+        loop {
+            let open = stack.pop().expect("match existence checked above");
+            let was_match = open.element.name == name;
+            let element = open.finish();
+            match stack.last_mut() {
+                Some(parent) => parent.element.children.push(element),
+                None => finished.push(element),
+            }
+            if was_match {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_opening_tag(
+        &mut self,
+        stack: &mut Vec<OpenElement>,
+        finished: &mut Vec<HtmlElement>,
+    ) -> Result<()> {
+        self.bump(1); // '<'
+        let name = self.parse_name()?;
+        let mut element = HtmlElement::new(name.clone());
+        let self_closing = self.parse_attributes(&mut element)?;
+
+        // Optional-tag rules: the incoming element may implicitly close open ones.
+        while stack
+            .last()
+            .is_some_and(|open| implicitly_closes(&open.element.name, &name))
+        {
+            let open = stack.pop().expect("checked by while condition");
+            let closed = open.finish();
+            match stack.last_mut() {
+                Some(parent) => parent.element.children.push(closed),
+                None => finished.push(closed),
+            }
+        }
+
+        if is_void(&name) || self_closing {
+            match stack.last_mut() {
+                Some(parent) => parent.element.children.push(element),
+                None => finished.push(element),
+            }
+            return Ok(());
+        }
+
+        if is_raw_text(&name) {
+            let raw = self.take_raw_text(&name);
+            let trimmed = raw.trim();
+            if !trimmed.is_empty() {
+                element.text = Some(trimmed.to_string());
+            }
+            match stack.last_mut() {
+                Some(parent) => parent.element.children.push(element),
+                None => finished.push(element),
+            }
+            return Ok(());
+        }
+
+        stack.push(OpenElement::new(element));
+        Ok(())
+    }
+
+    /// Consumes the contents of a raw-text element up to (and including) its closing
+    /// tag; returns the raw contents.
+    fn take_raw_text(&mut self, name: &str) -> String {
+        let closer = format!("</{name}");
+        let rest = self.rest();
+        let lower = rest.to_ascii_lowercase();
+        match lower.find(&closer) {
+            Some(rel) => {
+                let raw = rest[..rel].to_string();
+                self.bump(rel);
+                self.skip_until('>');
+                raw
+            }
+            None => {
+                let raw = rest.to_string();
+                self.pos = self.input.len();
+                raw
+            }
+        }
+    }
+
+    /// Parses attributes up to the closing `>`; returns whether the tag ended in `/>`.
+    fn parse_attributes(&mut self, element: &mut HtmlElement) -> Result<bool> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Ok(false), // unterminated tag: treat as closed (lenient)
+                Some(b'>') => {
+                    self.bump(1);
+                    return Ok(false);
+                }
+                Some(b'/') => {
+                    self.bump(1);
+                    self.skip_ws();
+                    if self.peek() == Some(b'>') {
+                        self.bump(1);
+                    }
+                    return Ok(true);
+                }
+                Some(_) => {
+                    let key = match self.parse_name() {
+                        Ok(k) => k,
+                        Err(_) => {
+                            // Garbage inside the tag: skip one byte and carry on.
+                            self.bump(1);
+                            continue;
+                        }
+                    };
+                    self.skip_ws();
+                    if self.peek() == Some(b'=') {
+                        self.bump(1);
+                        self.skip_ws();
+                        let value = self.parse_attribute_value();
+                        element.attributes.push((key, decode_entities(&value)));
+                    } else {
+                        element.attributes.push((key, String::new()));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_attribute_value(&mut self) -> String {
+        match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump(1);
+                let start = self.pos;
+                while self.peek().is_some_and(|b| b != q) {
+                    self.pos += 1;
+                }
+                let value = self.input[start..self.pos].to_string();
+                if !self.at_end() {
+                    self.bump(1);
+                }
+                value
+            }
+            _ => {
+                let start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|b| !b.is_ascii_whitespace() && b != b'>' && b != b'/')
+                {
+                    self.pos += 1;
+                }
+                self.input[start..self.pos].to_string()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_table() {
+        let html = r#"<html><body>
+            <table id="people">
+              <tr><td>Ada</td><td>1815</td></tr>
+              <tr><td>Grace</td><td>1906</td></tr>
+            </table>
+        </body></html>"#;
+        let doc = parse_html(html).unwrap();
+        assert_eq!(doc.root.name, "html");
+        let body = &doc.root.children[0];
+        let table = &body.children[0];
+        assert_eq!(table.attribute("id"), Some("people"));
+        assert_eq!(table.children.len(), 2);
+        assert_eq!(table.children[0].children[0].text.as_deref(), Some("Ada"));
+    }
+
+    #[test]
+    fn void_elements_and_unclosed_tags_are_tolerated() {
+        let html = "<div><p>first<br>second<p>third<img src=pic.png></div>";
+        let doc = parse_html(html).unwrap();
+        let div = &doc.root;
+        assert_eq!(div.name, "div");
+        // Two paragraphs: the second <p> implicitly closes the first.
+        let paragraphs: Vec<_> = div.children.iter().filter(|c| c.name == "p").collect();
+        assert_eq!(paragraphs.len(), 2);
+        assert_eq!(paragraphs[0].children[0].name, "br");
+        assert_eq!(paragraphs[1].children[0].attribute("src"), Some("pic.png"));
+    }
+
+    #[test]
+    fn implicit_closing_of_list_items_and_cells() {
+        let html = "<ul><li>one<li>two<li>three</ul>";
+        let doc = parse_html(html).unwrap();
+        assert_eq!(doc.root.name, "ul");
+        assert_eq!(doc.root.children.len(), 3);
+        let texts: Vec<_> = doc
+            .root
+            .children
+            .iter()
+            .map(|li| li.text.as_deref().unwrap_or(""))
+            .collect();
+        assert_eq!(texts, vec!["one", "two", "three"]);
+    }
+
+    #[test]
+    fn attributes_without_values_and_unquoted_values() {
+        let html = "<input type=checkbox checked name=\"agree\">";
+        let doc = parse_html(html).unwrap();
+        assert_eq!(doc.root.name, "input");
+        assert_eq!(doc.root.attribute("type"), Some("checkbox"));
+        assert_eq!(doc.root.attribute("checked"), Some(""));
+        assert_eq!(doc.root.attribute("name"), Some("agree"));
+    }
+
+    #[test]
+    fn case_is_normalized_and_doctype_comments_skipped() {
+        let html = "<!DOCTYPE html><!-- greeting --><DIV Class=\"Box\">Hi</DIV>";
+        let doc = parse_html(html).unwrap();
+        assert_eq!(doc.root.name, "div");
+        assert_eq!(doc.root.attribute("class"), Some("Box"));
+        assert_eq!(doc.root.text.as_deref(), Some("Hi"));
+    }
+
+    #[test]
+    fn script_contents_are_raw_text() {
+        let html = "<body><script>if (a < b && c > d) { render('<td>'); }</script><p>after</p></body>";
+        let doc = parse_html(html).unwrap();
+        let script = &doc.root.children[0];
+        assert_eq!(script.name, "script");
+        assert!(script.text.as_deref().unwrap().contains("a < b"));
+        assert_eq!(doc.root.children[1].text.as_deref(), Some("after"));
+    }
+
+    #[test]
+    fn entities_are_decoded_in_text_and_attributes() {
+        let html = "<p title=\"Tom &amp; Jerry\">1 &lt; 2 &#65;&#x42;</p>";
+        let doc = parse_html(html).unwrap();
+        assert_eq!(doc.root.attribute("title"), Some("Tom & Jerry"));
+        assert_eq!(doc.root.text.as_deref(), Some("1 < 2 AB"));
+    }
+
+    #[test]
+    fn mismatched_closing_tag_closes_up_to_match() {
+        let html = "<div><span><b>bold</div>";
+        let doc = parse_html(html).unwrap();
+        assert_eq!(doc.root.name, "div");
+        assert_eq!(doc.root.children[0].name, "span");
+        assert_eq!(doc.root.children[0].children[0].name, "b");
+    }
+
+    #[test]
+    fn bogus_closing_tags_never_panic() {
+        // `</` followed by a non-name is bogus markup; it is skipped up to the next
+        // `>`, which may swallow following text exactly as browsers' bogus-comment
+        // state does.  The important property is that parsing stays total.
+        assert!(parse_html("</<a>").is_err() || parse_html("</<a>").is_ok());
+        assert!(parse_html("</ ><p>ok</p>").unwrap().root.name == "p");
+        assert!(parse_html("<div></ ></div>").unwrap().root.name == "div");
+    }
+
+    #[test]
+    fn stray_closing_tag_is_ignored() {
+        let html = "<div></table><p>ok</p></div>";
+        let doc = parse_html(html).unwrap();
+        assert_eq!(doc.root.name, "div");
+        assert_eq!(doc.root.children.len(), 1);
+        assert_eq!(doc.root.children[0].text.as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn fragment_with_multiple_roots_gets_synthetic_html_root() {
+        let html = "<h1>Title</h1><p>Body</p>";
+        let doc = parse_html(html).unwrap();
+        assert_eq!(doc.root.name, "html");
+        assert_eq!(doc.root.children.len(), 2);
+    }
+
+    #[test]
+    fn hdt_mapping_matches_xml_conventions() {
+        let html = "<table><tr><td class=\"name\">Ada</td></tr></table>";
+        let tree = html_to_hdt(html).unwrap();
+        let root = tree.root();
+        assert_eq!(tree.tag(root), "table");
+        let tr = tree.children_with_tag(root, "tr")[0];
+        let td = tree.children_with_tag(tr, "td")[0];
+        // Attribute and text content both become leaf children.
+        let class = tree.children_with_tag(td, "class")[0];
+        assert_eq!(tree.data(class), Some("name"));
+        let text = tree.children_with_tag(td, "text")[0];
+        assert_eq!(tree.data(text), Some("Ada"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse_html("").is_err());
+        assert!(parse_html("   \n  ").is_err());
+        assert!(parse_html("just text, no markup").is_err());
+    }
+
+    #[test]
+    fn whitespace_inside_text_is_collapsed() {
+        let html = "<p>  spread \n  over   lines  </p>";
+        let doc = parse_html(html).unwrap();
+        assert_eq!(doc.root.text.as_deref(), Some("spread over lines"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # mitra-hdt — Hierarchical Data Trees
+//!
+//! This crate implements the *hierarchical data tree* (HDT) substrate used throughout
+//! the Mitra reproduction.  An HDT is a rooted tree whose nodes are triples
+//! `(tag, pos, data)` (Definition 1 in the paper): `tag` is a label, `pos` says that the
+//! node is the `pos`'th child with that tag under its parent, and `data` is the payload
+//! stored at the node (only leaves carry data; internal nodes carry `None`).
+//!
+//! The crate also contains the two *plug-ins* of the paper's architecture (Figure 14):
+//!
+//! * [`xml`] — a from-scratch XML parser and serializer plus the XML→HDT mapping of
+//!   Section 3 (elements, attributes and text content all become HDT nodes);
+//! * [`json`] — a from-scratch JSON parser and serializer plus the JSON→HDT mapping of
+//!   Section 3 (objects/arrays become internal nodes, array entries get increasing
+//!   `pos` values);
+//! * [`html`] — a lenient HTML parser and the HTML→HDT mapping, demonstrating the
+//!   "other hierarchical formats" extensibility claimed in Section 6.
+//!
+//! Finally, [`generate`] contains small helpers used by tests and examples to build
+//! trees programmatically.
+
+pub mod error;
+pub mod generate;
+pub mod html;
+pub mod json;
+pub mod node;
+pub mod tree;
+pub mod xml;
+
+pub use error::{HdtError, Result};
+pub use html::{parse_html, HtmlDocument, HtmlElement};
+pub use json::{parse_json, JsonValue};
+pub use node::{Node, NodeId};
+pub use tree::{Hdt, HdtBuilder};
+pub use xml::{parse_xml, XmlDocument, XmlNode};

@@ -1,0 +1,469 @@
+//! The hierarchical data tree (HDT) arena.
+//!
+//! [`Hdt`] owns all nodes of one document in a flat vector and exposes the traversal
+//! primitives that the DSL semantics (Figure 7) need: children lookup by tag, children
+//! lookup by tag *and* position, descendant search by tag, and parent lookup.
+
+use crate::error::{HdtError, Result};
+use crate::node::{Node, NodeId};
+
+/// A hierarchical data tree: a rooted, ordered tree of `(tag, pos, data)` nodes.
+///
+/// Nodes are stored in an arena; [`NodeId`]s index into it.  The root always has id 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hdt {
+    nodes: Vec<Node>,
+}
+
+impl Hdt {
+    /// Creates a tree consisting only of a root node with the given tag.
+    pub fn with_root(tag: impl Into<String>) -> Self {
+        Hdt {
+            nodes: vec![Node::new(tag, 0, None)],
+        }
+    }
+
+    /// Id of the root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Total number of nodes in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has only its root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this tree.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Checked access to a node.
+    pub fn try_node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes
+            .get(id.index())
+            .ok_or_else(|| HdtError::InvalidNode(format!("{id} out of range ({} nodes)", self.len())))
+    }
+
+    /// Tag of a node.
+    #[inline]
+    pub fn tag(&self, id: NodeId) -> &str {
+        &self.node(id).tag
+    }
+
+    /// Position of a node among same-tag siblings.
+    #[inline]
+    pub fn pos(&self, id: NodeId) -> usize {
+        self.node(id).pos
+    }
+
+    /// Data stored at a node (only leaves carry data).
+    #[inline]
+    pub fn data(&self, id: NodeId) -> Option<&str> {
+        self.node(id).data.as_deref()
+    }
+
+    /// True if the node has no children.
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.node(id).children.is_empty()
+    }
+
+    /// Parent of a node (`None` for the root).
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of a node in document order.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Adds a child node under `parent`.  The `pos` field is computed automatically as
+    /// the number of existing children of `parent` with the same tag.
+    pub fn add_child(&mut self, parent: NodeId, tag: impl Into<String>, data: Option<String>) -> NodeId {
+        let tag = tag.into();
+        let pos = self
+            .children(parent)
+            .iter()
+            .filter(|c| self.node(**c).tag == tag)
+            .count();
+        self.add_child_with_pos(parent, tag, pos, data)
+    }
+
+    /// Adds a child node under `parent` with an explicit `pos` value.
+    pub fn add_child_with_pos(
+        &mut self,
+        parent: NodeId,
+        tag: impl Into<String>,
+        pos: usize,
+        data: Option<String>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let mut node = Node::new(tag, pos, data);
+        node.parent = Some(parent);
+        self.nodes.push(node);
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Children of `id` whose tag equals `tag` (the `children` DSL construct).
+    pub fn children_with_tag(&self, id: NodeId, tag: &str) -> Vec<NodeId> {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|c| self.node(*c).tag == tag)
+            .collect()
+    }
+
+    /// Children of `id` whose tag equals `tag` and whose pos equals `pos`
+    /// (the `pchildren` DSL construct).
+    pub fn children_with_tag_pos(&self, id: NodeId, tag: &str, pos: usize) -> Vec<NodeId> {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|c| {
+                let n = self.node(*c);
+                n.tag == tag && n.pos == pos
+            })
+            .collect()
+    }
+
+    /// A single child of `id` with the given tag and pos (the `child` node-extractor
+    /// construct of the predicate language).  Returns `None` if no such child exists.
+    pub fn child(&self, id: NodeId, tag: &str, pos: usize) -> Option<NodeId> {
+        self.children(id).iter().copied().find(|c| {
+            let n = self.node(*c);
+            n.tag == tag && n.pos == pos
+        })
+    }
+
+    /// All (strict) descendants of `id` with the given tag, in pre-order
+    /// (the `descendants` DSL construct).
+    pub fn descendants_with_tag(&self, id: NodeId, tag: &str) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(id).iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            if self.node(n).tag == tag {
+                out.push(n);
+            }
+            for c in self.children(n).iter().rev() {
+                stack.push(*c);
+            }
+        }
+        out
+    }
+
+    /// All nodes in pre-order (root first).
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack = vec![self.root()];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for c in self.children(n).iter().rev() {
+                stack.push(*c);
+            }
+        }
+        out
+    }
+
+    /// Iterator over every node id in arena order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Set of distinct tags appearing in the tree, excluding the root's tag.
+    pub fn tags(&self) -> Vec<String> {
+        let mut tags: Vec<String> = Vec::new();
+        for n in &self.nodes {
+            if !tags.iter().any(|t| t == &n.tag) {
+                tags.push(n.tag.clone());
+            }
+        }
+        tags
+    }
+
+    /// Set of distinct `pos` values appearing in the tree.
+    pub fn positions(&self) -> Vec<usize> {
+        let mut ps: Vec<usize> = Vec::new();
+        for n in &self.nodes {
+            if !ps.contains(&n.pos) {
+                ps.push(n.pos);
+            }
+        }
+        ps.sort_unstable();
+        ps
+    }
+
+    /// All leaf data values in the tree (used for constant mining in predicate
+    /// universe construction, rule (4) of Figure 10).
+    pub fn data_values(&self) -> Vec<&str> {
+        self.nodes.iter().filter_map(|n| n.data.as_deref()).collect()
+    }
+
+    /// Depth of a node (root has depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Height of the whole tree (max depth over all nodes).
+    pub fn height(&self) -> usize {
+        self.ids().map(|id| self.depth(id)).max().unwrap_or(0)
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.children.is_empty()).count()
+    }
+
+    /// Counts "elements": internal nodes plus the root.  Used to report the
+    /// `#Elements` statistic of Table 1.
+    pub fn element_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.children.is_empty()).count().max(1)
+    }
+
+    /// Validates internal consistency (parent/child symmetry and pos correctness).
+    /// Intended for tests and debugging.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes.is_empty() {
+            return Err(HdtError::Structure("tree has no nodes".into()));
+        }
+        if self.nodes[0].parent.is_some() {
+            return Err(HdtError::Structure("root must not have a parent".into()));
+        }
+        for id in self.ids() {
+            let n = self.node(id);
+            for c in &n.children {
+                let child = self.try_node(*c)?;
+                if child.parent != Some(id) {
+                    return Err(HdtError::Structure(format!(
+                        "child {c} of {id} has wrong parent link"
+                    )));
+                }
+            }
+            if let Some(p) = n.parent {
+                if !self.node(p).children.contains(&id) {
+                    return Err(HdtError::Structure(format!(
+                        "{id} not listed among children of its parent {p}"
+                    )));
+                }
+                // pos must equal the index among same-tag siblings.
+                let expected = self
+                    .children(p)
+                    .iter()
+                    .filter(|s| self.node(**s).tag == n.tag)
+                    .position(|s| *s == id);
+                if expected != Some(n.pos) {
+                    return Err(HdtError::Structure(format!(
+                        "{id} has pos {} but is the {:?}'th `{}` child of {p}",
+                        n.pos, expected, n.tag
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience builder for constructing trees in a nested, declarative style.
+///
+/// ```
+/// use mitra_hdt::HdtBuilder;
+/// let tree = HdtBuilder::new("root")
+///     .open("Person")
+///     .leaf("name", "Alice")
+///     .close()
+///     .build();
+/// assert_eq!(tree.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct HdtBuilder {
+    tree: Hdt,
+    stack: Vec<NodeId>,
+}
+
+impl HdtBuilder {
+    /// Starts a new tree with the given root tag.
+    pub fn new(root_tag: impl Into<String>) -> Self {
+        let tree = Hdt::with_root(root_tag);
+        HdtBuilder {
+            stack: vec![tree.root()],
+            tree,
+        }
+    }
+
+    fn top(&self) -> NodeId {
+        *self.stack.last().expect("builder stack never empty")
+    }
+
+    /// Opens a new internal node and makes it the current parent.
+    pub fn open(mut self, tag: impl Into<String>) -> Self {
+        let id = self.tree.add_child(self.top(), tag, None);
+        self.stack.push(id);
+        self
+    }
+
+    /// Adds a leaf node carrying data under the current parent.
+    pub fn leaf(mut self, tag: impl Into<String>, data: impl Into<String>) -> Self {
+        self.tree.add_child(self.top(), tag, Some(data.into()));
+        self
+    }
+
+    /// Adds an empty (data-less) leaf under the current parent.
+    pub fn empty(mut self, tag: impl Into<String>) -> Self {
+        self.tree.add_child(self.top(), tag, None);
+        self
+    }
+
+    /// Closes the current parent, returning to its parent.
+    ///
+    /// # Panics
+    /// Panics if called more times than [`HdtBuilder::open`].
+    pub fn close(mut self) -> Self {
+        assert!(self.stack.len() > 1, "close() without matching open()");
+        self.stack.pop();
+        self
+    }
+
+    /// Finishes building and returns the tree.
+    pub fn build(self) -> Hdt {
+        self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hdt {
+        HdtBuilder::new("root")
+            .open("Person")
+            .leaf("name", "Alice")
+            .leaf("id", "1")
+            .open("Friendship")
+            .open("Friend")
+            .leaf("fid", "2")
+            .leaf("years", "3")
+            .close()
+            .close()
+            .close()
+            .open("Person")
+            .leaf("name", "Bob")
+            .leaf("id", "2")
+            .close()
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_consistent_tree() {
+        let t = sample();
+        t.validate().expect("tree should validate");
+        assert_eq!(t.tag(t.root()), "root");
+        assert_eq!(t.children_with_tag(t.root(), "Person").len(), 2);
+    }
+
+    #[test]
+    fn pos_assignment_counts_same_tag_siblings() {
+        let t = sample();
+        let persons = t.children_with_tag(t.root(), "Person");
+        assert_eq!(t.pos(persons[0]), 0);
+        assert_eq!(t.pos(persons[1]), 1);
+    }
+
+    #[test]
+    fn children_with_tag_pos_filters_both() {
+        let t = sample();
+        assert_eq!(t.children_with_tag_pos(t.root(), "Person", 1).len(), 1);
+        assert_eq!(t.children_with_tag_pos(t.root(), "Person", 5).len(), 0);
+    }
+
+    #[test]
+    fn descendants_search_is_preorder_and_deep() {
+        let t = sample();
+        let names = t.descendants_with_tag(t.root(), "name");
+        assert_eq!(names.len(), 2);
+        assert_eq!(t.data(names[0]), Some("Alice"));
+        assert_eq!(t.data(names[1]), Some("Bob"));
+        let years = t.descendants_with_tag(t.root(), "years");
+        assert_eq!(years.len(), 1);
+    }
+
+    #[test]
+    fn child_lookup_by_tag_and_pos() {
+        let t = sample();
+        let p0 = t.children_with_tag(t.root(), "Person")[0];
+        let name = t.child(p0, "name", 0).unwrap();
+        assert_eq!(t.data(name), Some("Alice"));
+        assert!(t.child(p0, "name", 1).is_none());
+    }
+
+    #[test]
+    fn depth_and_height() {
+        let t = sample();
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.height(), 4); // root -> Person -> Friendship -> Friend -> fid
+    }
+
+    #[test]
+    fn data_values_and_tags() {
+        let t = sample();
+        let vals = t.data_values();
+        assert!(vals.contains(&"Alice"));
+        assert!(vals.contains(&"3"));
+        let tags = t.tags();
+        assert!(tags.iter().any(|s| s == "Friendship"));
+    }
+
+    #[test]
+    fn preorder_visits_every_node_once() {
+        let t = sample();
+        let order = t.preorder();
+        assert_eq!(order.len(), t.len());
+        let mut seen = order.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), t.len());
+        assert_eq!(order[0], t.root());
+    }
+
+    #[test]
+    fn validate_detects_bad_pos() {
+        let mut t = sample();
+        // Corrupt a pos on purpose.
+        let persons = t.children_with_tag(t.root(), "Person");
+        t.nodes[persons[1].index()].pos = 7;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn try_node_out_of_range_errors() {
+        let t = sample();
+        assert!(t.try_node(NodeId(9999)).is_err());
+    }
+
+    #[test]
+    fn element_and_leaf_counts() {
+        let t = sample();
+        assert_eq!(t.leaf_count(), 6);
+        assert!(t.element_count() >= 4);
+    }
+}

@@ -1,0 +1,520 @@
+//! From-scratch XML parsing, serialization and the XML→HDT mapping.
+//!
+//! The parser supports the subset of XML needed for data documents: elements,
+//! attributes, text content, character entities (`&lt; &gt; &amp; &quot; &apos;`),
+//! numeric entities, comments, CDATA sections, processing instructions and an XML
+//! declaration.  DTDs and namespaces-as-semantics are out of scope (namespace prefixes
+//! are kept as part of the tag name).
+//!
+//! Per Section 3 of the paper, the HDT mapping turns *attributes and text content into
+//! nested elements*, so that an element with a mix of attributes, text, and nested
+//! elements is representable uniformly.
+
+use crate::error::{HdtError, Result};
+use crate::tree::Hdt;
+use crate::NodeId;
+
+/// A parsed XML element tree (the concrete syntax tree, before HDT conversion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlNode {
+    /// Element name (possibly containing a namespace prefix).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlNode>,
+    /// Concatenated text content directly inside this element (trimmed).
+    pub text: Option<String>,
+}
+
+impl XmlNode {
+    /// Creates an element with the given name and no content.
+    pub fn new(name: impl Into<String>) -> Self {
+        XmlNode {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+            text: None,
+        }
+    }
+
+    /// Total number of elements in this subtree (including `self`).
+    pub fn element_count(&self) -> usize {
+        1 + self.children.iter().map(XmlNode::element_count).sum::<usize>()
+    }
+}
+
+/// A parsed XML document: prolog (if any) plus the root element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlDocument {
+    /// The root element.
+    pub root: XmlNode,
+}
+
+impl XmlDocument {
+    /// Converts the document into a hierarchical data tree (Section 3).
+    ///
+    /// * each element becomes an internal node tagged with the element name;
+    /// * each attribute `a="v"` becomes a leaf child tagged `a` with data `v`;
+    /// * text content becomes a leaf child tagged `text` with the text as data.
+    pub fn to_hdt(&self) -> Hdt {
+        let mut tree = Hdt::with_root(self.root.name.clone());
+        let root = tree.root();
+        Self::fill(&mut tree, root, &self.root);
+        tree
+    }
+
+    fn fill(tree: &mut Hdt, id: NodeId, elem: &XmlNode) {
+        for (k, v) in &elem.attributes {
+            tree.add_child(id, k.clone(), Some(v.clone()));
+        }
+        if let Some(t) = &elem.text {
+            if !t.is_empty() {
+                tree.add_child(id, "text", Some(t.clone()));
+            }
+        }
+        for c in &elem.children {
+            let cid = tree.add_child(id, c.name.clone(), None);
+            Self::fill(tree, cid, c);
+        }
+    }
+
+    /// Serializes the document back to XML text with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        write_element(&self.root, 0, &mut out);
+        out
+    }
+}
+
+/// Parses an XML document from text.
+pub fn parse_xml(input: &str) -> Result<XmlDocument> {
+    let mut p = Parser::new(input);
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if !p.at_end() {
+        return Err(HdtError::parse("trailing content after root element", p.pos));
+    }
+    Ok(XmlDocument { root })
+}
+
+/// Parses an XML document and immediately converts it to an HDT.
+pub fn xml_to_hdt(input: &str) -> Result<Hdt> {
+    Ok(parse_xml(input)?.to_hdt())
+}
+
+fn write_element(e: &XmlNode, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attributes {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape(v));
+        out.push('"');
+    }
+    if e.children.is_empty() && e.text.is_none() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push('>');
+    if let Some(t) = &e.text {
+        out.push_str(&escape(t));
+    }
+    if e.children.is_empty() {
+        out.push_str("</");
+        out.push_str(&e.name);
+        out.push_str(">\n");
+        return;
+    }
+    out.push('\n');
+    for c in &e.children {
+        write_element(c, indent + 1, out);
+    }
+    out.push_str(&pad);
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push_str(">\n");
+}
+
+/// Escapes the five predefined XML entities.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            match self.input[self.pos..].find("?>") {
+                Some(rel) => self.bump(rel + 2),
+                None => return Err(HdtError::parse("unterminated XML declaration", self.pos)),
+            }
+        }
+        self.skip_misc();
+        if self.starts_with("<!DOCTYPE") {
+            // Skip a (non-nested) DOCTYPE declaration.
+            match self.input[self.pos..].find('>') {
+                Some(rel) => self.bump(rel + 1),
+                None => return Err(HdtError::parse("unterminated DOCTYPE", self.pos)),
+            }
+        }
+        self.skip_misc();
+        Ok(())
+    }
+
+    /// Skips whitespace, comments and processing instructions.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                if let Some(rel) = self.input[self.pos..].find("-->") {
+                    self.bump(rel + 3);
+                    continue;
+                }
+                // Unterminated comment: consume the rest; parse_element will then error.
+                self.pos = self.bytes.len();
+                return;
+            }
+            if self.starts_with("<?") {
+                if let Some(rel) = self.input[self.pos..].find("?>") {
+                    self.bump(rel + 2);
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            return;
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(HdtError::parse("expected a name", self.pos));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_element(&mut self) -> Result<XmlNode> {
+        self.skip_misc();
+        if self.peek() != Some(b'<') {
+            return Err(HdtError::parse("expected '<'", self.pos));
+        }
+        self.bump(1);
+        let name = self.parse_name()?;
+        let mut node = XmlNode::new(name.clone());
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    if self.starts_with("/>") {
+                        self.bump(2);
+                        return Ok(node);
+                    }
+                    return Err(HdtError::parse("unexpected '/'", self.pos));
+                }
+                Some(b'>') => {
+                    self.bump(1);
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(HdtError::parse("expected '=' after attribute name", self.pos));
+                    }
+                    self.bump(1);
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if quote != Some(b'"') && quote != Some(b'\'') {
+                        return Err(HdtError::parse("expected quoted attribute value", self.pos));
+                    }
+                    let q = quote.unwrap();
+                    self.bump(1);
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == q {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.at_end() {
+                        return Err(HdtError::parse("unterminated attribute value", start));
+                    }
+                    let raw = &self.input[start..self.pos];
+                    self.bump(1);
+                    node.attributes.push((key, unescape(raw, start)?));
+                }
+                None => return Err(HdtError::parse("unexpected end of input in tag", self.pos)),
+            }
+        }
+        // Content.
+        let mut text = String::new();
+        loop {
+            if self.at_end() {
+                return Err(HdtError::parse(
+                    format!("unexpected end of input inside <{name}>"),
+                    self.pos,
+                ));
+            }
+            if self.starts_with("</") {
+                self.bump(2);
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(HdtError::parse(
+                        format!("mismatched closing tag: expected </{name}>, found </{close}>"),
+                        self.pos,
+                    ));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(HdtError::parse("expected '>' after closing tag name", self.pos));
+                }
+                self.bump(1);
+                break;
+            } else if self.starts_with("<!--") {
+                match self.input[self.pos..].find("-->") {
+                    Some(rel) => self.bump(rel + 3),
+                    None => return Err(HdtError::parse("unterminated comment", self.pos)),
+                }
+            } else if self.starts_with("<![CDATA[") {
+                self.bump(9);
+                match self.input[self.pos..].find("]]>") {
+                    Some(rel) => {
+                        text.push_str(&self.input[self.pos..self.pos + rel]);
+                        self.bump(rel + 3);
+                    }
+                    None => return Err(HdtError::parse("unterminated CDATA section", self.pos)),
+                }
+            } else if self.starts_with("<?") {
+                match self.input[self.pos..].find("?>") {
+                    Some(rel) => self.bump(rel + 2),
+                    None => return Err(HdtError::parse("unterminated processing instruction", self.pos)),
+                }
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                node.children.push(child);
+            } else {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                text.push_str(&unescape(&self.input[start..self.pos], start)?);
+            }
+        }
+        let trimmed = text.trim();
+        if !trimmed.is_empty() {
+            node.text = Some(trimmed.to_string());
+        }
+        Ok(node)
+    }
+}
+
+/// Resolves XML character and entity references inside `raw`.
+fn unescape(raw: &str, offset: usize) -> Result<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| HdtError::parse("unterminated entity reference", offset))?;
+        let entity = &rest[1..end];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let cp = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| HdtError::parse(format!("bad numeric entity &{entity};"), offset))?;
+                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+            }
+            _ if entity.starts_with('#') => {
+                let cp: u32 = entity[1..]
+                    .parse()
+                    .map_err(|_| HdtError::parse(format!("bad numeric entity &{entity};"), offset))?;
+                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+            }
+            other => {
+                return Err(HdtError::parse(format!("unknown entity &{other};"), offset));
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOCIAL: &str = r#"<?xml version="1.0"?>
+<root>
+  <Person id="1">
+    <name>Alice</name>
+    <Friendship>
+      <Friend fid="2" years="3"/>
+    </Friendship>
+  </Person>
+  <Person id="2">
+    <name>Bob</name>
+  </Person>
+</root>"#;
+
+    #[test]
+    fn parses_elements_attributes_text() {
+        let doc = parse_xml(SOCIAL).unwrap();
+        assert_eq!(doc.root.name, "root");
+        assert_eq!(doc.root.children.len(), 2);
+        let p0 = &doc.root.children[0];
+        assert_eq!(p0.attributes, vec![("id".to_string(), "1".to_string())]);
+        assert_eq!(p0.children[0].text.as_deref(), Some("Alice"));
+    }
+
+    #[test]
+    fn hdt_mapping_turns_attributes_into_leaves() {
+        let tree = xml_to_hdt(SOCIAL).unwrap();
+        tree.validate().unwrap();
+        let persons = tree.children_with_tag(tree.root(), "Person");
+        assert_eq!(persons.len(), 2);
+        let id_leaf = tree.child(persons[0], "id", 0).unwrap();
+        assert_eq!(tree.data(id_leaf), Some("1"));
+        // text content of <name> becomes a `text` leaf under the name node
+        let name = tree.child(persons[0], "name", 0).unwrap();
+        let text = tree.child(name, "text", 0).unwrap();
+        assert_eq!(tree.data(text), Some("Alice"));
+    }
+
+    #[test]
+    fn self_closing_and_empty_elements() {
+        let doc = parse_xml("<a><b/><c></c></a>").unwrap();
+        assert_eq!(doc.root.children.len(), 2);
+        assert!(doc.root.children[0].children.is_empty());
+        assert!(doc.root.children[1].text.is_none());
+    }
+
+    #[test]
+    fn entity_unescaping() {
+        let doc = parse_xml("<a t=\"x &amp; y\">1 &lt; 2 &#65;</a>").unwrap();
+        assert_eq!(doc.root.attributes[0].1, "x & y");
+        assert_eq!(doc.root.text.as_deref(), Some("1 < 2 A"));
+    }
+
+    #[test]
+    fn cdata_and_comments_are_handled() {
+        let doc = parse_xml("<a><!-- hi --><![CDATA[<raw>&]]></a>").unwrap();
+        assert_eq!(doc.root.text.as_deref(), Some("<raw>&"));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(parse_xml("<a><b></a></b>").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        assert!(parse_xml("<a>&nope;</a>").is_err());
+    }
+
+    #[test]
+    fn doctype_and_pi_are_skipped() {
+        let doc = parse_xml("<?xml version=\"1.0\"?><!DOCTYPE root><?pi data?><root><x>1</x></root>").unwrap();
+        assert_eq!(doc.root.children.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_pretty_printer() {
+        let doc = parse_xml(SOCIAL).unwrap();
+        let text = doc.to_string_pretty();
+        let doc2 = parse_xml(&text).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn escape_escapes_all_specials() {
+        assert_eq!(escape("<&>\"'"), "&lt;&amp;&gt;&quot;&apos;");
+    }
+
+    #[test]
+    fn element_count_counts_subtree() {
+        let doc = parse_xml(SOCIAL).unwrap();
+        assert_eq!(doc.root.element_count(), 7);
+    }
+}

@@ -1,0 +1,356 @@
+//! A small in-memory relational database substrate.
+//!
+//! The migration engine needs somewhere to put the rows it produces and a way to check
+//! primary/foreign-key constraints, count rows per table (the `#Rows` statistic of
+//! Table 2), and dump the result.  This module provides exactly that: a map from table
+//! name to a [`Table`] of typed values governed by a [`Schema`].
+
+use crate::schema::{Schema, TableSchema};
+use mitra_dsl::{Row, Table, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// An in-memory relational database: a schema plus one value table per schema table.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// The schema this database conforms to.
+    pub schema: Schema,
+    tables: HashMap<String, Table>,
+}
+
+/// Constraint violations detected by [`Database::check_constraints`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintViolation {
+    /// Two rows share the same primary key in the named table.
+    DuplicatePrimaryKey {
+        /// Table with the duplicate key.
+        table: String,
+        /// The rendered key values.
+        key: Vec<String>,
+    },
+    /// A primary key column holds NULL.
+    NullInPrimaryKey {
+        /// Table with the NULL key.
+        table: String,
+    },
+    /// A foreign key references a key that does not exist in the referenced table.
+    DanglingForeignKey {
+        /// The referencing table.
+        table: String,
+        /// The referenced table.
+        referenced_table: String,
+        /// The rendered key values that failed to resolve.
+        key: Vec<String>,
+    },
+    /// A row has the wrong number of columns for its table.
+    ArityMismatch {
+        /// Offending table.
+        table: String,
+    },
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintViolation::DuplicatePrimaryKey { table, key } => {
+                write!(f, "duplicate primary key {key:?} in table {table}")
+            }
+            ConstraintViolation::NullInPrimaryKey { table } => {
+                write!(f, "NULL primary key value in table {table}")
+            }
+            ConstraintViolation::DanglingForeignKey {
+                table,
+                referenced_table,
+                key,
+            } => write!(
+                f,
+                "foreign key {key:?} in {table} has no match in {referenced_table}"
+            ),
+            ConstraintViolation::ArityMismatch { table } => {
+                write!(f, "row arity mismatch in table {table}")
+            }
+        }
+    }
+}
+
+impl Database {
+    /// Creates an empty database for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let tables = schema
+            .tables
+            .iter()
+            .map(|t| (t.name.clone(), Table::new(t.column_names())))
+            .collect();
+        Database { schema, tables }
+    }
+
+    /// The populated table with the given name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Inserts a row into a table.  Returns false when the table does not exist or the
+    /// row arity does not match the schema.
+    pub fn insert(&mut self, table: &str, row: Row) -> bool {
+        let Some(schema) = self.schema.table(table) else {
+            return false;
+        };
+        if row.len() != schema.arity() {
+            return false;
+        }
+        self.tables
+            .get_mut(table)
+            .map(|t| t.rows.push(row))
+            .is_some()
+    }
+
+    /// Replaces the entire contents of a table.
+    pub fn set_table(&mut self, table: &str, rows: Table) -> bool {
+        let Some(schema) = self.schema.table(table) else {
+            return false;
+        };
+        if rows.rows.iter().any(|r| r.len() != schema.arity()) {
+            return false;
+        }
+        let mut named = Table::new(schema.column_names());
+        named.rows = rows.rows;
+        self.tables.insert(table.to_string(), named);
+        true
+    }
+
+    /// Number of rows in one table.
+    pub fn row_count(&self, table: &str) -> usize {
+        self.tables.get(table).map(Table::len).unwrap_or(0)
+    }
+
+    /// Total number of rows across all tables (the `#Rows` statistic of Table 2).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Checks all primary- and foreign-key constraints, returning every violation.
+    pub fn check_constraints(&self) -> Vec<ConstraintViolation> {
+        let mut violations = Vec::new();
+        for ts in &self.schema.tables {
+            let Some(table) = self.tables.get(&ts.name) else {
+                continue;
+            };
+            // Arity.
+            if table.rows.iter().any(|r| r.len() != ts.arity()) {
+                violations.push(ConstraintViolation::ArityMismatch {
+                    table: ts.name.clone(),
+                });
+                continue;
+            }
+            // Primary key uniqueness / non-null.
+            if !ts.primary_key.is_empty() {
+                let idx: Vec<usize> = ts
+                    .primary_key
+                    .iter()
+                    .filter_map(|c| ts.column_index(c))
+                    .collect();
+                let mut seen: HashSet<Vec<String>> = HashSet::with_capacity(table.len());
+                for row in &table.rows {
+                    let key: Vec<String> = idx.iter().map(|&i| row[i].render()).collect();
+                    if idx.iter().any(|&i| row[i].is_null()) {
+                        violations.push(ConstraintViolation::NullInPrimaryKey {
+                            table: ts.name.clone(),
+                        });
+                    }
+                    if !seen.insert(key.clone()) {
+                        violations.push(ConstraintViolation::DuplicatePrimaryKey {
+                            table: ts.name.clone(),
+                            key,
+                        });
+                    }
+                }
+            }
+            // Foreign keys.
+            for fk in &ts.foreign_keys {
+                let Some(ref_schema) = self.schema.table(&fk.referenced_table) else {
+                    continue;
+                };
+                let Some(ref_table) = self.tables.get(&fk.referenced_table) else {
+                    continue;
+                };
+                let ref_idx: Vec<usize> = fk
+                    .referenced_columns
+                    .iter()
+                    .filter_map(|c| ref_schema.column_index(c))
+                    .collect();
+                let referenced_keys: HashSet<Vec<String>> = ref_table
+                    .rows
+                    .iter()
+                    .map(|r| ref_idx.iter().map(|&i| r[i].render()).collect())
+                    .collect();
+                let idx: Vec<usize> = fk
+                    .columns
+                    .iter()
+                    .filter_map(|c| ts.column_index(c))
+                    .collect();
+                for row in &table.rows {
+                    let key: Vec<String> = idx.iter().map(|&i| row[i].render()).collect();
+                    // NULL foreign keys are allowed (no reference).
+                    if idx.iter().any(|&i| row[i].is_null()) {
+                        continue;
+                    }
+                    if !referenced_keys.contains(&key) {
+                        violations.push(ConstraintViolation::DanglingForeignKey {
+                            table: ts.name.clone(),
+                            referenced_table: fk.referenced_table.clone(),
+                            key,
+                        });
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    /// Simple scan query: rows of `table` where column `column` equals `value`.
+    pub fn select_where(&self, table: &str, column: &str, value: &Value) -> Vec<Row> {
+        let Some(ts) = self.schema.table(table) else {
+            return Vec::new();
+        };
+        let Some(idx) = ts.column_index(column) else {
+            return Vec::new();
+        };
+        self.tables
+            .get(table)
+            .map(|t| {
+                t.rows
+                    .iter()
+                    .filter(|r| &r[idx] == value)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Looks up a single row by primary key.
+    pub fn lookup(&self, table: &str, key: &[Value]) -> Option<&Row> {
+        let ts = self.schema.table(table)?;
+        let idx: Vec<usize> = ts
+            .primary_key
+            .iter()
+            .filter_map(|c| ts.column_index(c))
+            .collect();
+        if idx.len() != key.len() {
+            return None;
+        }
+        self.tables.get(table)?.rows.iter().find(|r| {
+            idx.iter()
+                .zip(key)
+                .all(|(&i, v)| &r[i] == v)
+        })
+    }
+
+    /// Helper to fetch a table's schema.
+    pub fn table_schema(&self, name: &str) -> Option<&TableSchema> {
+        self.schema.table(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema, TableSchema};
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with_table(
+                TableSchema::new("person", vec![Column::integer("pid"), Column::text("name")])
+                    .with_primary_key(&["pid"]),
+            )
+            .with_table(
+                TableSchema::new(
+                    "friendship",
+                    vec![Column::integer("pid"), Column::integer("fid")],
+                )
+                .with_primary_key(&["pid", "fid"])
+                .with_foreign_key(&["pid"], "person", &["pid"])
+                .with_foreign_key(&["fid"], "person", &["pid"]),
+            )
+    }
+
+    fn populated() -> Database {
+        let mut db = Database::new(schema());
+        db.insert("person", vec![Value::int(1), Value::str("Alice")]);
+        db.insert("person", vec![Value::int(2), Value::str("Bob")]);
+        db.insert("friendship", vec![Value::int(1), Value::int(2)]);
+        db
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let db = populated();
+        assert_eq!(db.row_count("person"), 2);
+        assert_eq!(db.total_rows(), 3);
+        assert!(db.table("person").is_some());
+    }
+
+    #[test]
+    fn insert_rejects_bad_arity_and_unknown_table() {
+        let mut db = Database::new(schema());
+        assert!(!db.insert("person", vec![Value::int(1)]));
+        assert!(!db.insert("nope", vec![Value::int(1)]));
+    }
+
+    #[test]
+    fn constraints_hold_for_consistent_data() {
+        assert!(populated().check_constraints().is_empty());
+    }
+
+    #[test]
+    fn duplicate_primary_key_detected() {
+        let mut db = populated();
+        db.insert("person", vec![Value::int(1), Value::str("Clone")]);
+        let v = db.check_constraints();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ConstraintViolation::DuplicatePrimaryKey { table, .. } if table == "person")));
+    }
+
+    #[test]
+    fn dangling_foreign_key_detected() {
+        let mut db = populated();
+        db.insert("friendship", vec![Value::int(1), Value::int(99)]);
+        let v = db.check_constraints();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ConstraintViolation::DanglingForeignKey { referenced_table, .. } if referenced_table == "person")));
+    }
+
+    #[test]
+    fn null_primary_key_detected() {
+        let mut db = populated();
+        db.insert("person", vec![Value::Null, Value::str("Ghost")]);
+        let v = db.check_constraints();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ConstraintViolation::NullInPrimaryKey { table } if table == "person")));
+    }
+
+    #[test]
+    fn select_and_lookup() {
+        let db = populated();
+        let rows = db.select_where("person", "name", &Value::str("Alice"));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::int(1));
+        assert!(db.lookup("person", &[Value::int(2)]).is_some());
+        assert!(db.lookup("person", &[Value::int(42)]).is_none());
+    }
+
+    #[test]
+    fn set_table_replaces_contents() {
+        let mut db = populated();
+        let mut t = Table::new(vec!["pid".into(), "name".into()]);
+        t.push(vec![Value::int(7), Value::str("Grace")]);
+        assert!(db.set_table("person", t));
+        assert_eq!(db.row_count("person"), 1);
+        // Arity mismatch rejected.
+        let mut bad = Table::new(vec!["pid".into()]);
+        bad.push(vec![Value::int(7)]);
+        assert!(!db.set_table("person", bad));
+    }
+}

@@ -1,0 +1,324 @@
+//! Abstract syntax of the supported SQL subset.
+
+use mitra_dsl::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The projection list.
+    pub select: Vec<SelectItem>,
+    /// The driving table.
+    pub from: TableRef,
+    /// Inner joins applied left to right.
+    pub joins: Vec<Join>,
+    /// Optional filter applied after the joins.
+    pub where_clause: Option<Expr>,
+    /// Grouping columns (empty means no `GROUP BY`).
+    pub group_by: Vec<ColumnRef>,
+    /// Ordering keys applied to the final rows.
+    pub order_by: Vec<OrderKey>,
+    /// Optional row-count cap.
+    pub limit: Option<usize>,
+}
+
+/// One entry of the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every column of every joined table, in join order.
+    Wildcard,
+    /// A plain column reference.
+    Column(ColumnRef),
+    /// An aggregate over a column (or `COUNT(*)`).
+    Aggregate {
+        /// The aggregate function.
+        function: Aggregate,
+        /// The aggregated column; `None` only for `COUNT(*)`.
+        column: Option<ColumnRef>,
+    },
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Row count (ignores NULLs when applied to a column).
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric average.
+    Avg,
+    /// Minimum under [`Value::compare`].
+    Min,
+    /// Maximum under [`Value::compare`].
+    Max,
+}
+
+impl Aggregate {
+    /// SQL spelling of the function, used when naming output columns.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            Aggregate::Count => "COUNT",
+            Aggregate::Sum => "SUM",
+            Aggregate::Avg => "AVG",
+            Aggregate::Min => "MIN",
+            Aggregate::Max => "MAX",
+        }
+    }
+}
+
+/// A possibly table-qualified column name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table name or alias, when written as `table.column`.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified column reference.
+    pub fn unqualified(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// A `table.column` reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A table in the `FROM` clause, with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Name of the table in the database schema.
+    pub name: String,
+    /// Alias used to qualify columns; defaults to the table name.
+    pub alias: String,
+}
+
+impl TableRef {
+    /// A table reference without an explicit alias.
+    pub fn named(name: impl Into<String>) -> Self {
+        let name = name.into();
+        TableRef {
+            alias: name.clone(),
+            name,
+        }
+    }
+
+    /// A table reference with an alias.
+    pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef {
+            name: name.into(),
+            alias: alias.into(),
+        }
+    }
+}
+
+/// One `JOIN table ON condition` clause (inner join).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// The joined table.
+    pub table: TableRef,
+    /// The join condition.
+    pub on: Expr,
+}
+
+/// An `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    /// The ordering column.
+    pub column: ColumnRef,
+    /// True for descending order.
+    pub descending: bool,
+}
+
+/// Comparison operators usable in `WHERE` and `ON` clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComparisonOp {
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl ComparisonOp {
+    /// Evaluates the operator against a comparison result; `None` (incomparable, e.g.
+    /// anything against NULL) makes every operator false, matching SQL's three-valued
+    /// logic collapsed to false.
+    pub fn test(self, ordering: Option<Ordering>) -> bool {
+        let Some(ord) = ordering else { return false };
+        match self {
+            ComparisonOp::Eq => ord == Ordering::Equal,
+            ComparisonOp::Ne => ord != Ordering::Equal,
+            ComparisonOp::Lt => ord == Ordering::Less,
+            ComparisonOp::Le => ord != Ordering::Greater,
+            ComparisonOp::Gt => ord == Ordering::Greater,
+            ComparisonOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Boolean / scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A literal value.
+    Literal(Value),
+    /// A binary comparison.
+    Comparison {
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Operator.
+        op: ComparisonOp,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `expr IS NULL` (or `IS NOT NULL` when `negated`).
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for `lhs op rhs`.
+    pub fn comparison(lhs: Expr, op: ComparisonOp, rhs: Expr) -> Expr {
+        Expr::Comparison {
+            lhs: Box::new(lhs),
+            op,
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Collects every column referenced anywhere in the expression.
+    pub fn referenced_columns(&self) -> Vec<&ColumnRef> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a ColumnRef>) {
+        match self {
+            Expr::Column(c) => out.push(c),
+            Expr::Literal(_) => {}
+            Expr::Comparison { lhs, rhs, .. } => {
+                lhs.collect_columns(out);
+                rhs.collect_columns(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(e) => e.collect_columns(out),
+            Expr::IsNull { expr, .. } => expr.collect_columns(out),
+        }
+    }
+
+    /// Splits a conjunction into its conjuncts (`a AND b AND c` → `[a, b, c]`).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::And(a, b) => {
+                let mut out = a.conjuncts();
+                out.extend(b.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_op_truth_table() {
+        assert!(ComparisonOp::Eq.test(Some(Ordering::Equal)));
+        assert!(!ComparisonOp::Eq.test(Some(Ordering::Less)));
+        assert!(ComparisonOp::Le.test(Some(Ordering::Equal)));
+        assert!(ComparisonOp::Ne.test(Some(Ordering::Greater)));
+        // NULL-ish comparisons are false for every operator.
+        for op in [
+            ComparisonOp::Eq,
+            ComparisonOp::Ne,
+            ComparisonOp::Lt,
+            ComparisonOp::Le,
+            ComparisonOp::Gt,
+            ComparisonOp::Ge,
+        ] {
+            assert!(!op.test(None));
+        }
+    }
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let a = Expr::Literal(Value::Bool(true));
+        let b = Expr::Literal(Value::Bool(false));
+        let c = Expr::Literal(Value::Null);
+        let e = Expr::And(
+            Box::new(Expr::And(Box::new(a.clone()), Box::new(b.clone()))),
+            Box::new(c.clone()),
+        );
+        assert_eq!(e.conjuncts(), vec![&a, &b, &c]);
+        assert_eq!(a.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn referenced_columns_walks_the_whole_tree() {
+        let e = Expr::Or(
+            Box::new(Expr::comparison(
+                Expr::Column(ColumnRef::qualified("t", "a")),
+                ComparisonOp::Lt,
+                Expr::Literal(Value::int(3)),
+            )),
+            Box::new(Expr::IsNull {
+                expr: Box::new(Expr::Column(ColumnRef::unqualified("b"))),
+                negated: true,
+            }),
+        );
+        let cols = e.referenced_columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].to_string(), "t.a");
+        assert_eq!(cols[1].to_string(), "b");
+    }
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::unqualified("x").to_string(), "x");
+        assert_eq!(ColumnRef::qualified("t", "x").to_string(), "t.x");
+    }
+}

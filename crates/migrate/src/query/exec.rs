@@ -1,0 +1,635 @@
+//! Execution of parsed queries against the in-memory database.
+//!
+//! The pipeline is: bind tables → join (hash join for equality conditions, filtered
+//! nested loop otherwise) → filter → group/aggregate → order → limit → project.
+
+use super::ast::{
+    Aggregate, ColumnRef, ComparisonOp, Expr, Join, Query, SelectItem, TableRef,
+};
+use super::QueryError;
+use crate::Database;
+use mitra_dsl::{Row, Table, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Executes a parsed query against the database.
+pub fn execute_query(db: &Database, query: &Query) -> Result<Table, QueryError> {
+    // Bind the FROM table and all joined tables to their rows and column layout.
+    let mut working = BoundRows::from_table(db, &query.from)?;
+    for join in &query.joins {
+        working = working.join(db, join)?;
+    }
+
+    // WHERE.
+    if let Some(filter) = &query.where_clause {
+        working.rows.retain(|row| {
+            evaluate_predicate(filter, &working.layout, row).unwrap_or(false)
+        });
+        // Surface binding errors (unknown/ambiguous columns) even if the table is
+        // empty: evaluate once against a row of NULLs.
+        if working.rows.is_empty() {
+            let probe: Row = vec![Value::Null; working.layout.width()];
+            evaluate_predicate(filter, &working.layout, &probe)?;
+        }
+    }
+
+    // GROUP BY / aggregation / projection.
+    let mut result = project(query, &working)?;
+
+    // ORDER BY over the projected result (by output column name) falling back to the
+    // pre-projection layout when the key is not part of the projection.
+    if !query.order_by.is_empty() {
+        order_rows(query, &working, &mut result)?;
+    }
+
+    if let Some(limit) = query.limit {
+        result.rows.truncate(limit);
+    }
+    Ok(result)
+}
+
+/// The column layout of an intermediate row: one entry per column, carrying the table
+/// alias and the column name.
+#[derive(Debug, Clone)]
+struct Layout {
+    columns: Vec<(String, String)>,
+}
+
+impl Layout {
+    fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Resolves a column reference to an index in the row.
+    fn resolve(&self, column: &ColumnRef) -> Result<usize, QueryError> {
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, (alias, name))| {
+                name == &column.column
+                    && column.table.as_ref().is_none_or(|t| t == alias)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [] => Err(QueryError::UnknownColumn(column.to_string())),
+            [i] => Ok(*i),
+            _ => Err(QueryError::AmbiguousColumn(column.to_string())),
+        }
+    }
+}
+
+/// A set of intermediate rows plus the layout describing their columns.
+struct BoundRows {
+    layout: Layout,
+    rows: Vec<Row>,
+}
+
+impl BoundRows {
+    /// Binds a base table.
+    fn from_table(db: &Database, table_ref: &TableRef) -> Result<Self, QueryError> {
+        let table = db
+            .table(&table_ref.name)
+            .ok_or_else(|| QueryError::UnknownTable(table_ref.name.clone()))?;
+        let layout = Layout {
+            columns: table
+                .columns
+                .iter()
+                .map(|c| (table_ref.alias.clone(), c.clone()))
+                .collect(),
+        };
+        Ok(BoundRows {
+            layout,
+            rows: table.rows.clone(),
+        })
+    }
+
+    /// Inner-joins `self` with the join's table.
+    fn join(self, db: &Database, join: &Join) -> Result<Self, QueryError> {
+        let right = BoundRows::from_table(db, &join.table)?;
+        let combined_layout = Layout {
+            columns: self
+                .layout
+                .columns
+                .iter()
+                .chain(right.layout.columns.iter())
+                .cloned()
+                .collect(),
+        };
+
+        // Fast path: a single equality conjunct with one side in each input can be
+        // executed as a hash join.
+        if let Some((left_idx, right_idx, residual)) =
+            equi_join_key(&join.on, &self.layout, &right.layout)
+        {
+            let mut index: HashMap<String, Vec<&Row>> = HashMap::new();
+            for row in &right.rows {
+                index
+                    .entry(row[right_idx].render())
+                    .or_default()
+                    .push(row);
+            }
+            let mut rows = Vec::new();
+            for left_row in &self.rows {
+                let key = left_row[left_idx].render();
+                if left_row[left_idx].is_null() {
+                    continue;
+                }
+                let Some(matches) = index.get(&key) else { continue };
+                for right_row in matches {
+                    let mut combined = left_row.clone();
+                    combined.extend_from_slice(right_row);
+                    let keep = match &residual {
+                        Some(expr) => {
+                            evaluate_predicate(expr, &combined_layout, &combined).unwrap_or(false)
+                        }
+                        None => true,
+                    };
+                    if keep {
+                        rows.push(combined);
+                    }
+                }
+            }
+            return Ok(BoundRows {
+                layout: combined_layout,
+                rows,
+            });
+        }
+
+        // General case: filtered nested-loop join.
+        let mut rows = Vec::new();
+        for left_row in &self.rows {
+            for right_row in &right.rows {
+                let mut combined = left_row.clone();
+                combined.extend_from_slice(right_row);
+                if evaluate_predicate(&join.on, &combined_layout, &combined).unwrap_or(false) {
+                    rows.push(combined);
+                }
+            }
+        }
+        // Surface binding errors even when one side is empty.
+        if rows.is_empty() {
+            let probe: Row = vec![Value::Null; combined_layout.width()];
+            evaluate_predicate(&join.on, &combined_layout, &probe)?;
+        }
+        Ok(BoundRows {
+            layout: combined_layout,
+            rows,
+        })
+    }
+}
+
+/// If the ON condition contains an equality between a left-side column and a
+/// right-side column, returns `(left index, right index within the right layout,
+/// residual condition)`.
+fn equi_join_key(
+    on: &Expr,
+    left: &Layout,
+    right: &Layout,
+) -> Option<(usize, usize, Option<Expr>)> {
+    let conjuncts = on.conjuncts();
+    for (i, conjunct) in conjuncts.iter().enumerate() {
+        let Expr::Comparison {
+            lhs,
+            op: ComparisonOp::Eq,
+            rhs,
+        } = conjunct
+        else {
+            continue;
+        };
+        let (Expr::Column(a), Expr::Column(b)) = (lhs.as_ref(), rhs.as_ref()) else {
+            continue;
+        };
+        let pair = match (left.resolve(a), right.resolve(b)) {
+            (Ok(l), Ok(r)) => Some((l, r)),
+            _ => match (left.resolve(b), right.resolve(a)) {
+                (Ok(l), Ok(r)) => Some((l, r)),
+                _ => None,
+            },
+        };
+        let Some((left_idx, right_idx)) = pair else { continue };
+        // Everything except this conjunct becomes the residual filter.
+        let residual = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, e)| (*e).clone())
+            .reduce(|a, b| Expr::And(Box::new(a), Box::new(b)));
+        return Some((left_idx, right_idx, residual));
+    }
+    None
+}
+
+/// Evaluates a boolean expression against one row.
+fn evaluate_predicate(expr: &Expr, layout: &Layout, row: &Row) -> Result<bool, QueryError> {
+    match expr {
+        Expr::Comparison { lhs, op, rhs } => {
+            let l = evaluate_scalar(lhs, layout, row)?;
+            let r = evaluate_scalar(rhs, layout, row)?;
+            Ok(op.test(l.compare(&r)))
+        }
+        // Both sides are always evaluated so binding errors (unknown or ambiguous
+        // columns) are never masked by short-circuiting.
+        Expr::And(a, b) => {
+            let left = evaluate_predicate(a, layout, row)?;
+            let right = evaluate_predicate(b, layout, row)?;
+            Ok(left && right)
+        }
+        Expr::Or(a, b) => {
+            let left = evaluate_predicate(a, layout, row)?;
+            let right = evaluate_predicate(b, layout, row)?;
+            Ok(left || right)
+        }
+        Expr::Not(e) => Ok(!evaluate_predicate(e, layout, row)?),
+        Expr::IsNull { expr, negated } => {
+            let v = evaluate_scalar(expr, layout, row)?;
+            Ok(v.is_null() != *negated)
+        }
+        // A bare column or literal used in boolean position: truthy when a boolean
+        // true, non-zero number, or non-empty string.
+        other => {
+            let v = evaluate_scalar(other, layout, row)?;
+            Ok(match v {
+                Value::Bool(b) => b,
+                Value::Null => false,
+                Value::Int(i) => i != 0,
+                Value::Float(f) => f != 0.0,
+                Value::Str(s) => !s.is_empty(),
+            })
+        }
+    }
+}
+
+/// Evaluates a scalar expression against one row.
+fn evaluate_scalar(expr: &Expr, layout: &Layout, row: &Row) -> Result<Value, QueryError> {
+    match expr {
+        Expr::Column(c) => Ok(row[layout.resolve(c)?].clone()),
+        Expr::Literal(v) => Ok(v.clone()),
+        other => {
+            // Nested boolean expressions used as scalars evaluate to a boolean value.
+            Ok(Value::Bool(evaluate_predicate(other, layout, row)?))
+        }
+    }
+}
+
+/// Applies GROUP BY / aggregation / plain projection and names the output columns.
+fn project(query: &Query, working: &BoundRows) -> Result<Table, QueryError> {
+    let has_aggregate = query
+        .select
+        .iter()
+        .any(|item| matches!(item, SelectItem::Aggregate { .. }));
+
+    if !has_aggregate && query.group_by.is_empty() {
+        return project_plain(query, working);
+    }
+
+    // Aggregation path: plain columns in the projection must be GROUP BY columns.
+    for item in &query.select {
+        if let SelectItem::Column(c) = item {
+            let in_group = query
+                .group_by
+                .iter()
+                .any(|g| g.column == c.column && (g.table.is_none() || g.table == c.table));
+            if !in_group {
+                return Err(QueryError::InvalidAggregation(format!(
+                    "column `{c}` must appear in GROUP BY or inside an aggregate"
+                )));
+            }
+        }
+        if matches!(item, SelectItem::Wildcard) {
+            return Err(QueryError::InvalidAggregation(
+                "`*` cannot be combined with aggregates".into(),
+            ));
+        }
+    }
+
+    let group_indices: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|c| working.layout.resolve(c))
+        .collect::<Result<_, _>>()?;
+
+    // Group rows by the rendered grouping key (insertion order preserved).
+    let mut group_order: Vec<Vec<String>> = Vec::new();
+    let mut groups: HashMap<Vec<String>, Vec<&Row>> = HashMap::new();
+    for row in &working.rows {
+        let key: Vec<String> = group_indices.iter().map(|&i| row[i].render()).collect();
+        if !groups.contains_key(&key) {
+            group_order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(row);
+    }
+    // A global aggregate over an empty input still produces one row.
+    if groups.is_empty() && group_indices.is_empty() {
+        group_order.push(Vec::new());
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    let columns = output_column_names(query);
+    let mut table = Table::new(columns);
+    for key in group_order {
+        let rows = &groups[&key];
+        let mut out_row = Vec::with_capacity(query.select.len());
+        for item in &query.select {
+            match item {
+                SelectItem::Column(c) => {
+                    let idx = working.layout.resolve(c)?;
+                    let value = rows
+                        .first()
+                        .map(|r| r[idx].clone())
+                        .unwrap_or(Value::Null);
+                    out_row.push(value);
+                }
+                SelectItem::Aggregate { function, column } => {
+                    out_row.push(compute_aggregate(*function, column.as_ref(), rows, &working.layout)?);
+                }
+                SelectItem::Wildcard => unreachable!("rejected above"),
+            }
+        }
+        table.push(out_row);
+    }
+    Ok(table)
+}
+
+/// Projection without aggregation.
+fn project_plain(query: &Query, working: &BoundRows) -> Result<Table, QueryError> {
+    let mut indices: Vec<usize> = Vec::new();
+    let mut columns: Vec<String> = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, (_, name)) in working.layout.columns.iter().enumerate() {
+                    indices.push(i);
+                    columns.push(name.clone());
+                }
+            }
+            SelectItem::Column(c) => {
+                indices.push(working.layout.resolve(c)?);
+                columns.push(c.column.clone());
+            }
+            SelectItem::Aggregate { .. } => unreachable!("handled by the aggregate path"),
+        }
+    }
+    let mut table = Table::new(columns);
+    for row in &working.rows {
+        table.push(indices.iter().map(|&i| row[i].clone()).collect());
+    }
+    Ok(table)
+}
+
+/// Names for the output columns of an aggregate projection.
+fn output_column_names(query: &Query) -> Vec<String> {
+    query
+        .select
+        .iter()
+        .map(|item| match item {
+            SelectItem::Wildcard => "*".to_string(),
+            SelectItem::Column(c) => c.column.clone(),
+            SelectItem::Aggregate { function, column } => match column {
+                Some(c) => format!("{}({})", function.sql_name(), c),
+                None => format!("{}(*)", function.sql_name()),
+            },
+        })
+        .collect()
+}
+
+/// Computes one aggregate over the rows of a group.
+fn compute_aggregate(
+    function: Aggregate,
+    column: Option<&ColumnRef>,
+    rows: &[&Row],
+    layout: &Layout,
+) -> Result<Value, QueryError> {
+    // COUNT(*) needs no column; every other aggregate does.
+    let values: Vec<Value> = match column {
+        None => return Ok(Value::Int(rows.len() as i64)),
+        Some(c) => {
+            let idx = layout.resolve(c)?;
+            rows.iter()
+                .map(|r| r[idx].clone())
+                .filter(|v| !v.is_null())
+                .collect()
+        }
+    };
+    let result = match function {
+        Aggregate::Count => Value::Int(values.len() as i64),
+        Aggregate::Sum | Aggregate::Avg => {
+            let numbers: Vec<f64> = values.iter().filter_map(Value::as_number).collect();
+            if numbers.is_empty() {
+                Value::Null
+            } else {
+                let sum: f64 = numbers.iter().sum();
+                match function {
+                    Aggregate::Sum => float_value(sum),
+                    _ => float_value(sum / numbers.len() as f64),
+                }
+            }
+        }
+        Aggregate::Min => extremum(&values, Ordering::Less),
+        Aggregate::Max => extremum(&values, Ordering::Greater),
+    };
+    Ok(result)
+}
+
+/// Wraps a float, collapsing integral results to `Value::Int`.
+fn float_value(f: f64) -> Value {
+    if f.fract() == 0.0 && f.abs() < 1e15 {
+        Value::Int(f as i64)
+    } else {
+        Value::Float(f)
+    }
+}
+
+fn extremum(values: &[Value], keep: Ordering) -> Value {
+    let mut best: Option<&Value> = None;
+    for v in values {
+        match best {
+            None => best = Some(v),
+            Some(b) => {
+                if v.compare(b) == Some(keep) {
+                    best = Some(v);
+                }
+            }
+        }
+    }
+    best.cloned().unwrap_or(Value::Null)
+}
+
+/// Sorts the projected rows by the ORDER BY keys.
+fn order_rows(query: &Query, working: &BoundRows, result: &mut Table) -> Result<(), QueryError> {
+    // Each key resolves either to an output column (by name) or, when the query has no
+    // aggregation, to a pre-projection column evaluated per original row.  For
+    // simplicity and predictability we require ORDER BY keys to be present in the
+    // output when aggregating.
+    let mut key_indices = Vec::with_capacity(query.order_by.len());
+    for key in &query.order_by {
+        let by_output = result
+            .columns
+            .iter()
+            .position(|c| c == &key.column.column || c == &key.column.to_string());
+        match by_output {
+            Some(i) => key_indices.push((i, key.descending)),
+            None => {
+                if query.group_by.is_empty()
+                    && !query
+                        .select
+                        .iter()
+                        .any(|s| matches!(s, SelectItem::Aggregate { .. }))
+                {
+                    // Re-project the key column: append it temporarily.
+                    let idx = working.layout.resolve(&key.column)?;
+                    let n = result.columns.len();
+                    result.columns.push(format!("__order_{n}"));
+                    for (row, source) in result.rows.iter_mut().zip(working.rows.iter()) {
+                        row.push(source[idx].clone());
+                    }
+                    key_indices.push((n, key.descending));
+                } else {
+                    return Err(QueryError::UnknownColumn(format!(
+                        "ORDER BY column `{}` is not in the projection",
+                        key.column
+                    )));
+                }
+            }
+        }
+    }
+
+    result.rows.sort_by(|a, b| {
+        for &(idx, descending) in &key_indices {
+            let ord = a[idx]
+                .compare(&b[idx])
+                .unwrap_or(Ordering::Equal);
+            let ord = if descending { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+
+    // Drop temporary ordering columns.
+    let visible = result
+        .columns
+        .iter()
+        .filter(|c| !c.starts_with("__order_"))
+        .count();
+    if visible != result.columns.len() {
+        result.columns.truncate(visible);
+        for row in &mut result.rows {
+            row.truncate(visible);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Column, Schema, TableSchema};
+
+    fn tiny_db() -> Database {
+        let schema = Schema::new()
+            .with_table(TableSchema::new(
+                "t",
+                vec![Column::integer("a"), Column::text("b")],
+            ))
+            .with_table(TableSchema::new(
+                "u",
+                vec![Column::integer("a"), Column::text("c")],
+            ));
+        let mut db = Database::new(schema);
+        for (a, b) in [(1, "x"), (2, "y"), (3, "z")] {
+            db.insert("t", vec![Value::int(a), Value::str(b)]);
+        }
+        for (a, c) in [(1, "one"), (3, "three"), (4, "four")] {
+            db.insert("u", vec![Value::int(a), Value::str(c)]);
+        }
+        db
+    }
+
+    fn run(db: &Database, sql: &str) -> Table {
+        super::super::run_query(db, sql).unwrap()
+    }
+
+    #[test]
+    fn hash_join_and_nested_loop_join_agree() {
+        let db = tiny_db();
+        // Equality condition → hash join.
+        let hash = run(&db, "SELECT t.a, u.c FROM t JOIN u ON t.a = u.a ORDER BY t.a");
+        // Written as an inequality sandwich the planner falls back to a nested loop.
+        let nested = run(
+            &db,
+            "SELECT t.a, u.c FROM t JOIN u ON t.a <= u.a AND t.a >= u.a ORDER BY t.a",
+        );
+        assert_eq!(hash.rows, nested.rows);
+        assert_eq!(hash.len(), 2);
+    }
+
+    #[test]
+    fn join_with_residual_condition() {
+        let db = tiny_db();
+        let out = run(
+            &db,
+            "SELECT t.a FROM t JOIN u ON t.a = u.a AND u.c != 'one'",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0][0], Value::int(3));
+    }
+
+    #[test]
+    fn empty_result_still_reports_unknown_columns() {
+        let db = tiny_db();
+        let err = super::super::run_query(&db, "SELECT a FROM t WHERE a > 100 AND nosuch = 1");
+        assert!(matches!(err, Err(QueryError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn aggregates_ignore_nulls() {
+        let schema = Schema::new().with_table(TableSchema::new(
+            "v",
+            vec![Column::integer("x")],
+        ));
+        let mut db = Database::new(schema);
+        db.insert("v", vec![Value::int(10)]);
+        db.insert("v", vec![Value::Null]);
+        db.insert("v", vec![Value::int(20)]);
+        let out = run(&db, "SELECT COUNT(x), SUM(x), AVG(x), MIN(x), MAX(x) FROM v");
+        assert_eq!(
+            out.rows[0],
+            vec![
+                Value::int(2),
+                Value::int(30),
+                Value::int(15),
+                Value::int(10),
+                Value::int(20)
+            ]
+        );
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_table_yields_one_row() {
+        let schema = Schema::new().with_table(TableSchema::new(
+            "v",
+            vec![Column::integer("x")],
+        ));
+        let db = Database::new(schema);
+        let out = run(&db, "SELECT COUNT(*) FROM v");
+        assert_eq!(out.rows, vec![vec![Value::int(0)]]);
+    }
+
+    #[test]
+    fn order_by_column_not_in_projection() {
+        let db = tiny_db();
+        let out = run(&db, "SELECT b FROM t ORDER BY a DESC");
+        assert_eq!(out.columns, vec!["b"]);
+        assert_eq!(out.rows[0][0], Value::str("z"));
+    }
+
+    #[test]
+    fn mixing_plain_columns_and_aggregates_requires_group_by() {
+        let db = tiny_db();
+        let err = super::super::run_query(&db, "SELECT b, COUNT(*) FROM t");
+        assert!(matches!(err, Err(QueryError::InvalidAggregation(_))));
+    }
+}

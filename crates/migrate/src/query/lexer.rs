@@ -1,0 +1,212 @@
+//! Tokenizer for the SQL subset.
+
+use super::QueryError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword or identifier (keywords are recognized case-insensitively by the
+    /// parser; the original spelling is preserved here).
+    Word(String),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    StringLiteral(String),
+    /// A numeric literal.
+    Number(String),
+    /// A punctuation or operator symbol: `, . ( ) * = != <> < <= > >=`.
+    Symbol(&'static str),
+}
+
+impl Token {
+    /// Returns the word if this token is a word.
+    pub fn as_word(&self) -> Option<&str> {
+        match self {
+            Token::Word(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        self.as_word().is_some_and(|w| w.eq_ignore_ascii_case(kw))
+    }
+
+    /// True when this token is the given symbol.
+    pub fn is_symbol(&self, s: &str) -> bool {
+        matches!(self, Token::Symbol(sym) if *sym == s)
+    }
+}
+
+/// Splits `input` into tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            _ if b.is_ascii_whitespace() => i += 1,
+            b',' => {
+                tokens.push(Token::Symbol(","));
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token::Symbol("."));
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token::Symbol("("));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::Symbol(")"));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Symbol("*"));
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Symbol("="));
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol("!="));
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse("expected `=` after `!`".into()));
+                }
+            }
+            b'<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        tokens.push(Token::Symbol("<="));
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        tokens.push(Token::Symbol("!="));
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Symbol("<"));
+                        i += 1;
+                    }
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let (literal, consumed) = lex_string(&input[i..])?;
+                tokens.push(Token::StringLiteral(literal));
+                i += consumed;
+            }
+            b'"' | b'`' => {
+                // Quoted identifier: treat the contents as a word.
+                let quote = b as char;
+                let rest = &input[i + 1..];
+                let Some(end) = rest.find(quote) else {
+                    return Err(QueryError::Parse("unterminated quoted identifier".into()));
+                };
+                tokens.push(Token::Word(rest[..end].to_string()));
+                i += end + 2;
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                tokens.push(Token::Number(input[start..i].to_string()));
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Word(input[start..i].to_string()));
+            }
+            other => {
+                return Err(QueryError::Parse(format!(
+                    "unexpected character `{}`",
+                    other as char
+                )));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Lexes a single-quoted string starting at the beginning of `input`; returns the
+/// unescaped contents and the number of bytes consumed (including both quotes).
+fn lex_string(input: &str) -> Result<(String, usize), QueryError> {
+    debug_assert!(input.starts_with('\''));
+    let mut out = String::new();
+    let bytes = input.as_bytes();
+    let mut i = 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            let ch_len = input[i..].chars().next().map_or(1, char::len_utf8);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(QueryError::Parse("unterminated string literal".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_simple_query() {
+        let tokens = tokenize("SELECT a, b FROM t WHERE a >= 3").unwrap();
+        assert_eq!(tokens.len(), 10);
+        assert!(tokens[0].is_keyword("select"));
+        assert!(tokens[2].is_symbol(","));
+        assert!(tokens[8].is_symbol(">="));
+        assert_eq!(tokens[9], Token::Number("3".into()));
+    }
+
+    #[test]
+    fn string_literals_support_escaped_quotes() {
+        let tokens = tokenize("name = 'O''Brien'").unwrap();
+        assert_eq!(tokens[2], Token::StringLiteral("O'Brien".into()));
+    }
+
+    #[test]
+    fn not_equals_spellings() {
+        let a = tokenize("a != b").unwrap();
+        let b = tokenize("a <> b").unwrap();
+        assert_eq!(a[1], Token::Symbol("!="));
+        assert_eq!(b[1], Token::Symbol("!="));
+    }
+
+    #[test]
+    fn quoted_identifiers_become_words() {
+        let tokens = tokenize("SELECT \"year\" FROM `paper`").unwrap();
+        assert_eq!(tokens[1], Token::Word("year".into()));
+        assert_eq!(tokens[3], Token::Word("paper".into()));
+    }
+
+    #[test]
+    fn bad_input_is_reported() {
+        assert!(matches!(tokenize("a ! b"), Err(QueryError::Parse(_))));
+        assert!(matches!(tokenize("a = 'open"), Err(QueryError::Parse(_))));
+        assert!(matches!(tokenize("a ; b"), Err(QueryError::Parse(_))));
+    }
+}

@@ -1,0 +1,227 @@
+//! A small SQL query engine over the in-memory [`crate::Database`].
+//!
+//! The paper's motivation for migrating hierarchical documents into relations is that
+//! the result "may need to be queried by an existing application that interacts with a
+//! relational database" and that relational layouts give better query performance
+//! (Section 1).  This module closes that loop for the reproduction: once a document
+//! has been migrated, the resulting database can actually be queried.
+//!
+//! Supported surface:
+//!
+//! * `SELECT` of columns, `*`, or aggregates (`COUNT`, `SUM`, `AVG`, `MIN`, `MAX`);
+//! * `FROM table [alias]` with any number of `JOIN table [alias] ON <expr>` clauses
+//!   (inner joins only);
+//! * `WHERE` with comparisons (`= != < <= > >=`), `AND` / `OR` / `NOT`, `IS [NOT] NULL`
+//!   and parentheses;
+//! * `GROUP BY`, `ORDER BY ... [ASC|DESC]`, and `LIMIT`.
+//!
+//! Equality joins are executed with a hash join; everything else falls back to a
+//! filtered nested-loop join.  The engine is deliberately small — it is a substrate for
+//! examples, tests and benchmarks, not a competitive query processor.
+//!
+//! ```
+//! use mitra_migrate::{Column, Database, Schema, TableSchema};
+//! use mitra_migrate::query::run_query;
+//! use mitra_dsl::{Table, Value};
+//!
+//! let schema = Schema::new().with_table(
+//!     TableSchema::new("person", vec![Column::text("name"), Column::integer("age")]),
+//! );
+//! let mut db = Database::new(schema);
+//! db.insert("person", vec![Value::str("Ada"), Value::int(36)]);
+//! db.insert("person", vec![Value::str("Grace"), Value::int(85)]);
+//!
+//! let result = run_query(&db, "SELECT name FROM person WHERE age > 50").unwrap();
+//! assert_eq!(result.rows, vec![vec![Value::str("Grace")]]);
+//! ```
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    Aggregate, ComparisonOp, Expr, Join, OrderKey, Query, SelectItem, TableRef,
+};
+pub use exec::execute_query;
+pub use parser::parse_query;
+
+use crate::Database;
+use mitra_dsl::Table;
+use std::fmt;
+
+/// Errors raised while parsing or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text could not be parsed; the string describes the problem.
+    Parse(String),
+    /// The query references a table that is not in the database.
+    UnknownTable(String),
+    /// The query references a column that no visible table provides.
+    UnknownColumn(String),
+    /// A column reference matches more than one visible table.
+    AmbiguousColumn(String),
+    /// Aggregates and plain columns were mixed without a GROUP BY.
+    InvalidAggregation(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(msg) => write!(f, "syntax error: {msg}"),
+            QueryError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            QueryError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            QueryError::InvalidAggregation(msg) => write!(f, "invalid aggregation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Parses and executes `sql` against `db`, returning the result table.
+pub fn run_query(db: &Database, sql: &str) -> Result<Table, QueryError> {
+    let query = parse_query(sql)?;
+    execute_query(db, &query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Column, Schema, TableSchema};
+    use mitra_dsl::Value;
+
+    /// A two-table database (authors, papers with an author foreign key) used by the
+    /// end-to-end query tests.
+    fn sample_db() -> Database {
+        let schema = Schema::new()
+            .with_table(
+                TableSchema::new(
+                    "author",
+                    vec![Column::integer("aid"), Column::text("name"), Column::text("country")],
+                )
+                .with_primary_key(&["aid"]),
+            )
+            .with_table(
+                TableSchema::new(
+                    "paper",
+                    vec![
+                        Column::integer("pid"),
+                        Column::text("title"),
+                        Column::integer("year"),
+                        Column::integer("aid"),
+                    ],
+                )
+                .with_primary_key(&["pid"])
+                .with_foreign_key(&["aid"], "author", &["aid"]),
+            );
+        let mut db = Database::new(schema);
+        for (aid, name, country) in [(1, "Ada", "UK"), (2, "Grace", "US"), (3, "Edsger", "NL")] {
+            db.insert(
+                "author",
+                vec![Value::int(aid), Value::str(name), Value::str(country)],
+            );
+        }
+        for (pid, title, year, aid) in [
+            (10, "Notes", 1843, 1),
+            (11, "Compilers", 1952, 2),
+            (12, "GOTO", 1968, 3),
+            (13, "THE", 1968, 3),
+        ] {
+            db.insert(
+                "paper",
+                vec![
+                    Value::int(pid),
+                    Value::str(title),
+                    Value::int(year),
+                    Value::int(aid),
+                ],
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn select_star_and_projection() {
+        let db = sample_db();
+        let all = run_query(&db, "SELECT * FROM author").unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all.columns, vec!["aid", "name", "country"]);
+        let names = run_query(&db, "SELECT name FROM author").unwrap();
+        assert_eq!(names.arity(), 1);
+    }
+
+    #[test]
+    fn where_filters_rows() {
+        let db = sample_db();
+        let result = run_query(&db, "SELECT title FROM paper WHERE year = 1968").unwrap();
+        assert_eq!(result.len(), 2);
+        let result =
+            run_query(&db, "SELECT title FROM paper WHERE year > 1900 AND aid != 3").unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.rows[0][0], Value::str("Compilers"));
+    }
+
+    #[test]
+    fn join_on_foreign_key() {
+        let db = sample_db();
+        let result = run_query(
+            &db,
+            "SELECT author.name, paper.title FROM paper JOIN author ON paper.aid = author.aid \
+             WHERE author.country = 'NL' ORDER BY paper.title",
+        )
+        .unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result.rows[0][1], Value::str("GOTO"));
+        assert_eq!(result.rows[1][1], Value::str("THE"));
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let db = sample_db();
+        let count = run_query(&db, "SELECT COUNT(*) FROM paper").unwrap();
+        assert_eq!(count.rows[0][0], Value::int(4));
+        let by_year = run_query(
+            &db,
+            "SELECT year, COUNT(*) FROM paper GROUP BY year ORDER BY year",
+        )
+        .unwrap();
+        assert_eq!(by_year.len(), 3);
+        assert_eq!(by_year.rows[2], vec![Value::int(1968), Value::int(2)]);
+        let span = run_query(&db, "SELECT MIN(year), MAX(year) FROM paper").unwrap();
+        assert_eq!(span.rows[0], vec![Value::int(1843), Value::int(1968)]);
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let db = sample_db();
+        let result =
+            run_query(&db, "SELECT title FROM paper ORDER BY year DESC, title LIMIT 2").unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result.rows[0][0], Value::str("GOTO"));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let db = sample_db();
+        assert!(matches!(
+            run_query(&db, "SELECT * FROM nosuch"),
+            Err(QueryError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            run_query(&db, "SELECT nosuch FROM author"),
+            Err(QueryError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            run_query(&db, "SELECT FROM author"),
+            Err(QueryError::Parse(_))
+        ));
+        assert!(matches!(
+            run_query(
+                &db,
+                "SELECT paper.aid FROM paper JOIN author ON paper.aid = author.aid WHERE aid = 1"
+            ),
+            Err(QueryError::AmbiguousColumn(_))
+        ));
+    }
+}

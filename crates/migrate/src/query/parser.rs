@@ -1,0 +1,465 @@
+//! Recursive-descent parser for the SQL subset.
+
+use super::ast::{
+    Aggregate, ColumnRef, ComparisonOp, Expr, Join, OrderKey, Query, SelectItem, TableRef,
+};
+use super::lexer::{tokenize, Token};
+use super::QueryError;
+use mitra_dsl::Value;
+
+/// Parses a `SELECT` statement.
+pub fn parse_query(sql: &str) -> Result<Query, QueryError> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.parse_select()?;
+    if !parser.at_end() {
+        return Err(QueryError::Parse(format!(
+            "unexpected trailing input near `{}`",
+            parser.describe_current()
+        )));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let tok = self.tokens.get(self.pos);
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn describe_current(&self) -> String {
+        match self.peek() {
+            Some(Token::Word(w)) => w.clone(),
+            Some(Token::StringLiteral(s)) => format!("'{s}'"),
+            Some(Token::Number(n)) => n.clone(),
+            Some(Token::Symbol(s)) => (*s).to_string(),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_keyword(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(QueryError::Parse(format!(
+                "expected `{kw}`, found `{}`",
+                self.describe_current()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_symbol(s)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<(), QueryError> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(QueryError::Parse(format!(
+                "expected `{s}`, found `{}`",
+                self.describe_current()
+            )))
+        }
+    }
+
+    fn expect_word(&mut self, what: &str) -> Result<String, QueryError> {
+        match self.advance() {
+            Some(Token::Word(w)) if !is_reserved(w) => Ok(w.clone()),
+            _ => {
+                // `advance` already moved past the offending token; step back for the
+                // error message.
+                self.pos = self.pos.saturating_sub(1);
+                Err(QueryError::Parse(format!(
+                    "expected {what}, found `{}`",
+                    self.describe_current()
+                )))
+            }
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Query, QueryError> {
+        self.expect_keyword("SELECT")?;
+        let select = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.parse_table_ref()?;
+
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_keyword("INNER");
+            if self.eat_keyword("JOIN") {
+                let table = self.parse_table_ref()?;
+                self.expect_keyword("ON")?;
+                let on = self.parse_expr()?;
+                joins.push(Join { table, on });
+            } else if inner {
+                return Err(QueryError::Parse("expected `JOIN` after `INNER`".into()));
+            } else {
+                break;
+            }
+        }
+
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.parse_column_ref()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let column = self.parse_column_ref()?;
+                let descending = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderKey { column, descending });
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance() {
+                Some(Token::Number(n)) => Some(n.parse::<usize>().map_err(|_| {
+                    QueryError::Parse(format!("invalid LIMIT value `{n}`"))
+                })?),
+                _ => return Err(QueryError::Parse("expected a number after LIMIT".into())),
+            }
+        } else {
+            None
+        };
+
+        Ok(Query {
+            select,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>, QueryError> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item()?);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, QueryError> {
+        if self.eat_symbol("*") {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate?
+        if let Some(function) = self.peek().and_then(aggregate_keyword) {
+            if self.tokens.get(self.pos + 1).is_some_and(|t| t.is_symbol("(")) {
+                self.pos += 2; // function name and '('
+                let column = if self.eat_symbol("*") {
+                    if function != Aggregate::Count {
+                        return Err(QueryError::Parse(format!(
+                            "`*` is only valid inside COUNT, not {}",
+                            function.sql_name()
+                        )));
+                    }
+                    None
+                } else {
+                    Some(self.parse_column_ref()?)
+                };
+                self.expect_symbol(")")?;
+                return Ok(SelectItem::Aggregate { function, column });
+            }
+        }
+        Ok(SelectItem::Column(self.parse_column_ref()?))
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, QueryError> {
+        let name = self.expect_word("a table name")?;
+        // Optional alias: `table alias` or `table AS alias`.
+        if self.eat_keyword("AS") {
+            let alias = self.expect_word("an alias")?;
+            return Ok(TableRef::aliased(name, alias));
+        }
+        if let Some(Token::Word(w)) = self.peek() {
+            if !is_reserved(w) {
+                let alias = w.clone();
+                self.pos += 1;
+                return Ok(TableRef::aliased(name, alias));
+            }
+        }
+        Ok(TableRef::named(name))
+    }
+
+    fn parse_column_ref(&mut self) -> Result<ColumnRef, QueryError> {
+        let first = self.expect_word("a column name")?;
+        if self.eat_symbol(".") {
+            let column = self.expect_word("a column name")?;
+            Ok(ColumnRef::qualified(first, column))
+        } else {
+            Ok(ColumnRef::unqualified(first))
+        }
+    }
+
+    /// `expr := and_expr (OR and_expr)*`
+    fn parse_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.parse_and_expr()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.parse_and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// `and_expr := unary_expr (AND unary_expr)*`
+    fn parse_and_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.parse_unary_expr()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.parse_unary_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// `unary_expr := NOT unary_expr | comparison`
+    fn parse_unary_expr(&mut self) -> Result<Expr, QueryError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.parse_unary_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_comparison()
+    }
+
+    /// `comparison := operand [(= | != | < | <= | > | >=) operand | IS [NOT] NULL]`
+    fn parse_comparison(&mut self) -> Result<Expr, QueryError> {
+        let lhs = self.parse_operand()?;
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol("=")) => Some(ComparisonOp::Eq),
+            Some(Token::Symbol("!=")) => Some(ComparisonOp::Ne),
+            Some(Token::Symbol("<")) => Some(ComparisonOp::Lt),
+            Some(Token::Symbol("<=")) => Some(ComparisonOp::Le),
+            Some(Token::Symbol(">")) => Some(ComparisonOp::Gt),
+            Some(Token::Symbol(">=")) => Some(ComparisonOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let rhs = self.parse_operand()?;
+                Ok(Expr::comparison(lhs, op, rhs))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    /// `operand := '(' expr ')' | literal | column_ref`
+    fn parse_operand(&mut self) -> Result<Expr, QueryError> {
+        if self.eat_symbol("(") {
+            let inner = self.parse_expr()?;
+            self.expect_symbol(")")?;
+            return Ok(inner);
+        }
+        match self.peek().cloned() {
+            Some(Token::StringLiteral(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::from_data(&n)))
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("NULL") => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Null))
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("TRUE") => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("FALSE") => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            Some(Token::Word(_)) => Ok(Expr::Column(self.parse_column_ref()?)),
+            _ => Err(QueryError::Parse(format!(
+                "expected a value or column, found `{}`",
+                self.describe_current()
+            ))),
+        }
+    }
+}
+
+/// Keywords that cannot be used as bare identifiers (so that `FROM t WHERE ...` does
+/// not read `WHERE` as an alias of `t`).
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: [&str; 18] = [
+        "SELECT", "FROM", "WHERE", "JOIN", "INNER", "ON", "AND", "OR", "NOT", "GROUP", "ORDER",
+        "BY", "LIMIT", "AS", "IS", "NULL", "ASC", "DESC",
+    ];
+    RESERVED.iter().any(|kw| word.eq_ignore_ascii_case(kw))
+}
+
+fn aggregate_keyword(token: &Token) -> Option<Aggregate> {
+    let word = token.as_word()?;
+    match word.to_ascii_uppercase().as_str() {
+        "COUNT" => Some(Aggregate::Count),
+        "SUM" => Some(Aggregate::Sum),
+        "AVG" => Some(Aggregate::Avg),
+        "MIN" => Some(Aggregate::Min),
+        "MAX" => Some(Aggregate::Max),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_projection_and_filter() {
+        let q = parse_query("SELECT a, t.b FROM t WHERE a = 1 AND t.b != 'x'").unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from, TableRef::named("t"));
+        let conjuncts = q.where_clause.as_ref().unwrap().conjuncts().len();
+        assert_eq!(conjuncts, 2);
+    }
+
+    #[test]
+    fn parses_joins_with_aliases() {
+        let q = parse_query(
+            "SELECT p.title FROM paper AS p JOIN author a ON p.aid = a.aid WHERE a.name = 'Ada'",
+        )
+        .unwrap();
+        assert_eq!(q.from, TableRef::aliased("paper", "p"));
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].table, TableRef::aliased("author", "a"));
+    }
+
+    #[test]
+    fn parses_group_order_limit() {
+        let q = parse_query(
+            "SELECT year, COUNT(*) FROM paper GROUP BY year ORDER BY year DESC LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].descending);
+        assert_eq!(q.limit, Some(5));
+        assert!(matches!(
+            q.select[1],
+            SelectItem::Aggregate {
+                function: Aggregate::Count,
+                column: None
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_parentheses_not_and_is_null() {
+        let q = parse_query(
+            "SELECT a FROM t WHERE NOT (a < 3 OR a > 7) AND b IS NOT NULL",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        assert!(matches!(w, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn operator_precedence_and_binds_tighter_than_or() {
+        let q = parse_query("SELECT a FROM t WHERE a = 1 OR a = 2 AND a = 3").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Or(lhs, rhs) => {
+                assert!(matches!(*lhs, Expr::Comparison { .. }));
+                assert!(matches!(*rhs, Expr::And(_, _)));
+            }
+            other => panic!("expected OR at the root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for sql in [
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t JOIN u",
+            "SELECT a FROM t LIMIT many",
+            "SELECT SUM(*) FROM t",
+            "SELECT a FROM t extra garbage here",
+        ] {
+            assert!(parse_query(sql).is_err(), "expected error for `{sql}`");
+        }
+    }
+
+    #[test]
+    fn count_star_and_count_column_both_parse() {
+        let q = parse_query("SELECT COUNT(*), COUNT(a) FROM t").unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert!(matches!(
+            q.select[1],
+            SelectItem::Aggregate {
+                function: Aggregate::Count,
+                column: Some(_)
+            }
+        ));
+    }
+}

@@ -1,0 +1,315 @@
+//! Relational schema model: tables, columns, primary keys and foreign keys.
+
+use std::fmt;
+
+/// Logical column types for the target relational schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Arbitrary text.
+    Text,
+    /// 64-bit integer.
+    Integer,
+    /// Double-precision float.
+    Real,
+    /// Boolean.
+    Boolean,
+}
+
+impl ColumnType {
+    /// SQL type name used by the dump backend.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            ColumnType::Text => "TEXT",
+            ColumnType::Integer => "INTEGER",
+            ColumnType::Real => "REAL",
+            ColumnType::Boolean => "BOOLEAN",
+        }
+    }
+}
+
+/// A column of a relational table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// Creates a text column.
+    pub fn text(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            ty: ColumnType::Text,
+        }
+    }
+
+    /// Creates an integer column.
+    pub fn integer(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            ty: ColumnType::Integer,
+        }
+    }
+
+    /// Creates a real-valued column.
+    pub fn real(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            ty: ColumnType::Real,
+        }
+    }
+}
+
+/// A foreign-key constraint: `columns` of this table reference `referenced_columns` of
+/// `referenced_table`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing columns (in this table).
+    pub columns: Vec<String>,
+    /// The referenced table.
+    pub referenced_table: String,
+    /// The referenced columns (normally the referenced table's primary key).
+    pub referenced_columns: Vec<String>,
+}
+
+/// Schema of a single relational table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in order.
+    pub columns: Vec<Column>,
+    /// Names of the primary-key columns (may be empty when the table has no key).
+    pub primary_key: Vec<String>,
+    /// Foreign-key constraints.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Creates a table schema with no keys.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Sets the primary key columns (builder style).
+    pub fn with_primary_key(mut self, cols: &[&str]) -> Self {
+        self.primary_key = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Adds a foreign key (builder style).
+    pub fn with_foreign_key(mut self, columns: &[&str], table: &str, referenced: &[&str]) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            referenced_table: table.to_string(),
+            referenced_columns: referenced.iter().map(|c| c.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A full database schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    /// Tables in creation order.
+    pub tables: Vec<TableSchema>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema { tables: Vec::new() }
+    }
+
+    /// Adds a table (builder style).
+    pub fn with_table(mut self, table: TableSchema) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Total number of columns across all tables (the `#Cols` statistic of Table 2).
+    pub fn total_columns(&self) -> usize {
+        self.tables.iter().map(TableSchema::arity).sum()
+    }
+
+    /// Validates structural sanity: unique table names, unique column names, key
+    /// columns exist, foreign keys reference existing tables/columns with matching
+    /// arity.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        let mut names = Vec::new();
+        for t in &self.tables {
+            if names.contains(&t.name) {
+                return Err(SchemaError(format!("duplicate table name `{}`", t.name)));
+            }
+            names.push(t.name.clone());
+            let mut cols = Vec::new();
+            for c in &t.columns {
+                if cols.contains(&c.name) {
+                    return Err(SchemaError(format!(
+                        "duplicate column `{}` in table `{}`",
+                        c.name, t.name
+                    )));
+                }
+                cols.push(c.name.clone());
+            }
+            for pk in &t.primary_key {
+                if t.column_index(pk).is_none() {
+                    return Err(SchemaError(format!(
+                        "primary key column `{pk}` missing from table `{}`",
+                        t.name
+                    )));
+                }
+            }
+            for fk in &t.foreign_keys {
+                let referenced = self.table(&fk.referenced_table).ok_or_else(|| {
+                    SchemaError(format!(
+                        "foreign key in `{}` references unknown table `{}`",
+                        t.name, fk.referenced_table
+                    ))
+                })?;
+                if fk.columns.len() != fk.referenced_columns.len() {
+                    return Err(SchemaError(format!(
+                        "foreign key in `{}` has mismatched column counts",
+                        t.name
+                    )));
+                }
+                for c in &fk.columns {
+                    if t.column_index(c).is_none() {
+                        return Err(SchemaError(format!(
+                            "foreign key column `{c}` missing from table `{}`",
+                            t.name
+                        )));
+                    }
+                }
+                for c in &fk.referenced_columns {
+                    if referenced.column_index(c).is_none() {
+                        return Err(SchemaError(format!(
+                            "foreign key in `{}` references missing column `{c}` of `{}`",
+                            t.name, fk.referenced_table
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Schema validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError(pub String);
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person_friend_schema() -> Schema {
+        Schema::new()
+            .with_table(
+                TableSchema::new(
+                    "person",
+                    vec![Column::integer("pid"), Column::text("name")],
+                )
+                .with_primary_key(&["pid"]),
+            )
+            .with_table(
+                TableSchema::new(
+                    "friendship",
+                    vec![
+                        Column::integer("pid"),
+                        Column::integer("fid"),
+                        Column::integer("years"),
+                    ],
+                )
+                .with_primary_key(&["pid", "fid"])
+                .with_foreign_key(&["pid"], "person", &["pid"])
+                .with_foreign_key(&["fid"], "person", &["pid"]),
+            )
+    }
+
+    #[test]
+    fn valid_schema_passes_validation() {
+        person_friend_schema().validate().unwrap();
+        assert_eq!(person_friend_schema().total_columns(), 5);
+    }
+
+    #[test]
+    fn duplicate_table_names_rejected() {
+        let s = Schema::new()
+            .with_table(TableSchema::new("t", vec![Column::text("a")]))
+            .with_table(TableSchema::new("t", vec![Column::text("b")]));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn missing_pk_column_rejected() {
+        let s = Schema::new().with_table(
+            TableSchema::new("t", vec![Column::text("a")]).with_primary_key(&["nope"]),
+        );
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn dangling_foreign_key_rejected() {
+        let s = Schema::new().with_table(
+            TableSchema::new("t", vec![Column::text("a")])
+                .with_foreign_key(&["a"], "missing", &["x"]),
+        );
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fk_arity_mismatch_rejected() {
+        let s = Schema::new()
+            .with_table(TableSchema::new("p", vec![Column::text("x"), Column::text("y")]))
+            .with_table(
+                TableSchema::new("c", vec![Column::text("a")])
+                    .with_foreign_key(&["a"], "p", &["x", "y"]),
+            );
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn lookups_work() {
+        let s = person_friend_schema();
+        assert!(s.table("person").is_some());
+        assert!(s.table("nope").is_none());
+        assert_eq!(s.table("friendship").unwrap().column_index("years"), Some(2));
+        assert_eq!(ColumnType::Integer.sql_name(), "INTEGER");
+    }
+}

@@ -1,0 +1,347 @@
+//! Minimum predicate-set selection (`FindMinCover`, Algorithm 4).
+//!
+//! The paper formulates the problem as 0–1 integer linear programming: choose the
+//! smallest subset of atomic predicates such that every (positive, negative) example
+//! pair is *distinguished* by at least one chosen predicate.  This is exactly a
+//! minimum set-cover instance where the elements are the pairs and each predicate
+//! covers the pairs on which its truth value differs.
+//!
+//! Two solvers are provided:
+//!
+//! * [`solve_exact`] — branch-and-bound search that returns an optimal cover (the
+//!   behaviour required by Theorem 2).  The greedy solution is used as the initial
+//!   upper bound, and ties between equally-sized covers are broken in favour of
+//!   smaller total predicate weight (we use the predicate's syntactic size as weight so
+//!   the Occam's-razor ranking is deterministic).
+//! * [`solve_greedy`] — the classical ln(n)-approximation, used as a fallback for very
+//!   large universes and as the ablation baseline of experiment E7.
+
+/// A set-cover instance: `covers[k]` lists the element indices covered by set `k`.
+#[derive(Debug, Clone)]
+pub struct CoverInstance {
+    /// Number of elements to cover.
+    pub num_elements: usize,
+    /// For each candidate set, the sorted list of elements it covers.
+    pub covers: Vec<Vec<usize>>,
+    /// Tie-breaking weight of each set (smaller preferred); typically predicate size.
+    pub weights: Vec<usize>,
+}
+
+impl CoverInstance {
+    /// Builds an instance from a boolean coverage matrix: `matrix[k][e]` is true when
+    /// set `k` covers element `e`.
+    pub fn from_matrix(matrix: &[Vec<bool>]) -> CoverInstance {
+        let num_elements = matrix.first().map(Vec::len).unwrap_or(0);
+        let covers = matrix
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter_map(|(e, b)| if *b { Some(e) } else { None })
+                    .collect()
+            })
+            .collect();
+        CoverInstance {
+            num_elements,
+            covers,
+            weights: vec![1; matrix.len()],
+        }
+    }
+
+    fn coverable(&self) -> bool {
+        let mut covered = vec![false; self.num_elements];
+        for c in &self.covers {
+            for &e in c {
+                covered[e] = true;
+            }
+        }
+        covered.iter().all(|b| *b)
+    }
+}
+
+/// Result of a cover computation: the chosen set indices (sorted).
+pub type Cover = Vec<usize>;
+
+/// Greedy set cover: repeatedly picks the set covering the most uncovered elements
+/// (ties broken by smaller weight, then smaller index).  Returns `None` when the
+/// elements cannot be covered at all.
+pub fn solve_greedy(instance: &CoverInstance) -> Option<Cover> {
+    if instance.num_elements == 0 {
+        return Some(Vec::new());
+    }
+    if !instance.coverable() {
+        return None;
+    }
+    let mut covered = vec![false; instance.num_elements];
+    let mut remaining = instance.num_elements;
+    let mut chosen = Vec::new();
+    while remaining > 0 {
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for (k, cov) in instance.covers.iter().enumerate() {
+            if chosen.contains(&k) {
+                continue;
+            }
+            let gain = cov.iter().filter(|&&e| !covered[e]).count();
+            if gain == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bg, bk)) => {
+                    gain > bg
+                        || (gain == bg
+                            && (instance.weights[k], k) < (instance.weights[bk], bk))
+                }
+            };
+            if better {
+                best = Some((gain, k));
+            }
+        }
+        let (_, k) = best?;
+        chosen.push(k);
+        for &e in &instance.covers[k] {
+            if !covered[e] {
+                covered[e] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    chosen.sort_unstable();
+    Some(chosen)
+}
+
+/// Exact minimum set cover by branch and bound.
+///
+/// The objective is lexicographic: first minimize the number of chosen sets, then the
+/// sum of their weights.  `max_nodes` bounds the search effort; when exceeded the best
+/// solution found so far (at worst the greedy one) is returned, so the result is always
+/// a valid cover when one exists.
+pub fn solve_exact(instance: &CoverInstance, max_nodes: usize) -> Option<Cover> {
+    if instance.num_elements == 0 {
+        return Some(Vec::new());
+    }
+    let greedy = solve_greedy(instance)?;
+    let mut best = greedy;
+    let mut best_cost = cover_cost(instance, &best);
+
+    // Which sets cover each element, used to branch on the hardest element.
+    let mut coverers: Vec<Vec<usize>> = vec![Vec::new(); instance.num_elements];
+    for (k, cov) in instance.covers.iter().enumerate() {
+        for &e in cov {
+            coverers[e].push(k);
+        }
+    }
+
+    struct Search<'a> {
+        instance: &'a CoverInstance,
+        coverers: &'a [Vec<usize>],
+        best: Vec<usize>,
+        best_cost: (usize, usize),
+        nodes: usize,
+        max_nodes: usize,
+    }
+
+    impl Search<'_> {
+        fn run(&mut self, chosen: &mut Vec<usize>, covered: &mut Vec<usize>, uncovered: usize) {
+            if self.nodes >= self.max_nodes {
+                return;
+            }
+            self.nodes += 1;
+            if uncovered == 0 {
+                let cost = cover_cost(self.instance, chosen);
+                if cost < self.best_cost {
+                    self.best_cost = cost;
+                    self.best = chosen.clone();
+                }
+                return;
+            }
+            // Lower bound: at least one more set is needed.
+            if chosen.len() + 1 > self.best_cost.0 {
+                return;
+            }
+            // Branch on the uncovered element with the fewest coverers.
+            let mut pivot: Option<usize> = None;
+            let mut pivot_options = usize::MAX;
+            for (e, cnt) in covered.iter().enumerate() {
+                if *cnt > 0 {
+                    continue;
+                }
+                let options = self.coverers[e].len();
+                if options < pivot_options {
+                    pivot_options = options;
+                    pivot = Some(e);
+                }
+            }
+            let Some(pivot) = pivot else { return };
+            let candidates = self.coverers[pivot].clone();
+            for k in candidates {
+                if chosen.contains(&k) {
+                    continue;
+                }
+                chosen.push(k);
+                let mut newly = 0;
+                for &e in &self.instance.covers[k] {
+                    if covered[e] == 0 {
+                        newly += 1;
+                    }
+                    covered[e] += 1;
+                }
+                self.run(chosen, covered, uncovered - newly);
+                for &e in &self.instance.covers[k] {
+                    covered[e] -= 1;
+                }
+                chosen.pop();
+            }
+        }
+    }
+
+    let mut search = Search {
+        instance,
+        coverers: &coverers,
+        best: best.clone(),
+        best_cost,
+        nodes: 0,
+        max_nodes,
+    };
+    let mut covered = vec![0usize; instance.num_elements];
+    let mut chosen = Vec::new();
+    search.run(&mut chosen, &mut covered, instance.num_elements);
+    best = search.best;
+    best_cost = search.best_cost;
+    let _ = best_cost;
+    best.sort_unstable();
+    Some(best)
+}
+
+fn cover_cost(instance: &CoverInstance, cover: &[usize]) -> (usize, usize) {
+    (
+        cover.len(),
+        cover.iter().map(|&k| instance.weights[k]).sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(matrix: &[&[bool]]) -> CoverInstance {
+        CoverInstance::from_matrix(&matrix.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn empty_instance_needs_nothing() {
+        let inst = CoverInstance {
+            num_elements: 0,
+            covers: vec![],
+            weights: vec![],
+        };
+        assert_eq!(solve_exact(&inst, 1000), Some(vec![]));
+        assert_eq!(solve_greedy(&inst), Some(vec![]));
+    }
+
+    #[test]
+    fn single_set_covering_everything() {
+        let inst = instance(&[&[true, true, true]]);
+        assert_eq!(solve_exact(&inst, 1000), Some(vec![0]));
+    }
+
+    #[test]
+    fn uncoverable_returns_none() {
+        let inst = instance(&[&[true, false, false], &[false, true, false]]);
+        assert_eq!(solve_exact(&inst, 1000), None);
+        assert_eq!(solve_greedy(&inst), None);
+    }
+
+    #[test]
+    fn exact_beats_greedy_on_classic_trap() {
+        // Elements 0..5.  Greedy picks the big set (covers 4), then needs 2 more = 3.
+        // Optimal is the two disjoint sets of size 3 = 2 sets.
+        let inst = instance(&[
+            &[true, true, true, false, false, false],  // A
+            &[false, false, false, true, true, true],  // B
+            &[true, true, false, true, true, false],   // big greedy bait (covers 4)
+            &[false, false, true, false, false, false],
+            &[false, false, false, false, false, true],
+        ]);
+        let greedy = solve_greedy(&inst).unwrap();
+        let exact = solve_exact(&inst, 100_000).unwrap();
+        assert!(exact.len() <= greedy.len());
+        assert_eq!(exact, vec![0, 1]);
+        assert_eq!(greedy.len(), 3);
+    }
+
+    #[test]
+    fn exact_respects_weights_on_ties() {
+        // Two equally sized optimal covers exist; weights must break the tie.
+        let mut inst = instance(&[&[true, true], &[true, true]]);
+        inst.weights = vec![5, 1];
+        let exact = solve_exact(&inst, 1000).unwrap();
+        assert_eq!(exact, vec![1]);
+    }
+
+    #[test]
+    fn paper_example5_cover_is_three_predicates() {
+        // Figure 12 of the paper: rows are predicates φ1..φ7, columns are the nine
+        // (positive, negative) pairs υ11..υ33.  The optimal cover has 3 predicates and
+        // the paper reports {φ2, φ5, φ7}.
+        let matrix: Vec<Vec<bool>> = vec![
+            vec![true, true, false, false, false, true, false, false, true], // φ1
+            vec![true, false, true, true, false, true, true, false, true],   // φ2
+            vec![true, true, true, false, false, false, false, false, false], // φ3
+            vec![true, true, false, false, false, true, false, false, true], // φ4
+            vec![true, true, true, true, true, true, false, false, false],   // φ5
+            vec![true, true, true, false, false, false, false, false, false], // φ6
+            vec![false, true, true, true, false, false, false, true, true],  // φ7
+        ];
+        let inst = CoverInstance::from_matrix(&matrix);
+        let exact = solve_exact(&inst, 1_000_000).unwrap();
+        assert_eq!(exact.len(), 3);
+        // Verify it is a genuine cover.
+        let mut covered = vec![false; 9];
+        for &k in &exact {
+            for (e, b) in matrix[k].iter().enumerate() {
+                if *b {
+                    covered[e] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|b| *b));
+        // The paper's choice {φ2, φ5, φ7} (indices 1, 4, 6) is one optimal answer.
+        assert!(exact.contains(&4), "φ5 is the only predicate covering υ22");
+    }
+
+    #[test]
+    fn greedy_always_produces_valid_cover() {
+        let inst = instance(&[
+            &[true, false, true, false],
+            &[false, true, false, true],
+            &[true, true, false, false],
+        ]);
+        let cover = solve_greedy(&inst).unwrap();
+        let mut covered = vec![false; 4];
+        for &k in &cover {
+            for &e in &inst.covers[k] {
+                covered[e] = true;
+            }
+        }
+        assert!(covered.iter().all(|b| *b));
+    }
+
+    #[test]
+    fn node_budget_still_returns_valid_cover() {
+        let inst = instance(&[
+            &[true, true, true, false, false, false],
+            &[false, false, false, true, true, true],
+            &[true, true, false, true, true, false],
+            &[false, false, true, false, false, true],
+        ]);
+        let cover = solve_exact(&inst, 1).unwrap();
+        let mut covered = vec![false; 6];
+        for &k in &cover {
+            for &e in &inst.covers[k] {
+                covered[e] = true;
+            }
+        }
+        assert!(covered.iter().all(|b| *b));
+    }
+}

@@ -1,0 +1,411 @@
+//! Deterministic finite automata over node-set states (Figure 9).
+//!
+//! For a single input–output example, the automaton's states are *sets of HDT nodes*,
+//! its alphabet is the set of column-extractor operators instantiated with the tags and
+//! positions occurring in the tree, and there is a transition `q_s --op--> q_s'`
+//! whenever applying `op` to the node set `s` yields the (non-empty) node set `s'`.
+//! A state is accepting when its node set covers the target output column.  A word
+//! accepted by the automaton is therefore exactly a column-extraction program that is
+//! consistent with the example (Theorem 1).
+//!
+//! The automaton for several examples is the intersection (product) of the per-example
+//! automata.  Because all automata share the same *symbolic* alphabet, the product is
+//! taken over [`ExtractorStep`] letters.
+
+use mitra_dsl::ast::ExtractorStep;
+use mitra_dsl::Value;
+use mitra_hdt::{Hdt, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// Limits applied while constructing and enumerating automata.
+#[derive(Debug, Clone, Copy)]
+pub struct DfaLimits {
+    /// Maximum number of states explored per automaton.
+    pub max_states: usize,
+    /// Maximum word (program) length considered during construction and enumeration.
+    pub max_word_len: usize,
+}
+
+impl Default for DfaLimits {
+    fn default() -> Self {
+        DfaLimits {
+            max_states: 4096,
+            max_word_len: 6,
+        }
+    }
+}
+
+/// A DFA whose transitions are labelled with column-extractor steps.
+///
+/// States are dense indices; `0` is always the initial state.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// `transitions[q]` maps a letter to the successor state.
+    transitions: Vec<HashMap<ExtractorStep, usize>>,
+    /// Whether each state is accepting.
+    accepting: Vec<bool>,
+    /// Whether construction hit a limit (the language may then be under-approximated).
+    pub truncated: bool,
+}
+
+impl Dfa {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True if any state is accepting.
+    pub fn has_accepting_state(&self) -> bool {
+        self.accepting.iter().any(|b| *b)
+    }
+
+    /// Whether the given word is accepted.
+    pub fn accepts(&self, word: &[ExtractorStep]) -> bool {
+        let mut q = 0usize;
+        for step in word {
+            match self.transitions[q].get(step) {
+                Some(&next) => q = next,
+                None => return false,
+            }
+        }
+        self.accepting[q]
+    }
+
+    /// Builds the DFA for one example: the tree `T` and the target column values.
+    ///
+    /// The target column is covered by a node set `s` when every value in the column
+    /// equals the data of some node in `s` (the `s ⊇ column(R, i)` side condition of
+    /// rule (5) in Figure 9).
+    pub fn construct(tree: &Hdt, column: &[Value], limits: DfaLimits) -> Dfa {
+        // Alphabet: every children/pchildren/descendants letter instantiated from the tree.
+        let alphabet = alphabet_of(tree);
+
+        let mut states: Vec<Vec<NodeId>> = Vec::new();
+        let mut index: HashMap<Vec<NodeId>, usize> = HashMap::new();
+        let mut transitions: Vec<HashMap<ExtractorStep, usize>> = Vec::new();
+        let mut depth_of: Vec<usize> = Vec::new();
+        let mut truncated = false;
+
+        let initial = canonical(vec![tree.root()]);
+        index.insert(initial.clone(), 0);
+        states.push(initial);
+        transitions.push(HashMap::new());
+        depth_of.push(0);
+
+        let mut queue = VecDeque::new();
+        queue.push_back(0usize);
+
+        while let Some(q) = queue.pop_front() {
+            if depth_of[q] >= limits.max_word_len {
+                continue;
+            }
+            let current = states[q].clone();
+            for letter in &alphabet {
+                let next_set = apply_step(tree, &current, letter);
+                if next_set.is_empty() {
+                    continue;
+                }
+                let next_set = canonical(next_set);
+                let next_q = match index.get(&next_set) {
+                    Some(&i) => i,
+                    None => {
+                        if states.len() >= limits.max_states {
+                            truncated = true;
+                            continue;
+                        }
+                        let i = states.len();
+                        index.insert(next_set.clone(), i);
+                        states.push(next_set);
+                        transitions.push(HashMap::new());
+                        depth_of.push(depth_of[q] + 1);
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                transitions[q].insert(letter.clone(), next_q);
+            }
+        }
+
+        let accepting = states
+            .iter()
+            .map(|s| covers_column(tree, s, column))
+            .collect();
+
+        Dfa {
+            transitions,
+            accepting,
+            truncated,
+        }
+    }
+
+    /// Standard product-automaton intersection: a word is accepted iff it is accepted
+    /// by both inputs.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        let mut index: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut transitions: Vec<HashMap<ExtractorStep, usize>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+
+        index.insert((0, 0), 0);
+        pairs.push((0, 0));
+        transitions.push(HashMap::new());
+        accepting.push(self.accepting[0] && other.accepting[0]);
+
+        let mut queue = VecDeque::new();
+        queue.push_back(0usize);
+        while let Some(q) = queue.pop_front() {
+            let (a, b) = pairs[q];
+            // Only letters present in both outgoing maps can fire in the product.
+            let steps: Vec<ExtractorStep> = self.transitions[a]
+                .keys()
+                .filter(|k| other.transitions[b].contains_key(*k))
+                .cloned()
+                .collect();
+            for step in steps {
+                let na = self.transitions[a][&step];
+                let nb = other.transitions[b][&step];
+                let nq = match index.get(&(na, nb)) {
+                    Some(&i) => i,
+                    None => {
+                        let i = pairs.len();
+                        index.insert((na, nb), i);
+                        pairs.push((na, nb));
+                        transitions.push(HashMap::new());
+                        accepting.push(self.accepting[na] && other.accepting[nb]);
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                transitions[q].insert(step, nq);
+            }
+        }
+
+        Dfa {
+            transitions,
+            accepting,
+            truncated: self.truncated || other.truncated,
+        }
+    }
+
+    /// Enumerates accepted words in order of increasing length (ties broken by the
+    /// lexicographic order of the letters), up to `max_len` letters and at most
+    /// `max_words` results.
+    ///
+    /// The empty word is included when the initial state is accepting (it corresponds
+    /// to the identity column extractor `s`).
+    pub fn enumerate(&self, max_len: usize, max_words: usize) -> Vec<Vec<ExtractorStep>> {
+        let mut results = Vec::new();
+        if max_words == 0 {
+            return results;
+        }
+        // BFS over (state, word) pairs.  The automaton is deterministic so the number
+        // of distinct words of length L can still be exponential in L; the caller keeps
+        // max_len small (programs are short in practice).
+        let mut frontier: Vec<(usize, Vec<ExtractorStep>)> = vec![(0, Vec::new())];
+        if self.accepting[0] {
+            results.push(Vec::new());
+        }
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for (q, word) in &frontier {
+                let mut steps: Vec<(&ExtractorStep, &usize)> = self.transitions[*q].iter().collect();
+                steps.sort_by(|a, b| a.0.cmp(b.0));
+                for (step, &nq) in steps {
+                    let mut w = word.clone();
+                    w.push(step.clone());
+                    if self.accepting[nq] {
+                        results.push(w.clone());
+                        if results.len() >= max_words {
+                            return results;
+                        }
+                    }
+                    next.push((nq, w));
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        results
+    }
+}
+
+/// The DFA alphabet induced by a tree: one `children`/`descendants` letter per tag and
+/// one `pchildren` letter per (tag, pos) pair occurring in the tree.
+pub fn alphabet_of(tree: &Hdt) -> Vec<ExtractorStep> {
+    let mut letters = Vec::new();
+    let mut tag_pos: Vec<(String, usize)> = Vec::new();
+    for id in tree.ids() {
+        let n = tree.node(id);
+        if id == tree.root() {
+            continue;
+        }
+        if !tag_pos.contains(&(n.tag.clone(), n.pos)) {
+            tag_pos.push((n.tag.clone(), n.pos));
+        }
+    }
+    let mut tags: Vec<String> = tag_pos.iter().map(|(t, _)| t.clone()).collect();
+    tags.dedup();
+    tags.sort();
+    tags.dedup();
+    for tag in &tags {
+        letters.push(ExtractorStep::Children(tag.clone()));
+        letters.push(ExtractorStep::Descendants(tag.clone()));
+    }
+    tag_pos.sort();
+    for (tag, pos) in tag_pos {
+        letters.push(ExtractorStep::PChildren(tag, pos));
+    }
+    letters
+}
+
+/// Applies one extractor step to a node set.
+pub fn apply_step(tree: &Hdt, set: &[NodeId], step: &ExtractorStep) -> Vec<NodeId> {
+    match step {
+        ExtractorStep::Children(tag) => set
+            .iter()
+            .flat_map(|n| tree.children_with_tag(*n, tag))
+            .collect(),
+        ExtractorStep::PChildren(tag, pos) => set
+            .iter()
+            .flat_map(|n| tree.children_with_tag_pos(*n, tag, *pos))
+            .collect(),
+        ExtractorStep::Descendants(tag) => set
+            .iter()
+            .flat_map(|n| tree.descendants_with_tag(*n, tag))
+            .collect(),
+    }
+}
+
+/// Canonicalizes a node set: sorted, deduplicated.
+fn canonical(mut set: Vec<NodeId>) -> Vec<NodeId> {
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+/// `s ⊇ column`: every value in the column equals the data stored at some node in `s`.
+pub fn covers_column(tree: &Hdt, set: &[NodeId], column: &[Value]) -> bool {
+    if column.is_empty() {
+        return !set.is_empty();
+    }
+    let available: Vec<Value> = set
+        .iter()
+        .map(|n| match tree.data(*n) {
+            Some(d) => Value::from_data(d),
+            None => Value::Null,
+        })
+        .collect();
+    column.iter().all(|v| available.iter().any(|a| a == v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitra_dsl::ast::ColumnExtractor;
+    use mitra_dsl::eval::eval_column;
+    use mitra_hdt::generate::social_network;
+
+    fn name_column() -> Vec<Value> {
+        vec![Value::str("Alice"), Value::str("Bob")]
+    }
+
+    #[test]
+    fn construct_finds_accepting_state_for_names() {
+        let t = social_network(2, 1);
+        let dfa = Dfa::construct(&t, &name_column(), DfaLimits::default());
+        assert!(dfa.has_accepting_state());
+        assert!(!dfa.truncated);
+        assert!(dfa.num_states() > 1);
+    }
+
+    #[test]
+    fn accepted_words_are_consistent_extractors() {
+        let t = social_network(2, 1);
+        let col = name_column();
+        let dfa = Dfa::construct(&t, &col, DfaLimits::default());
+        let words = dfa.enumerate(4, 50);
+        assert!(!words.is_empty());
+        for w in &words {
+            assert!(dfa.accepts(w));
+            let pi = ColumnExtractor::from_steps(w);
+            let nodes = eval_column(&t, &pi);
+            assert!(covers_column(&t, &nodes, &col), "word {w:?} does not cover");
+        }
+    }
+
+    #[test]
+    fn expected_extractor_is_accepted() {
+        let t = social_network(2, 1);
+        let dfa = Dfa::construct(&t, &name_column(), DfaLimits::default());
+        // pchildren(children(s, Person), name, 0)  — the paper's π11
+        let word = vec![
+            ExtractorStep::Children("Person".into()),
+            ExtractorStep::PChildren("name".into(), 0),
+        ];
+        assert!(dfa.accepts(&word));
+        // descendants(s, name) also covers the column
+        let word2 = vec![ExtractorStep::Descendants("name".into())];
+        assert!(dfa.accepts(&word2));
+        // children(s, name) does not (names are not direct children of the root)
+        let word3 = vec![ExtractorStep::Children("name".into())];
+        assert!(!dfa.accepts(&word3));
+    }
+
+    #[test]
+    fn intersection_restricts_language() {
+        let t1 = social_network(2, 1);
+        let t2 = social_network(3, 1);
+        let col1 = vec![Value::str("Alice"), Value::str("Bob")];
+        let col2 = vec![Value::str("Alice"), Value::str("Bob"), Value::str("Carol")];
+        let d1 = Dfa::construct(&t1, &col1, DfaLimits::default());
+        let d2 = Dfa::construct(&t2, &col2, DfaLimits::default());
+        let both = d1.intersect(&d2);
+        assert!(both.has_accepting_state());
+        let words = both.enumerate(4, 100);
+        for w in &words {
+            assert!(d1.accepts(w) && d2.accepts(w));
+        }
+    }
+
+    #[test]
+    fn intersection_with_impossible_column_is_empty() {
+        let t = social_network(2, 1);
+        let d1 = Dfa::construct(&t, &name_column(), DfaLimits::default());
+        let d2 = Dfa::construct(&t, &[Value::str("does-not-exist")], DfaLimits::default());
+        assert!(!d2.has_accepting_state());
+        let both = d1.intersect(&d2);
+        assert!(both.enumerate(4, 10).is_empty());
+    }
+
+    #[test]
+    fn enumeration_is_shortest_first() {
+        let t = social_network(2, 1);
+        let dfa = Dfa::construct(&t, &name_column(), DfaLimits::default());
+        let words = dfa.enumerate(4, 100);
+        for pair in words.windows(2) {
+            assert!(pair[0].len() <= pair[1].len());
+        }
+    }
+
+    #[test]
+    fn limits_truncate_construction() {
+        let t = social_network(6, 3);
+        let limits = DfaLimits {
+            max_states: 3,
+            max_word_len: 2,
+        };
+        let dfa = Dfa::construct(&t, &name_column(), limits);
+        assert!(dfa.num_states() <= 3);
+    }
+
+    #[test]
+    fn covers_column_requires_all_values() {
+        let t = social_network(2, 1);
+        let persons = t.children_with_tag(t.root(), "Person");
+        let names: Vec<NodeId> = persons.iter().map(|p| t.child(*p, "name", 0).unwrap()).collect();
+        assert!(covers_column(&t, &names, &name_column()));
+        assert!(!covers_column(&t, &names[..1], &name_column()));
+    }
+}

@@ -1,0 +1,39 @@
+//! # mitra-synth — the Mitra synthesis engine
+//!
+//! This crate implements the paper's synthesis algorithm (Section 5) and its
+//! optimizations (Section 6, Appendix C):
+//!
+//! * [`dfa`] — deterministic finite automata whose states are node sets of an HDT and
+//!   whose alphabet is the column-extractor operators (Figure 9); supports
+//!   intersection and shortest-word enumeration.
+//! * [`column`] — `LearnColExtractors` (Algorithm 2): learning the set of column
+//!   extraction programs consistent with all examples.
+//! * [`universe`] — construction of the atomic-predicate universe (Figure 10).
+//! * [`cover`] — the 0–1 ILP / minimum set-cover solver behind `FindMinCover`
+//!   (Algorithm 4), with both an exact branch-and-bound mode and a greedy mode.
+//! * [`qm`] — Quine–McCluskey logic minimization with don't-cares plus a Petrick-style
+//!   minimum prime-implicant cover, used to produce the smallest DNF classifier.
+//! * [`predicate`] — `LearnPredicate` (Algorithm 3): positive/negative example
+//!   construction and classifier learning.
+//! * [`synthesize`] — `LearnTransformation` (Algorithm 1): the top-level loop with the
+//!   Occam's-razor ranking of Section 6.
+//! * [`optimize`]/[`exec`] — the Appendix C program optimizer and an execution engine
+//!   that replaces the naive cross-product semantics with filters and hash joins.
+//! * [`baseline`] — a deliberately naive enumerative synthesizer used for the ablation
+//!   experiments (E7 in DESIGN.md).
+
+pub mod baseline;
+pub mod column;
+pub mod cover;
+pub mod dfa;
+pub mod exec;
+pub mod optimize;
+pub mod predicate;
+pub mod qm;
+pub mod synthesize;
+pub mod universe;
+
+pub use column::learn_column_extractors;
+pub use exec::execute;
+pub use predicate::learn_predicate;
+pub use synthesize::{learn_transformation, Example, SynthConfig, SynthError, Synthesis};

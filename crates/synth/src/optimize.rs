@@ -1,0 +1,212 @@
+//! Program optimization (Appendix C): shared-prefix detection and plan reporting.
+//!
+//! Beyond the join-based execution engine in [`crate::exec`], Appendix C of the paper
+//! describes an optimization that detects when two column extractors, composed with the
+//! node extractors of an equality predicate, are *semantically equivalent prefixes* of
+//! each other — in which case a single traversal can drive both columns and the
+//! predicate is guaranteed by construction.  This module implements that analysis and a
+//! human-readable optimization report; the actual execution uses [`crate::exec`].
+
+use crate::exec::{plan, Plan};
+use mitra_dsl::ast::{ColumnExtractor, NodeExtractor, Program};
+use mitra_dsl::eval::{eval_column, eval_node_extractor};
+use mitra_hdt::{Hdt, NodeId};
+
+/// A detected sharing opportunity: evaluating `shared_prefix` once can drive both
+/// columns `left_col` and `right_col` of the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedPrefix {
+    /// First column involved.
+    pub left_col: usize,
+    /// Second column involved.
+    pub right_col: usize,
+    /// The prefix of the column extractors that the two columns can share.
+    pub shared_prefix: ColumnExtractor,
+}
+
+/// Report produced by the optimizer for a given program and witness tree.
+#[derive(Debug, Clone)]
+pub struct OptimizationReport {
+    /// The join/filter plan of the execution engine.
+    pub plan: Plan,
+    /// Shared prefixes detected between column pairs connected by equality predicates.
+    pub shared_prefixes: Vec<SharedPrefix>,
+    /// Number of predicate clauses that could be turned into joins or pushed down.
+    pub optimized_clauses: usize,
+    /// Number of clauses left as residual filtering.
+    pub residual_atoms: usize,
+}
+
+/// Analyses a program against a witness tree (typically the example input) and reports
+/// which parts of the predicate can be optimized away.
+pub fn analyze(tree: &Hdt, program: &Program) -> OptimizationReport {
+    let p = plan(program);
+    let mut shared = Vec::new();
+    for j in &p.joins {
+        if let Some(prefix) = shared_prefix_for(
+            tree,
+            &program.extractor.columns[j.left_col],
+            &j.left_extractor,
+            &program.extractor.columns[j.right_col],
+            &j.right_extractor,
+        ) {
+            shared.push(SharedPrefix {
+                left_col: j.left_col,
+                right_col: j.right_col,
+                shared_prefix: prefix,
+            });
+        }
+    }
+    let optimized_clauses =
+        p.joins.len() + p.column_filters.iter().map(Vec::len).sum::<usize>();
+    let residual_atoms = p.residual.atom_count();
+    OptimizationReport {
+        plan: p,
+        shared_prefixes: shared,
+        optimized_clauses,
+        residual_atoms,
+    }
+}
+
+/// Checks whether composing each column extractor with its node extractor lands on a
+/// common prefix of both columns, per the Appendix C construction.  Two candidate
+/// programs are considered semantically equivalent when they produce the same node set
+/// on the witness tree (the paper checks equivalence on the example trees as well).
+fn shared_prefix_for(
+    tree: &Hdt,
+    left_pi: &ColumnExtractor,
+    left_phi: &NodeExtractor,
+    right_pi: &ColumnExtractor,
+    right_phi: &NodeExtractor,
+) -> Option<ColumnExtractor> {
+    let left_targets = apply_composition(tree, left_pi, left_phi);
+    let right_targets = apply_composition(tree, right_pi, right_phi);
+    if left_targets.is_empty() || left_targets != right_targets {
+        return None;
+    }
+    // Find the longest common prefix of the two column extractors whose evaluation
+    // equals the shared target set.
+    let left_steps = left_pi.steps();
+    let right_steps = right_pi.steps();
+    let common_len = left_steps
+        .iter()
+        .zip(&right_steps)
+        .take_while(|(a, b)| a == b)
+        .count();
+    for len in (0..=common_len).rev() {
+        let prefix = ColumnExtractor::from_steps(&left_steps[..len]);
+        let mut nodes = eval_column(tree, &prefix);
+        nodes.sort_unstable();
+        nodes.dedup();
+        if nodes == left_targets {
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+fn apply_composition(tree: &Hdt, pi: &ColumnExtractor, phi: &NodeExtractor) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = eval_column(tree, pi)
+        .into_iter()
+        .filter_map(|n| eval_node_extractor(tree, n, phi))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesize::{learn_transformation, Example, SynthConfig};
+    use mitra_dsl::Table;
+    use mitra_hdt::generate::social_network;
+
+    fn motivating_program_and_tree() -> (Program, Hdt) {
+        let tree = social_network(3, 1);
+        let output = Table::from_rows(
+            &["Person", "Friend-with", "years"],
+            &[
+                &["Alice", "Bob", "12"],
+                &["Bob", "Carol", "23"],
+                &["Carol", "Alice", "31"],
+            ],
+        );
+        let ex = Example::new(tree.clone(), output);
+        let program = learn_transformation(&[ex], &SynthConfig::default())
+            .unwrap()
+            .program;
+        (program, tree)
+    }
+
+    #[test]
+    fn analysis_finds_optimizable_clauses() {
+        let (program, tree) = motivating_program_and_tree();
+        let report = analyze(&tree, &program);
+        assert!(report.optimized_clauses >= 1);
+        // The motivating example's predicate is a pure conjunction of equalities, so
+        // nothing should remain residual.
+        assert_eq!(report.residual_atoms, 0);
+    }
+
+    #[test]
+    fn shared_prefix_detected_for_parent_join() {
+        // Columns: name of a person and years of the same person.  The predicate
+        // parent(t[0]) = parent(parent(parent(t[2]))) means both compositions land on
+        // the Person node, whose extractor children(s, Person) is a prefix of both.
+        use mitra_dsl::ast::{CompareOp, Operand, Predicate, TableExtractor};
+        use ColumnExtractor as CE;
+        let tree = social_network(2, 1);
+        let name = CE::pchildren(CE::children(CE::Input, "Person"), "name", 0);
+        let years = CE::pchildren(
+            CE::children(
+                CE::pchildren(CE::children(CE::Input, "Person"), "Friendship", 0),
+                "Friend",
+            ),
+            "years",
+            0,
+        );
+        let pred = Predicate::Compare {
+            extractor: NodeExtractor::parent(NodeExtractor::Id),
+            index: 0,
+            op: CompareOp::Eq,
+            rhs: Operand::Column {
+                extractor: NodeExtractor::parent(NodeExtractor::parent(NodeExtractor::parent(
+                    NodeExtractor::Id,
+                ))),
+                index: 1,
+            },
+        };
+        let program = Program::new(TableExtractor::new(vec![name, years]), pred);
+        let report = analyze(&tree, &program);
+        assert_eq!(report.shared_prefixes.len(), 1);
+        let sp = &report.shared_prefixes[0];
+        assert_eq!(
+            sp.shared_prefix,
+            CE::children(CE::Input, "Person"),
+            "expected the Person child extractor as shared prefix"
+        );
+    }
+
+    #[test]
+    fn unrelated_columns_share_nothing() {
+        use mitra_dsl::ast::{CompareOp, Operand, Predicate, TableExtractor};
+        use ColumnExtractor as CE;
+        let tree = social_network(2, 1);
+        let names = CE::pchildren(CE::children(CE::Input, "Person"), "name", 0);
+        let ids = CE::pchildren(CE::children(CE::Input, "Person"), "id", 0);
+        // Predicate compares the *data* of unrelated nodes; compositions differ.
+        let pred = Predicate::Compare {
+            extractor: NodeExtractor::Id,
+            index: 0,
+            op: CompareOp::Eq,
+            rhs: Operand::Column {
+                extractor: NodeExtractor::Id,
+                index: 1,
+            },
+        };
+        let program = Program::new(TableExtractor::new(vec![names, ids]), pred);
+        let report = analyze(&tree, &program);
+        assert!(report.shared_prefixes.is_empty());
+    }
+}

@@ -1,0 +1,385 @@
+//! Top-level synthesis (`LearnTransformation`, Algorithm 1).
+//!
+//! The algorithm learns, for each output column, a set of candidate column extractors
+//! (via the DFA machinery of [`crate::column`]), forms candidate table extractors from
+//! their cartesian product, learns a filtering predicate for each candidate
+//! ([`crate::predicate`]), validates the resulting program against every example, and
+//! finally returns the program minimizing the Occam's-razor cost θ.
+
+use crate::column::{learn_column_extractors, ColumnLearnConfig};
+use crate::dfa::DfaLimits;
+use crate::predicate::{learn_predicate, PredicateLearnConfig};
+use crate::universe::UniverseConfig;
+use mitra_dsl::ast::{ColumnExtractor, Program, TableExtractor};
+use mitra_dsl::cost::{cost, Cost};
+use mitra_dsl::eval::eval_program;
+use mitra_dsl::Table;
+use mitra_hdt::Hdt;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One input–output example: an HDT and the relational table it should map to.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// The input hierarchical data tree.
+    pub tree: Hdt,
+    /// The expected output table.
+    pub output: Table,
+}
+
+impl Example {
+    /// Creates an example.
+    pub fn new(tree: Hdt, output: Table) -> Self {
+        Example { tree, output }
+    }
+}
+
+/// Tunable parameters of the synthesizer.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Limits for DFA construction and enumeration.
+    pub dfa_limits: DfaLimits,
+    /// Maximum candidate column extractors per column.
+    pub max_column_candidates: usize,
+    /// Maximum candidate table extractors (combinations) tried.
+    pub max_table_candidates: usize,
+    /// Predicate-universe knobs.
+    pub universe: UniverseConfig,
+    /// Maximum intermediate-table size per example.
+    pub max_intermediate_rows: usize,
+    /// Whether the exact (ILP-equivalent) cover solver is used.
+    pub exact_cover: bool,
+    /// Overall wall-clock budget; `None` means unlimited.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            dfa_limits: DfaLimits::default(),
+            max_column_candidates: 16,
+            max_table_candidates: 128,
+            universe: UniverseConfig::default(),
+            max_intermediate_rows: 50_000,
+            exact_cover: true,
+            timeout: Some(Duration::from_secs(120)),
+        }
+    }
+}
+
+/// Reasons why synthesis can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// No examples were provided, or an example had zero columns.
+    EmptySpecification,
+    /// The examples disagree on the number of output columns.
+    InconsistentArity,
+    /// No column extractor consistent with the examples exists for the given column.
+    NoColumnExtractor(usize),
+    /// Column extractors were found but no (extractor, predicate) combination
+    /// reproduces the examples.
+    NoProgram,
+    /// The configured timeout was exceeded before a program was found.
+    Timeout,
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::EmptySpecification => write!(f, "no usable input-output examples"),
+            SynthError::InconsistentArity => {
+                write!(f, "output examples have different numbers of columns")
+            }
+            SynthError::NoColumnExtractor(i) => {
+                write!(f, "no column extractor found for column {i}")
+            }
+            SynthError::NoProgram => write!(f, "no DSL program is consistent with the examples"),
+            SynthError::Timeout => write!(f, "synthesis timed out"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Result of a successful synthesis, with statistics used by the benchmark harness.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The best (lowest-cost) program found.
+    pub program: Program,
+    /// Its cost under θ.
+    pub cost: Cost,
+    /// Number of candidate table extractors examined.
+    pub candidates_tried: usize,
+    /// Number of candidate programs that satisfied all examples.
+    pub programs_found: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Learns a DSL program consistent with the given examples (Algorithm 1).
+pub fn learn_transformation(
+    examples: &[Example],
+    config: &SynthConfig,
+) -> Result<Synthesis, SynthError> {
+    let start = Instant::now();
+    if examples.is_empty() {
+        return Err(SynthError::EmptySpecification);
+    }
+    let arity = examples[0].output.arity();
+    if arity == 0 {
+        return Err(SynthError::EmptySpecification);
+    }
+    if examples.iter().any(|e| e.output.arity() != arity) {
+        return Err(SynthError::InconsistentArity);
+    }
+
+    // Phase 1: learn candidate column extractors per column.
+    let col_config = ColumnLearnConfig {
+        limits: config.dfa_limits,
+        max_candidates: config.max_column_candidates,
+    };
+    let mut per_column: Vec<Vec<ColumnExtractor>> = Vec::with_capacity(arity);
+    for col in 0..arity {
+        let cands = learn_column_extractors(examples, col, &col_config);
+        if cands.is_empty() {
+            return Err(SynthError::NoColumnExtractor(col));
+        }
+        per_column.push(cands);
+    }
+
+    // Phase 2: iterate over table extractors (cartesian product of candidates, in
+    // order of increasing total size) and learn a predicate for each.
+    let combos = ordered_combinations(&per_column, config.max_table_candidates);
+    let pred_config = PredicateLearnConfig {
+        universe: config.universe,
+        max_intermediate_rows: config.max_intermediate_rows,
+        exact_cover: config.exact_cover,
+        ..Default::default()
+    };
+
+    let mut best: Option<(Program, Cost)> = None;
+    let mut candidates_tried = 0usize;
+    let mut programs_found = 0usize;
+    let mut timed_out = false;
+
+    for combo in combos {
+        if let Some(limit) = config.timeout {
+            if start.elapsed() > limit {
+                timed_out = true;
+                break;
+            }
+        }
+        candidates_tried += 1;
+        let psi = TableExtractor::new(combo);
+        let Some(phi) = learn_predicate(examples, &psi, &pred_config) else {
+            continue;
+        };
+        let mut program = Program::new(psi, phi);
+        program.column_names = examples[0].output.columns.clone();
+        // Validate against every example (Theorem 3 soundness check).
+        if !examples
+            .iter()
+            .all(|ex| eval_program(&ex.tree, &program).same_bag(&ex.output))
+        {
+            continue;
+        }
+        programs_found += 1;
+        let c = cost(&program);
+        let better = match &best {
+            None => true,
+            Some((_, bc)) => c < *bc,
+        };
+        if better {
+            best = Some((program, c));
+        }
+    }
+
+    match best {
+        Some((program, c)) => Ok(Synthesis {
+            program,
+            cost: c,
+            candidates_tried,
+            programs_found,
+            elapsed: start.elapsed(),
+        }),
+        None => {
+            if timed_out {
+                Err(SynthError::Timeout)
+            } else {
+                Err(SynthError::NoProgram)
+            }
+        }
+    }
+}
+
+/// Enumerates combinations (one candidate per column), ordered by the total size of
+/// the chosen extractors so that simpler table extractors are tried first, capped at
+/// `max` combinations.
+fn ordered_combinations(per_column: &[Vec<ColumnExtractor>], max: usize) -> Vec<Vec<ColumnExtractor>> {
+    let mut combos: Vec<Vec<usize>> = vec![vec![]];
+    for cands in per_column {
+        let mut next = Vec::new();
+        for combo in &combos {
+            for (i, _) in cands.iter().enumerate() {
+                let mut c = combo.clone();
+                c.push(i);
+                next.push(c);
+            }
+        }
+        combos = next;
+        // Keep the combination count in check as we go: sort by partial size and trim.
+        if combos.len() > max * 8 {
+            combos.sort_by_key(|c| partial_size(per_column, c));
+            combos.truncate(max * 8);
+        }
+    }
+    combos.sort_by_key(|c| partial_size(per_column, c));
+    combos.truncate(max);
+    combos
+        .into_iter()
+        .map(|idxs| {
+            idxs.iter()
+                .enumerate()
+                .map(|(col, &i)| per_column[col][i].clone())
+                .collect()
+        })
+        .collect()
+}
+
+fn partial_size(per_column: &[Vec<ColumnExtractor>], combo: &[usize]) -> usize {
+    combo
+        .iter()
+        .enumerate()
+        .map(|(col, &i)| per_column[col][i].size())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitra_dsl::pretty;
+    use mitra_hdt::generate::{nested_objects, social_network, social_network_rows};
+
+    fn social_example(n: usize, f: usize) -> Example {
+        let tree = social_network(n, f);
+        let rows = social_network_rows(n, f);
+        let mut output = Table::new(vec![
+            "Person".to_string(),
+            "Friend-with".to_string(),
+            "years".to_string(),
+        ]);
+        for r in rows {
+            output.push(r.iter().map(|s| mitra_dsl::Value::from_data(s)).collect());
+        }
+        Example::new(tree, output)
+    }
+
+    #[test]
+    fn synthesizes_motivating_example() {
+        let ex = social_example(3, 1);
+        let result = learn_transformation(&[ex.clone()], &SynthConfig::default()).unwrap();
+        // The program must generalize: run it on a bigger document.
+        let big = social_example(5, 2);
+        let out = eval_program(&big.tree, &result.program);
+        assert!(
+            out.same_bag(&big.output),
+            "program does not generalize:\n{}\ngot {out}",
+            pretty::program_summary(&result.program)
+        );
+        assert!(result.cost.atoms >= 1);
+    }
+
+    #[test]
+    fn synthesizes_single_column_projection() {
+        let ex = Example::new(
+            social_network(3, 1),
+            Table::from_rows(&["name"], &[&["Alice"], &["Bob"], &["Carol"]]),
+        );
+        let result = learn_transformation(&[ex], &SynthConfig::default()).unwrap();
+        assert_eq!(result.program.arity(), 1);
+        // Simplest program should need no predicate atoms at all.
+        assert_eq!(result.cost.atoms, 0);
+    }
+
+    #[test]
+    fn synthesizes_figure8_example() {
+        let tree = nested_objects();
+        let output = Table::from_rows(&["outer", "inner"], &[&["outer-a", "inner-a"]]);
+        let ex = Example::new(tree, output);
+        let result = learn_transformation(&[ex.clone()], &SynthConfig::default()).unwrap();
+        let check = eval_program(&ex.tree, &result.program);
+        assert!(check.same_bag(&ex.output));
+    }
+
+    #[test]
+    fn error_on_empty_examples() {
+        assert_eq!(
+            learn_transformation(&[], &SynthConfig::default()).unwrap_err(),
+            SynthError::EmptySpecification
+        );
+    }
+
+    #[test]
+    fn error_on_inconsistent_arity() {
+        let e1 = Example::new(social_network(2, 1), Table::from_rows(&["a"], &[&["Alice"]]));
+        let e2 = Example::new(
+            social_network(2, 1),
+            Table::from_rows(&["a", "b"], &[&["Alice", "Bob"]]),
+        );
+        assert_eq!(
+            learn_transformation(&[e1, e2], &SynthConfig::default()).unwrap_err(),
+            SynthError::InconsistentArity
+        );
+    }
+
+    #[test]
+    fn error_when_column_value_missing_from_tree() {
+        let ex = Example::new(
+            social_network(2, 1),
+            Table::from_rows(&["x"], &[&["not-in-the-tree"]]),
+        );
+        match learn_transformation(&[ex], &SynthConfig::default()) {
+            Err(SynthError::NoColumnExtractor(0)) => {}
+            other => panic!("expected NoColumnExtractor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ranking_prefers_fewer_atoms() {
+        // For the simple projection task the chosen program must not carry a
+        // gratuitous predicate even though predicated programs also satisfy it.
+        let ex = Example::new(
+            social_network(2, 1),
+            Table::from_rows(&["id"], &[&["1"], &["2"]]),
+        );
+        let result = learn_transformation(&[ex], &SynthConfig::default()).unwrap();
+        assert_eq!(result.cost.atoms, 0);
+    }
+
+    #[test]
+    fn multiple_examples_are_all_satisfied() {
+        let e1 = social_example(2, 1);
+        let e2 = social_example(3, 1);
+        let result = learn_transformation(&[e1.clone(), e2.clone()], &SynthConfig::default()).unwrap();
+        for ex in [e1, e2] {
+            assert!(eval_program(&ex.tree, &result.program).same_bag(&ex.output));
+        }
+    }
+
+    #[test]
+    fn combination_ordering_is_by_size() {
+        let small = ColumnExtractor::children(ColumnExtractor::Input, "a");
+        let big = ColumnExtractor::descendants(
+            ColumnExtractor::children(ColumnExtractor::Input, "a"),
+            "b",
+        );
+        let combos = ordered_combinations(&[vec![small.clone(), big.clone()], vec![small, big]], 10);
+        let sizes: Vec<usize> = combos
+            .iter()
+            .map(|c| c.iter().map(ColumnExtractor::size).sum())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based integration tests: parser round-trips and execution-engine
+//! equivalence over randomly generated documents and programs.
+
+use mitra::dsl::ast::{ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, TableExtractor};
+use mitra::dsl::eval::eval_program;
+use mitra::dsl::validate::validate_against;
+use mitra::dsl::{Program, Value};
+use mitra::hdt::html::parse_html;
+use mitra::hdt::{parse_json, parse_xml, Hdt, JsonValue};
+use mitra::migrate::query::run_query;
+use mitra::migrate::{Column, Database, Schema, TableSchema};
+use mitra::synth::exec::execute;
+use proptest::prelude::*;
+
+/// Strategy for arbitrary JSON values of bounded depth.
+fn json_value(depth: u32) -> impl Strategy<Value = JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        (-1000i64..1000).prop_map(|i| JsonValue::Number(i as f64)),
+        "[a-zA-Z0-9 _-]{0,12}".prop_map(JsonValue::String),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..4)
+                .prop_map(JsonValue::Object),
+        ]
+    })
+}
+
+/// Strategy for small random trees built through the builder API.
+fn random_tree() -> impl Strategy<Value = Hdt> {
+    // Tags drawn from a small alphabet so that structure repeats and extractors match.
+    let ops = prop::collection::vec((0u8..3, 0usize..4, 0usize..50), 1..40);
+    ops.prop_map(|ops| {
+        let tags = ["item", "group", "entry", "field"];
+        let mut tree = Hdt::with_root("root");
+        let mut stack = vec![tree.root()];
+        for (kind, tag_idx, val) in ops {
+            match kind {
+                0 => {
+                    let id = tree.add_child(*stack.last().unwrap(), tags[tag_idx], None);
+                    stack.push(id);
+                }
+                1 => {
+                    tree.add_child(
+                        *stack.last().unwrap(),
+                        tags[tag_idx],
+                        Some(val.to_string()),
+                    );
+                }
+                _ => {
+                    if stack.len() > 1 {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        tree
+    })
+}
+
+/// Strategy for simple programs over the random-tree tag alphabet.
+fn random_program() -> impl Strategy<Value = Program> {
+    let tags = prop_oneof![
+        Just("item".to_string()),
+        Just("group".to_string()),
+        Just("entry".to_string()),
+        Just("field".to_string()),
+    ];
+    let extractor = prop::collection::vec((0u8..3, tags.clone(), 0usize..2), 1..3).prop_map(|steps| {
+        let mut pi = ColumnExtractor::Input;
+        for (kind, tag, pos) in steps {
+            pi = match kind {
+                0 => ColumnExtractor::children(pi, tag),
+                1 => ColumnExtractor::pchildren(pi, tag, pos),
+                _ => ColumnExtractor::descendants(pi, tag),
+            };
+        }
+        pi
+    });
+    (
+        prop::collection::vec(extractor, 1..3),
+        0usize..50,
+        prop_oneof![
+            Just(CompareOp::Eq),
+            Just(CompareOp::Ne),
+            Just(CompareOp::Lt),
+            Just(CompareOp::Gt)
+        ],
+    )
+        .prop_map(|(cols, constant, op)| {
+            let arity = cols.len();
+            let pred = Predicate::Compare {
+                extractor: NodeExtractor::Id,
+                index: arity - 1,
+                op,
+                rhs: Operand::Const(Value::int(constant as i64)),
+            };
+            Program::new(TableExtractor::new(cols), pred)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn json_pretty_roundtrip(value in json_value(3)) {
+        let text = value.to_string_pretty();
+        let reparsed = parse_json(&text).expect("pretty output parses");
+        prop_assert_eq!(&reparsed, &value);
+        let compact = value.to_string_compact();
+        prop_assert_eq!(parse_json(&compact).expect("compact output parses"), value);
+    }
+
+    #[test]
+    fn xml_roundtrip_of_generated_trees(tree in random_tree()) {
+        // Serialize via the datagen helper and reparse through the XML plug-in; the
+        // resulting HDT must have the same number of data leaves.
+        let xml = mitra::datagen::corpus::hdt_to_xml_text(&tree);
+        let doc = parse_xml(&xml).expect("generated XML parses");
+        let reparsed = doc.to_hdt();
+        prop_assert_eq!(
+            reparsed.data_values().len(),
+            tree.data_values().len()
+        );
+    }
+
+    #[test]
+    fn optimized_execution_agrees_with_naive_semantics(
+        tree in random_tree(),
+        program in random_program()
+    ) {
+        let naive = eval_program(&tree, &program);
+        let fast = execute(&tree, &program);
+        prop_assert!(naive.same_bag(&fast), "naive {} vs fast {}", naive.len(), fast.len());
+    }
+
+    #[test]
+    fn generated_trees_always_validate(tree in random_tree()) {
+        prop_assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn parse_and_pretty_roundtrip_for_random_programs(program in random_program()) {
+        // Printing a program in the paper's textual syntax and parsing it back must
+        // yield a program with identical behaviour (same AST up to column names).
+        let text = mitra::dsl::pretty::program(&program);
+        let reparsed = mitra::dsl::parse::parse_program(&text).expect("pretty output parses");
+        prop_assert_eq!(reparsed.extractor, program.extractor);
+        prop_assert_eq!(reparsed.predicate, program.predicate);
+    }
+
+    #[test]
+    fn random_programs_validate_cleanly_against_random_trees(
+        tree in random_tree(),
+        program in random_program()
+    ) {
+        // The generated programs stay within the tag alphabet and tuple arity, so the
+        // validator must never report errors (warnings about missing tags are fine).
+        let validation = validate_against(&program, &tree);
+        prop_assert!(validation.is_valid(), "unexpected errors: {:?}", validation.errors());
+    }
+
+    #[test]
+    fn html_parser_is_total_on_tagged_input(
+        prefix in "[ a-zA-Z0-9>=\"']{0,40}",
+        tag in "[a-z]{1,8}",
+        body in "[ a-zA-Z0-9&;<]{0,30}"
+    ) {
+        // The lenient HTML parser must never panic, and any input whose first markup is
+        // a well-formed opening tag must produce a document.  (A `<`-containing prefix
+        // could swallow the tag as a bogus comment, browser-style, so the prefix stays
+        // markup-free; hostile prefixes are covered by unit tests in the html module.)
+        let html = format!("{prefix}<{tag}>{body}");
+        let parsed = parse_html(&html);
+        prop_assert!(parsed.is_ok(), "input with a tag must parse: {html}");
+        // Whatever markup soup surrounded it, the parser produced a lowercase-named
+        // element tree (the prefix may legitimately contribute the root element).
+        let root = parsed.unwrap().root;
+        prop_assert!(!root.name.is_empty());
+        prop_assert!(root.name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()
+            || c == '-' || c == '_' || c == ':'));
+    }
+
+    #[test]
+    fn sql_where_filter_matches_direct_evaluation(
+        values in prop::collection::vec((0i64..100, 0i64..100), 1..40),
+        threshold in 0i64..100
+    ) {
+        // A single-table WHERE query must return exactly the rows whose column passes
+        // the comparison, in the original order.
+        let schema = Schema::new().with_table(TableSchema::new(
+            "t",
+            vec![Column::integer("a"), Column::integer("b")],
+        ));
+        let mut db = Database::new(schema);
+        for (a, b) in &values {
+            db.insert("t", vec![Value::int(*a), Value::int(*b)]);
+        }
+        let sql = format!("SELECT a, b FROM t WHERE a >= {threshold}");
+        let result = run_query(&db, &sql).expect("query runs");
+        let expected: Vec<Vec<Value>> = values
+            .iter()
+            .filter(|(a, _)| *a >= threshold)
+            .map(|(a, b)| vec![Value::int(*a), Value::int(*b)])
+            .collect();
+        prop_assert_eq!(result.rows, expected);
+
+        // COUNT(*) agrees with the filtered row count.
+        let count_sql = format!("SELECT COUNT(*) FROM t WHERE a >= {threshold}");
+        let count = run_query(&db, &count_sql).expect("count runs");
+        let expected_count = values.iter().filter(|(a, _)| *a >= threshold).count() as i64;
+        prop_assert_eq!(count.rows[0][0].clone(), Value::int(expected_count));
+    }
+}
