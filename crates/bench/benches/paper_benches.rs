@@ -19,7 +19,9 @@ use mitra_datagen::corpus::Category;
 use mitra_datagen::datasets::{dataset_synth_config, dblp, yelp};
 use mitra_datagen::{generate_corpus, social};
 use mitra_dsl::eval::eval_program;
-use mitra_synth::baseline::{enumerate_column_extractors_blind, learn_transformation_baseline, EnumerationStats};
+use mitra_synth::baseline::{
+    enumerate_column_extractors_blind, learn_transformation_baseline, EnumerationStats,
+};
 use mitra_synth::column::{learn_column_extractors, ColumnLearnConfig};
 use mitra_synth::exec::execute;
 use mitra_synth::predicate::{learn_predicate, PredicateLearnConfig};
@@ -36,7 +38,10 @@ fn bench_table1_synthesis(c: &mut Criterion) {
     let tasks = generate_corpus();
     let config = table1_config();
     let mut group = c.benchmark_group("table1_synthesis");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     for cat in [
         Category::AtMostTwo,
         Category::Three,
@@ -60,7 +65,10 @@ fn bench_table1_synthesis(c: &mut Criterion) {
 /// Table 2: per-dataset single-table synthesis and scaled execution.
 fn bench_table2_migration(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_migration");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
 
     // Synthesis component: one representative table per dataset format.
     let dblp_spec = dblp();
@@ -84,9 +92,10 @@ fn bench_table2_migration(c: &mut Criterion) {
     });
 
     // Execution component: run the synthesized program over a scaled document.
-    let program = learn_transformation(std::slice::from_ref(&dblp_example), &dataset_synth_config())
-        .expect("synthesis")
-        .program;
+    let program =
+        learn_transformation(std::slice::from_ref(&dblp_example), &dataset_synth_config())
+            .expect("synthesis")
+            .program;
     let (big, _) = dblp_spec.generate(200);
     group.bench_function("execute/dblp_phdthesis_x200", |b| {
         b.iter(|| execute(&big, &program))
@@ -99,14 +108,15 @@ fn bench_execution_scaling(c: &mut Criterion) {
     let synthesis = learn_transformation(&[social::training_example()], &SynthConfig::default())
         .expect("synthesis");
     let mut group = c.benchmark_group("execution_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     for elements in [1_000usize, 10_000] {
         let doc = social::social_network_with_elements(elements, 2);
-        group.bench_with_input(
-            BenchmarkId::new("elements", elements),
-            &doc,
-            |b, doc| b.iter(|| execute(doc, &synthesis.program)),
-        );
+        group.bench_with_input(BenchmarkId::new("elements", elements), &doc, |b, doc| {
+            b.iter(|| execute(doc, &synthesis.program))
+        });
     }
     group.finish();
 }
@@ -114,7 +124,10 @@ fn bench_execution_scaling(c: &mut Criterion) {
 /// E7 ablations.
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
 
     // (a) optimized join execution vs naive cross-product semantics.
     let synthesis = learn_transformation(&[social::training_example()], &SynthConfig::default())

@@ -20,7 +20,11 @@ fn main() {
                 if r.solved { "ok " } else { "FAIL" },
                 r.name,
                 r.time,
-                if task.expressible { "" } else { "(expected unsolved: outside DSL)" }
+                if task.expressible {
+                    ""
+                } else {
+                    "(expected unsolved: outside DSL)"
+                }
             );
             (task.category, r)
         })
@@ -29,7 +33,18 @@ fn main() {
     println!("\nTable 1 — synthesis over the 98-task corpus (reproduction)\n");
     println!(
         "{:<6} {:<6} | {:>5} {:>7} | {:>10} {:>10} | {:>9} {:>9} {:>7} {:>7} | {:>6} {:>6}",
-        "Format", "#Cols", "Total", "#Solved", "Median(s)", "Avg(s)", "ElemsMed", "ElemsAvg", "RowsMed", "RowsAvg", "#Preds", "LOC"
+        "Format",
+        "#Cols",
+        "Total",
+        "#Solved",
+        "Median(s)",
+        "Avg(s)",
+        "ElemsMed",
+        "ElemsAvg",
+        "RowsMed",
+        "RowsAvg",
+        "#Preds",
+        "LOC"
     );
     let categories = [
         Category::AtMostTwo,

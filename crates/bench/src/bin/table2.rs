@@ -19,16 +19,23 @@ fn main() {
     println!("Table 2 — full-database migration of the dataset simulators (reproduction)\n");
     println!(
         "{:<9} {:<7} {:>9} | {:>7} {:>6} | {:>12} {:>12} | {:>9} {:>13} {:>13} | {:>10}",
-        "Name", "Format", "Elements", "#Tables", "#Cols", "SynthTot(s)", "SynthAvg(s)", "#Rows", "ExecTot(s)", "ExecAvg(s)", "Violations"
+        "Name",
+        "Format",
+        "Elements",
+        "#Tables",
+        "#Cols",
+        "SynthTot(s)",
+        "SynthAvg(s)",
+        "#Rows",
+        "ExecTot(s)",
+        "ExecAvg(s)",
+        "Violations"
     );
 
     for spec in all_datasets() {
         let plan = spec.migration_plan();
         let (document, _expected) = spec.generate(scale);
-        let elements = document
-            .ids()
-            .filter(|id| !document.is_leaf(*id))
-            .count();
+        let elements = document.ids().filter(|id| !document.is_leaf(*id)).count();
         match plan.run(&document) {
             Ok(report) => {
                 let n = report.tables.len() as f64;

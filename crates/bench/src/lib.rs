@@ -49,7 +49,8 @@ pub struct TaskResult {
 /// Runs the synthesizer on one corpus task and gathers the Table 1 statistics.
 pub fn run_task(task: &Task, config: &SynthConfig) -> TaskResult {
     let start = std::time::Instant::now();
-    let outcome: Result<Synthesis, _> = learn_transformation(std::slice::from_ref(&task.example), config);
+    let outcome: Result<Synthesis, _> =
+        learn_transformation(std::slice::from_ref(&task.example), config);
     let time = start.elapsed();
     match outcome {
         Ok(synthesis) => {
@@ -92,7 +93,7 @@ pub fn median(values: &[f64]) -> f64 {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mid = sorted.len() / 2;
-    if sorted.len() % 2 == 0 {
+    if sorted.len().is_multiple_of(2) {
         (sorted[mid - 1] + sorted[mid]) / 2.0
     } else {
         sorted[mid]

@@ -5,12 +5,12 @@
 //! touching the filesystem; [`crate::run_cli`] wires them to files and stdout.
 
 use mitra_codegen::{generate, Backend};
-use mitra_core::{parse_csv_table, Mitra};
+use mitra_core::{parse_csv_table, Mitra, MitraError};
 use mitra_datagen::corpus::generate_corpus;
 use mitra_datagen::datasets::{all_datasets, dataset_synth_config, DatasetSpec};
-use mitra_dsl::validate::validate_against;
 use mitra_dsl::parse::parse_program;
 use mitra_dsl::pretty;
+use mitra_dsl::validate::validate_against;
 use mitra_hdt::Hdt;
 use mitra_migrate::query::run_query;
 use mitra_synth::exec::execute;
@@ -62,7 +62,7 @@ impl Format {
             Format::Json => mitra_hdt::json::json_to_hdt(document),
             Format::Html => mitra_hdt::html::html_to_hdt(document),
         };
-        tree.map_err(|e| CliError::Input(format!("failed to parse input document: {e}")))
+        Ok(tree.map_err(MitraError::from)?)
     }
 
     /// The natural code-generation backend for this format.
@@ -116,7 +116,7 @@ pub fn synthesize(
         Format::Json => mitra.synthesize_from_json(&examples),
         Format::Html => mitra.synthesize_from_html(&examples),
     }
-    .map_err(|e| CliError::Synthesis(e.to_string()))?;
+    .map_err(CliError::from)?;
     let elapsed = start.elapsed();
 
     let mut out = String::new();
@@ -145,8 +145,7 @@ pub fn synthesize(
 /// render the resulting table as CSV.  Validation warnings are prepended as `--`
 /// comment lines.
 pub fn run_program(document: &str, program_text: &str, format: Format) -> Result<String, CliError> {
-    let program = parse_program(program_text)
-        .map_err(|e| CliError::Input(format!("failed to parse program: {e}")))?;
+    let program = parse_program(program_text).map_err(MitraError::from)?;
     let tree = format.parse(document)?;
 
     let validation = validate_against(&program, &tree);
@@ -177,7 +176,11 @@ pub fn corpus_report(limit: usize) -> String {
     let tasks = generate_corpus();
     let config = mitra_bench::table1_config();
     let mut out = String::new();
-    let _ = writeln!(out, "{:<4} {:<34} {:>6} {:>9} {:>7}", "id", "task", "format", "time(s)", "solved");
+    let _ = writeln!(
+        out,
+        "{:<4} {:<34} {:>6} {:>9} {:>7}",
+        "id", "task", "format", "time(s)", "solved"
+    );
     let mut solved = 0usize;
     let mut times = Vec::new();
     for task in tasks.iter().take(limit) {
@@ -216,9 +219,7 @@ pub fn migrate_dataset(
     let spec = find_dataset(name)?;
     let (document, _expected) = spec.generate(per_entity);
     let plan = spec.migration_plan();
-    let report = plan
-        .run(&document)
-        .map_err(|e| CliError::Synthesis(format!("migration failed: {e}")))?;
+    let report = plan.run(&document).map_err(MitraError::from)?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -244,8 +245,7 @@ pub fn migrate_dataset(
         );
     }
     if let Some(sql) = query {
-        let result = run_query(&report.database, sql)
-            .map_err(|e| CliError::Input(format!("query failed: {e}")))?;
+        let result = run_query(&report.database, sql).map_err(MitraError::from)?;
         let _ = writeln!(out, "query: {sql}");
         out.push_str(&result.to_csv());
     }
@@ -297,9 +297,7 @@ pub fn dataset_config_summary() -> String {
 /// Validates an example CSV early so the user gets a CSV error rather than a synthesis
 /// failure when the output example is malformed.
 pub fn check_output_example(csv: &str) -> Result<(), CliError> {
-    parse_csv_table(csv)
-        .map(|_| ())
-        .map_err(|e| CliError::Input(e.to_string()))
+    parse_csv_table(csv).map(|_| ()).map_err(CliError::from)
 }
 
 fn truncate(s: &str, max: usize) -> String {

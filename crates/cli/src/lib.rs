@@ -48,6 +48,26 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+impl From<mitra_core::MitraError> for CliError {
+    /// Routes the unified library error into the CLI's user-facing categories:
+    /// synthesis/migration failures are reported as synthesis errors, everything
+    /// else (document parsing, bad examples, bad programs, bad queries) as input
+    /// errors.
+    fn from(e: mitra_core::MitraError) -> Self {
+        use mitra_core::MitraError;
+        match &e {
+            MitraError::Synthesis(_) | MitraError::Migration(_) => {
+                CliError::Synthesis(e.to_string())
+            }
+            MitraError::Parse(_)
+            | MitraError::BadOutputExample(_)
+            | MitraError::DslParse(_)
+            | MitraError::Query(_)
+            | MitraError::Schema(_) => CliError::Input(e.to_string()),
+        }
+    }
+}
+
 /// The help text printed by `mitra-cli help` (and on usage errors).
 pub const USAGE: &str = "mitra-cli — programming-by-example migration of hierarchical data to relational tables
 

@@ -23,51 +23,20 @@
 
 use mitra_codegen::{generate, Artifact, Backend};
 use mitra_dsl::{Program, Table, Value};
-use mitra_hdt::{Hdt, HdtError};
+use mitra_hdt::Hdt;
+use mitra_migrate::migrate::{MigrationPlan, MigrationReport};
+use mitra_migrate::Database;
 use mitra_synth::exec::execute;
-use mitra_synth::synthesize::{learn_transformation, Example, SynthConfig, SynthError, Synthesis};
-use std::fmt;
+use mitra_synth::synthesize::{learn_transformation, Example, SynthConfig, Synthesis};
 
+pub mod error;
+
+pub use error::MitraError;
 pub use mitra_codegen as codegen;
 pub use mitra_dsl as dsl;
 pub use mitra_hdt as hdt;
 pub use mitra_migrate as migrate;
 pub use mitra_synth as synth;
-
-/// Errors surfaced by the high-level engine.
-#[derive(Debug)]
-pub enum MitraError {
-    /// The input document could not be parsed.
-    Parse(HdtError),
-    /// The output-example CSV could not be interpreted.
-    BadOutputExample(String),
-    /// Synthesis failed.
-    Synthesis(SynthError),
-}
-
-impl fmt::Display for MitraError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MitraError::Parse(e) => write!(f, "failed to parse input document: {e}"),
-            MitraError::BadOutputExample(e) => write!(f, "bad output example: {e}"),
-            MitraError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for MitraError {}
-
-impl From<HdtError> for MitraError {
-    fn from(e: HdtError) -> Self {
-        MitraError::Parse(e)
-    }
-}
-
-impl From<SynthError> for MitraError {
-    fn from(e: SynthError) -> Self {
-        MitraError::Synthesis(e)
-    }
-}
 
 /// The high-level Mitra engine: a synthesis configuration plus convenience entry
 /// points for the XML and JSON plug-ins.
@@ -167,6 +136,25 @@ impl Mitra {
     /// JavaScript for the JSON plug-in).
     pub fn emit(&self, program: &Program, backend: Backend) -> Artifact {
         generate(program, backend)
+    }
+
+    /// Parses a DSL program from its textual (paper-syntax) form.
+    pub fn parse_program(&self, text: &str) -> Result<Program, MitraError> {
+        Ok(mitra_dsl::parse::parse_program(text)?)
+    }
+
+    /// Runs a full-database migration plan over a parsed document.
+    pub fn run_migration(
+        &self,
+        plan: &MigrationPlan,
+        document: &Hdt,
+    ) -> Result<MigrationReport, MitraError> {
+        Ok(plan.run(document)?)
+    }
+
+    /// Runs a SQL `SELECT` query against a migrated database.
+    pub fn query(&self, db: &Database, sql: &str) -> Result<Table, MitraError> {
+        Ok(mitra_migrate::run_query(db, sql)?)
     }
 }
 
@@ -289,7 +277,10 @@ mod tests {
     fn emit_produces_both_backends() {
         let mitra = Mitra::new();
         let result = mitra.synthesize_from_xml(&[(XML, OUT)]).unwrap();
-        assert!(mitra.emit(&result.program, Backend::Xslt).source.contains("xsl:stylesheet"));
+        assert!(mitra
+            .emit(&result.program, Backend::Xslt)
+            .source
+            .contains("xsl:stylesheet"));
         assert!(mitra
             .emit(&result.program, Backend::JavaScript)
             .source

@@ -353,7 +353,9 @@ fn build_scenario(spec: &TaskSpec, size: usize) -> (Hdt, Table) {
 fn flat_projection(rng: &mut StdRng, columns: usize, size: usize) -> (Hdt, Table) {
     let mut tree = Hdt::with_root("root");
     let root = tree.root();
-    let cols: Vec<String> = (0..columns).map(|c| FIELD_NAMES[c % 8].to_string()).collect();
+    let cols: Vec<String> = (0..columns)
+        .map(|c| FIELD_NAMES[c % 8].to_string())
+        .collect();
     let mut out = Table::new(cols.clone());
     for r in 0..size {
         let rec = tree.add_child(root, "record", None);
@@ -404,7 +406,9 @@ fn constant_filter(rng: &mut StdRng, columns: usize, size: usize) -> (Hdt, Table
     let mut tree = Hdt::with_root("root");
     let root = tree.root();
     let data_cols = columns - 1;
-    let mut names: Vec<String> = (0..data_cols).map(|c| FIELD_NAMES[c % 8].to_string()).collect();
+    let mut names: Vec<String> = (0..data_cols)
+        .map(|c| FIELD_NAMES[c % 8].to_string())
+        .collect();
     names.push("score".to_string());
     let mut out = Table::new(names);
     for r in 0..size {
@@ -457,8 +461,8 @@ fn positional_pick(rng: &mut StdRng, columns: usize, size: usize) -> (Hdt, Table
             tree.add_child_with_pos(rec, "phone", p, Some(v.clone()));
             phones.push(v);
         }
-        for p in 0..picks {
-            row.push(Value::from_data(&phones[p]));
+        for phone in phones.iter().take(picks) {
+            row.push(Value::from_data(phone));
         }
         out.push(row);
     }
@@ -486,7 +490,8 @@ fn value_join(columns: usize, persons: usize) -> (Hdt, Table) {
 fn deep_descendants(columns: usize, size: usize) -> (Hdt, Table) {
     let mut tree = Hdt::with_root("root");
     let root = tree.root();
-    let mut out = Table::new(vec!["sku".to_string(), "warehouse".to_string()][..columns.min(2)].to_vec());
+    let mut out =
+        Table::new(vec!["sku".to_string(), "warehouse".to_string()][..columns.min(2)].to_vec());
     for r in 0..size {
         let section = tree.add_child(root, "section", None);
         let shelf = tree.add_child(section, "shelf", None);
@@ -579,7 +584,9 @@ pub fn hdt_to_json_text(tree: &Hdt) -> String {
                     } else {
                         (
                             tag,
-                            JsonValue::Array(nodes.iter().map(|n| node_to_json(tree, *n)).collect()),
+                            JsonValue::Array(
+                                nodes.iter().map(|n| node_to_json(tree, *n)).collect(),
+                            ),
                         )
                     }
                 })
@@ -676,7 +683,11 @@ mod tests {
             let result = learn_transformation(std::slice::from_ref(&task.example), &config)
                 .unwrap_or_else(|e| panic!("task {} failed: {e}", task.name));
             let out = eval_program(&task.example.tree, &result.program);
-            assert!(out.same_bag(&task.example.output), "task {} mismatch", task.name);
+            assert!(
+                out.same_bag(&task.example.output),
+                "task {} mismatch",
+                task.name
+            );
         }
     }
 

@@ -68,13 +68,11 @@ impl DatasetSpec {
                 let parent_ref = format!("{}_{}", entity.tag, entity.fields[0]);
                 let mut cols: Vec<Column> = vec![Column::text(parent_ref.clone())];
                 cols.extend(child.fields.iter().map(|f| Column::text(*f)));
-                schema = schema.with_table(
-                    TableSchema::new(child.tag, cols).with_foreign_key(
-                        &[parent_ref.as_str()],
-                        entity.tag,
-                        &[entity.fields[0]],
-                    ),
-                );
+                schema = schema.with_table(TableSchema::new(child.tag, cols).with_foreign_key(
+                    &[parent_ref.as_str()],
+                    entity.tag,
+                    &[entity.fields[0]],
+                ));
             }
         }
         schema
@@ -82,10 +80,7 @@ impl DatasetSpec {
 
     /// Number of relational tables.
     pub fn table_count(&self) -> usize {
-        self.entities
-            .iter()
-            .map(|e| 1 + e.children.len())
-            .sum()
+        self.entities.iter().map(|e| 1 + e.children.len()).sum()
     }
 
     /// Generates a document with `per_entity` instances of every top-level entity kind
@@ -220,9 +215,7 @@ pub fn document_text(spec: &DatasetSpec, per_entity: usize) -> String {
 
 /// Utility used by benches: count the elements (internal nodes) of a generated doc.
 pub fn element_count(tree: &Hdt) -> usize {
-    tree.ids()
-        .filter(|id: &NodeId| !tree.is_leaf(*id))
-        .count()
+    tree.ids().filter(|id: &NodeId| !tree.is_leaf(*id)).count()
 }
 
 // ---------------------------------------------------------------------------------
@@ -237,7 +230,14 @@ pub fn dblp() -> DatasetSpec {
         entities: &[
             EntityKind {
                 tag: "article",
-                fields: &["article_key", "article_title", "article_year", "journal", "volume", "article_pages"],
+                fields: &[
+                    "article_key",
+                    "article_title",
+                    "article_year",
+                    "journal",
+                    "volume",
+                    "article_pages",
+                ],
                 children: &[ChildKind {
                     tag: "article_author",
                     fields: &["author_name"],
@@ -245,7 +245,13 @@ pub fn dblp() -> DatasetSpec {
             },
             EntityKind {
                 tag: "inproceedings",
-                fields: &["inproc_key", "inproc_title", "inproc_year", "booktitle", "inproc_pages"],
+                fields: &[
+                    "inproc_key",
+                    "inproc_title",
+                    "inproc_year",
+                    "booktitle",
+                    "inproc_pages",
+                ],
                 children: &[ChildKind {
                     tag: "inproceedings_author",
                     fields: &["inproc_author_name"],
@@ -253,12 +259,24 @@ pub fn dblp() -> DatasetSpec {
             },
             EntityKind {
                 tag: "proceedings",
-                fields: &["proc_key", "proc_title", "proc_year", "proc_publisher", "proc_isbn"],
+                fields: &[
+                    "proc_key",
+                    "proc_title",
+                    "proc_year",
+                    "proc_publisher",
+                    "proc_isbn",
+                ],
                 children: &[],
             },
             EntityKind {
                 tag: "book",
-                fields: &["book_key", "book_title", "book_year", "book_publisher", "book_isbn"],
+                fields: &[
+                    "book_key",
+                    "book_title",
+                    "book_year",
+                    "book_publisher",
+                    "book_isbn",
+                ],
                 children: &[],
             },
             EntityKind {
@@ -268,7 +286,13 @@ pub fn dblp() -> DatasetSpec {
             },
             EntityKind {
                 tag: "incollection",
-                fields: &["incoll_key", "incoll_title", "incoll_year", "incoll_booktitle", "incoll_pages"],
+                fields: &[
+                    "incoll_key",
+                    "incoll_title",
+                    "incoll_year",
+                    "incoll_booktitle",
+                    "incoll_pages",
+                ],
                 children: &[],
             },
             EntityKind {
@@ -292,7 +316,14 @@ pub fn imdb() -> DatasetSpec {
         entities: &[
             EntityKind {
                 tag: "movie",
-                fields: &["movie_id", "movie_title", "movie_year", "runtime", "language", "movie_country"],
+                fields: &[
+                    "movie_id",
+                    "movie_title",
+                    "movie_year",
+                    "runtime",
+                    "language",
+                    "movie_country",
+                ],
                 children: &[
                     ChildKind {
                         tag: "movie_genre",
@@ -314,7 +345,13 @@ pub fn imdb() -> DatasetSpec {
             },
             EntityKind {
                 tag: "series",
-                fields: &["series_id", "series_title", "start_year", "end_year", "episode_count"],
+                fields: &[
+                    "series_id",
+                    "series_title",
+                    "start_year",
+                    "end_year",
+                    "episode_count",
+                ],
                 children: &[ChildKind {
                     tag: "episode",
                     fields: &["episode_title", "season", "episode_number", "air_year"],
@@ -322,12 +359,23 @@ pub fn imdb() -> DatasetSpec {
             },
             EntityKind {
                 tag: "person",
-                fields: &["person_id", "person_name", "birth_year", "death_year", "profession"],
+                fields: &[
+                    "person_id",
+                    "person_name",
+                    "birth_year",
+                    "death_year",
+                    "profession",
+                ],
                 children: &[],
             },
             EntityKind {
                 tag: "company",
-                fields: &["company_id", "company_name", "company_country", "founded_year"],
+                fields: &[
+                    "company_id",
+                    "company_name",
+                    "company_country",
+                    "founded_year",
+                ],
                 children: &[],
             },
         ],
@@ -345,32 +393,175 @@ pub fn mondial() -> DatasetSpec {
         format: "XML",
         entities: &[EntityKind {
             tag: "country",
-            fields: &["country_code", "country_name", "capital", "country_area", "country_population"],
+            fields: &[
+                "country_code",
+                "country_name",
+                "capital",
+                "country_area",
+                "country_population",
+            ],
             children: &[
-                ChildKind { tag: "province", fields: &["province_name", "province_capital", "province_area", "province_population"] },
-                ChildKind { tag: "city", fields: &["city_name", "city_longitude", "city_latitude", "city_population"] },
-                ChildKind { tag: "river", fields: &["river_name", "river_length", "river_source", "river_mouth"] },
-                ChildKind { tag: "lake", fields: &["lake_name", "lake_area", "lake_depth", "lake_elevation"] },
-                ChildKind { tag: "mountain", fields: &["mountain_name", "mountain_height", "mountain_range", "mountain_type"] },
-                ChildKind { tag: "desert", fields: &["desert_name", "desert_area", "desert_longitude", "desert_latitude"] },
-                ChildKind { tag: "island", fields: &["island_name", "island_area", "island_elevation", "island_sea"] },
-                ChildKind { tag: "sea", fields: &["sea_name", "sea_depth", "sea_area", "sea_bordering"] },
-                ChildKind { tag: "language", fields: &["language_name", "language_percentage", "language_family", "language_script"] },
-                ChildKind { tag: "religion", fields: &["religion_name", "religion_percentage", "religion_branch", "religion_origin"] },
-                ChildKind { tag: "ethnicgroup", fields: &["ethnic_name", "ethnic_percentage", "ethnic_region", "ethnic_language"] },
-                ChildKind { tag: "border", fields: &["border_country", "border_length", "border_type", "border_crossings"] },
-                ChildKind { tag: "organization", fields: &["org_abbrev", "org_name", "org_established", "org_headquarters"] },
-                ChildKind { tag: "membership", fields: &["membership_org", "membership_type", "membership_since", "membership_status"] },
-                ChildKind { tag: "economy", fields: &["gdp_total", "gdp_agriculture", "gdp_industry", "inflation"] },
-                ChildKind { tag: "population_data", fields: &["census_year", "population_count", "growth_rate", "density"] },
-                ChildKind { tag: "politics", fields: &["independence_year", "government", "dependent_on", "was_dependent"] },
-                ChildKind { tag: "airport", fields: &["airport_code", "airport_name", "airport_city", "airport_elevation"] },
-                ChildKind { tag: "port", fields: &["port_name", "port_city", "port_depth", "port_traffic"] },
-                ChildKind { tag: "canal", fields: &["canal_name", "canal_length", "canal_depth"] },
-                ChildKind { tag: "national_park", fields: &["park_name", "park_area", "park_founded"] },
-                ChildKind { tag: "highway", fields: &["highway_code", "highway_length", "highway_lanes"] },
-                ChildKind { tag: "railway", fields: &["railway_name", "railway_length", "railway_gauge"] },
-                ChildKind { tag: "power_plant", fields: &["plant_name", "plant_capacity", "plant_type"] },
+                ChildKind {
+                    tag: "province",
+                    fields: &[
+                        "province_name",
+                        "province_capital",
+                        "province_area",
+                        "province_population",
+                    ],
+                },
+                ChildKind {
+                    tag: "city",
+                    fields: &[
+                        "city_name",
+                        "city_longitude",
+                        "city_latitude",
+                        "city_population",
+                    ],
+                },
+                ChildKind {
+                    tag: "river",
+                    fields: &["river_name", "river_length", "river_source", "river_mouth"],
+                },
+                ChildKind {
+                    tag: "lake",
+                    fields: &["lake_name", "lake_area", "lake_depth", "lake_elevation"],
+                },
+                ChildKind {
+                    tag: "mountain",
+                    fields: &[
+                        "mountain_name",
+                        "mountain_height",
+                        "mountain_range",
+                        "mountain_type",
+                    ],
+                },
+                ChildKind {
+                    tag: "desert",
+                    fields: &[
+                        "desert_name",
+                        "desert_area",
+                        "desert_longitude",
+                        "desert_latitude",
+                    ],
+                },
+                ChildKind {
+                    tag: "island",
+                    fields: &[
+                        "island_name",
+                        "island_area",
+                        "island_elevation",
+                        "island_sea",
+                    ],
+                },
+                ChildKind {
+                    tag: "sea",
+                    fields: &["sea_name", "sea_depth", "sea_area", "sea_bordering"],
+                },
+                ChildKind {
+                    tag: "language",
+                    fields: &[
+                        "language_name",
+                        "language_percentage",
+                        "language_family",
+                        "language_script",
+                    ],
+                },
+                ChildKind {
+                    tag: "religion",
+                    fields: &[
+                        "religion_name",
+                        "religion_percentage",
+                        "religion_branch",
+                        "religion_origin",
+                    ],
+                },
+                ChildKind {
+                    tag: "ethnicgroup",
+                    fields: &[
+                        "ethnic_name",
+                        "ethnic_percentage",
+                        "ethnic_region",
+                        "ethnic_language",
+                    ],
+                },
+                ChildKind {
+                    tag: "border",
+                    fields: &[
+                        "border_country",
+                        "border_length",
+                        "border_type",
+                        "border_crossings",
+                    ],
+                },
+                ChildKind {
+                    tag: "organization",
+                    fields: &[
+                        "org_abbrev",
+                        "org_name",
+                        "org_established",
+                        "org_headquarters",
+                    ],
+                },
+                ChildKind {
+                    tag: "membership",
+                    fields: &[
+                        "membership_org",
+                        "membership_type",
+                        "membership_since",
+                        "membership_status",
+                    ],
+                },
+                ChildKind {
+                    tag: "economy",
+                    fields: &["gdp_total", "gdp_agriculture", "gdp_industry", "inflation"],
+                },
+                ChildKind {
+                    tag: "population_data",
+                    fields: &["census_year", "population_count", "growth_rate", "density"],
+                },
+                ChildKind {
+                    tag: "politics",
+                    fields: &[
+                        "independence_year",
+                        "government",
+                        "dependent_on",
+                        "was_dependent",
+                    ],
+                },
+                ChildKind {
+                    tag: "airport",
+                    fields: &[
+                        "airport_code",
+                        "airport_name",
+                        "airport_city",
+                        "airport_elevation",
+                    ],
+                },
+                ChildKind {
+                    tag: "port",
+                    fields: &["port_name", "port_city", "port_depth", "port_traffic"],
+                },
+                ChildKind {
+                    tag: "canal",
+                    fields: &["canal_name", "canal_length", "canal_depth"],
+                },
+                ChildKind {
+                    tag: "national_park",
+                    fields: &["park_name", "park_area", "park_founded"],
+                },
+                ChildKind {
+                    tag: "highway",
+                    fields: &["highway_code", "highway_length", "highway_lanes"],
+                },
+                ChildKind {
+                    tag: "railway",
+                    fields: &["railway_name", "railway_length", "railway_gauge"],
+                },
+                ChildKind {
+                    tag: "power_plant",
+                    fields: &["plant_name", "plant_capacity", "plant_type"],
+                },
             ],
         }],
     }
@@ -388,18 +579,55 @@ pub fn yelp() -> DatasetSpec {
         entities: &[
             EntityKind {
                 tag: "business",
-                fields: &["business_id", "business_name", "business_city", "business_state", "business_stars", "business_review_count", "address", "postal_code"],
+                fields: &[
+                    "business_id",
+                    "business_name",
+                    "business_city",
+                    "business_state",
+                    "business_stars",
+                    "business_review_count",
+                    "address",
+                    "postal_code",
+                ],
                 children: &[
-                    ChildKind { tag: "business_category", fields: &["category"] },
-                    ChildKind { tag: "business_hours", fields: &["day", "open_time", "close_time"] },
-                    ChildKind { tag: "review", fields: &["review_id", "review_stars", "review_text", "review_useful", "review_date"] },
-                    ChildKind { tag: "checkin", fields: &["checkin_date", "checkin_count"] },
-                    ChildKind { tag: "tip", fields: &["tip_user", "tip_text", "tip_date", "tip_likes"] },
+                    ChildKind {
+                        tag: "business_category",
+                        fields: &["category"],
+                    },
+                    ChildKind {
+                        tag: "business_hours",
+                        fields: &["day", "open_time", "close_time"],
+                    },
+                    ChildKind {
+                        tag: "review",
+                        fields: &[
+                            "review_id",
+                            "review_stars",
+                            "review_text",
+                            "review_useful",
+                            "review_date",
+                        ],
+                    },
+                    ChildKind {
+                        tag: "checkin",
+                        fields: &["checkin_date", "checkin_count"],
+                    },
+                    ChildKind {
+                        tag: "tip",
+                        fields: &["tip_user", "tip_text", "tip_date", "tip_likes"],
+                    },
                 ],
             },
             EntityKind {
                 tag: "user",
-                fields: &["user_id", "user_name", "user_review_count", "yelping_since", "user_fans", "average_stars"],
+                fields: &[
+                    "user_id",
+                    "user_name",
+                    "user_review_count",
+                    "yelping_since",
+                    "user_fans",
+                    "average_stars",
+                ],
                 children: &[],
             },
         ],
@@ -427,7 +655,9 @@ mod tests {
             assert_eq!(spec.name, name);
             assert_eq!(spec.table_count(), tables, "{name} table count");
             assert_eq!(spec.schema().total_columns(), cols, "{name} column count");
-            spec.schema().validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            spec.schema()
+                .validate()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 
@@ -448,7 +678,8 @@ mod tests {
     fn migration_plans_validate() {
         for spec in all_datasets() {
             let plan = spec.migration_plan();
-            plan.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            plan.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert_eq!(plan.tasks.len(), spec.table_count());
         }
     }
@@ -483,6 +714,9 @@ mod tests {
                 .expect("phdthesis table should synthesize");
         let (big, big_expected) = spec.generate(5);
         let out = mitra_synth::exec::execute(&big, &result.program);
-        assert!(out.same_bag(&big_expected["phdthesis"]), "generalization failed");
+        assert!(
+            out.same_bag(&big_expected["phdthesis"]),
+            "generalization failed"
+        );
     }
 }

@@ -21,4 +21,4 @@ pub mod datasets;
 pub mod social;
 
 pub use corpus::{generate_corpus, Category, DocFormat, Task};
-pub use datasets::{DatasetSpec, dblp, imdb, mondial, yelp};
+pub use datasets::{dblp, imdb, mondial, yelp, DatasetSpec};

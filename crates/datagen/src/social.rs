@@ -97,7 +97,7 @@ mod tests {
     fn element_target_is_approximately_met() {
         let t = social_network_with_elements(3_000, 1);
         let elements = t.element_count();
-        assert!(elements >= 2_400 && elements <= 3_600, "got {elements}");
+        assert!((2_400..=3_600).contains(&elements), "got {elements}");
     }
 
     #[test]
@@ -134,8 +134,11 @@ mod tests {
         tags_b.sort();
         assert_eq!(tags_a, tags_b);
         let mut data_a: Vec<String> = tree.data_values().iter().map(|s| s.to_string()).collect();
-        let mut data_b: Vec<String> =
-            reference.data_values().iter().map(|s| s.to_string()).collect();
+        let mut data_b: Vec<String> = reference
+            .data_values()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         data_a.sort();
         data_b.sort();
         assert_eq!(data_a, data_b);

@@ -305,6 +305,9 @@ impl Predicate {
     }
 
     /// Builds `¬a`, collapsing double negation and constants.
+    // Not the `Not` trait: this is an associated constructor taking the operand by
+    // value, part of the `and`/`or`/`not` smart-constructor family.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Predicate) -> Predicate {
         match a {
             Predicate::True => Predicate::False,
@@ -316,16 +319,12 @@ impl Predicate {
 
     /// Conjunction over an iterator of predicates (`True` for an empty iterator).
     pub fn conjunction(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
-        preds
-            .into_iter()
-            .fold(Predicate::True, Predicate::and)
+        preds.into_iter().fold(Predicate::True, Predicate::and)
     }
 
     /// Disjunction over an iterator of predicates (`False` for an empty iterator).
     pub fn disjunction(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
-        preds
-            .into_iter()
-            .fold(Predicate::False, Predicate::or)
+        preds.into_iter().fold(Predicate::False, Predicate::or)
     }
 
     /// Number of atomic comparisons in the predicate — the primary component of the
@@ -531,11 +530,7 @@ mod tests {
 
     #[test]
     fn node_extractor_size() {
-        let phi = NodeExtractor::child(
-            NodeExtractor::parent(NodeExtractor::Id),
-            "id",
-            0,
-        );
+        let phi = NodeExtractor::child(NodeExtractor::parent(NodeExtractor::Id), "id", 0);
         assert_eq!(phi.size(), 2);
     }
 }

@@ -32,9 +32,13 @@ pub mod table;
 pub mod validate;
 pub mod value;
 
-pub use ast::{ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, Program, TableExtractor};
+pub use ast::{
+    ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, Program, TableExtractor,
+};
 pub use cost::{cost, Cost};
-pub use eval::{eval_column, eval_node_extractor, eval_predicate, eval_program, eval_table_extractor};
+pub use eval::{
+    eval_column, eval_node_extractor, eval_predicate, eval_program, eval_table_extractor,
+};
 pub use table::{Row, Table};
 pub use validate::{validate, validate_against, Diagnostic, Severity, Validation};
 pub use value::Value;

@@ -18,7 +18,9 @@
 //! rhs       := quoted-string | "((\n." node ") t[" int "])"
 //! ```
 
-use crate::ast::{ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, Program, TableExtractor};
+use crate::ast::{
+    ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, Program, TableExtractor,
+};
 use crate::value::Value;
 
 /// Error type for DSL text parsing.
@@ -133,10 +135,9 @@ impl<'a> P<'a> {
 
     fn ident(&mut self) -> Result<String, ParseError> {
         let start = self.pos;
-        while self
-            .rest()
-            .starts_with(|c: char| c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.')
-        {
+        while self.rest().starts_with(|c: char| {
+            c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.'
+        }) {
             self.pos += self.rest().chars().next().unwrap().len_utf8();
         }
         if self.pos == start {
@@ -377,7 +378,10 @@ mod tests {
     #[test]
     fn parses_column_extractors() {
         let c = parse_column_extractor("pchildren(children(s, Person), name, 0)").unwrap();
-        assert_eq!(pretty::column_extractor(&c), "pchildren(children(s, Person), name, 0)");
+        assert_eq!(
+            pretty::column_extractor(&c),
+            "pchildren(children(s, Person), name, 0)"
+        );
         assert!(parse_column_extractor("nonsense(s)").is_err());
     }
 
@@ -416,7 +420,10 @@ mod tests {
     fn parses_constants_with_escapes() {
         let p = parse_predicate("((\\n.n) t[0]) = \"a\\\"b\"").unwrap();
         match p {
-            Predicate::Compare { rhs: Operand::Const(v), .. } => {
+            Predicate::Compare {
+                rhs: Operand::Const(v),
+                ..
+            } => {
                 assert_eq!(v.render(), "a\"b");
             }
             other => panic!("unexpected {other:?}"),

@@ -121,7 +121,10 @@ mod tests {
             "name",
             0,
         );
-        assert_eq!(column_extractor(&pi), "pchildren(children(s, Person), name, 0)");
+        assert_eq!(
+            column_extractor(&pi),
+            "pchildren(children(s, Person), name, 0)"
+        );
     }
 
     #[test]
@@ -155,10 +158,7 @@ mod tests {
 
     #[test]
     fn program_rendering_mentions_filter_and_root() {
-        let psi = TableExtractor::new(vec![ColumnExtractor::children(
-            ColumnExtractor::Input,
-            "a",
-        )]);
+        let psi = TableExtractor::new(vec![ColumnExtractor::children(ColumnExtractor::Input, "a")]);
         let prog = Program::new(psi, Predicate::True);
         let s = program(&prog);
         assert!(s.starts_with("\\tau. filter("));

@@ -296,8 +296,7 @@ mod tests {
     #[test]
     fn duplicate_column_names_are_a_warning() {
         let pi = ColumnExtractor::children(ColumnExtractor::Input, "Person");
-        let mut program =
-            Program::new(TableExtractor::new(vec![pi.clone(), pi]), Predicate::True);
+        let mut program = Program::new(TableExtractor::new(vec![pi.clone(), pi]), Predicate::True);
         program.column_names = vec!["x".to_string(), "x".to_string()];
         let v = validate(&program);
         assert!(v.is_valid());
@@ -389,6 +388,9 @@ mod tests {
         let v = validate_against(&program, &social_network(2, 1));
         assert!(!v.is_valid());
         assert_eq!(v.diagnostics[0].severity, Severity::Error);
-        assert_eq!(*v.diagnostics.last().unwrap(), *v.warnings()[v.warnings().len() - 1]);
+        assert_eq!(
+            *v.diagnostics.last().unwrap(),
+            *v.warnings()[v.warnings().len() - 1]
+        );
     }
 }

@@ -59,11 +59,7 @@ pub fn social_network_rows(n_persons: usize, friends_per_person: usize) -> Vec<[
             if j == i {
                 continue;
             }
-            rows.push([
-                person_name(i),
-                person_name(j),
-                (i * 10 + j).to_string(),
-            ]);
+            rows.push([person_name(i), person_name(j), (i * 10 + j).to_string()]);
         }
     }
     rows

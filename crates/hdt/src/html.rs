@@ -59,7 +59,11 @@ impl HtmlElement {
 
     /// Total number of elements in this subtree (including `self`).
     pub fn element_count(&self) -> usize {
-        1 + self.children.iter().map(HtmlElement::element_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(HtmlElement::element_count)
+            .sum::<usize>()
     }
 }
 
@@ -121,8 +125,8 @@ pub fn html_to_hdt(input: &str) -> Result<Hdt> {
 
 /// Elements that never have content or a closing tag.
 const VOID_ELEMENTS: [&str; 14] = [
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// Elements whose contents are raw text up to the matching closing tag.
@@ -143,8 +147,21 @@ fn implicitly_closes(open: &str, incoming: &str) -> bool {
         "li" => incoming == "li",
         "p" => matches!(
             incoming,
-            "p" | "div" | "ul" | "ol" | "table" | "section" | "article" | "h1" | "h2" | "h3"
-                | "h4" | "h5" | "h6" | "blockquote" | "pre" | "form"
+            "p" | "div"
+                | "ul"
+                | "ol"
+                | "table"
+                | "section"
+                | "article"
+                | "h1"
+                | "h2"
+                | "h3"
+                | "h4"
+                | "h5"
+                | "h6"
+                | "blockquote"
+                | "pre"
+                | "form"
         ),
         "td" | "th" => matches!(incoming, "td" | "th" | "tr"),
         "tr" => incoming == "tr",
@@ -222,7 +239,9 @@ fn decode_entities(s: &str) -> String {
                     _ => entity
                         .strip_prefix('#')
                         .and_then(|num| {
-                            if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                            if let Some(hex) =
+                                num.strip_prefix('x').or_else(|| num.strip_prefix('X'))
+                            {
                                 u32::from_str_radix(hex, 16).ok()
                             } else {
                                 num.parse::<u32>().ok()
@@ -355,7 +374,9 @@ impl<'a> Parser<'a> {
                 Some(rel) => {
                     let candidate = self.pos + rel;
                     let next = self.input.as_bytes().get(candidate + 1).copied();
-                    if next.is_some_and(|b| b.is_ascii_alphabetic() || b == b'/' || b == b'!' || b == b'?') {
+                    if next.is_some_and(|b| {
+                        b.is_ascii_alphabetic() || b == b'/' || b == b'!' || b == b'?'
+                    }) {
                         self.pos = candidate;
                         break;
                     }
@@ -386,8 +407,8 @@ impl<'a> Parser<'a> {
         finished: &mut Vec<HtmlElement>,
     ) -> Result<()> {
         self.bump(2); // "</"
-        // A closing tag with no name (`</ >`, `</>`) is bogus markup; browsers drop it,
-        // and so do we.
+                      // A closing tag with no name (`</ >`, `</>`) is bogus markup; browsers drop it,
+                      // and so do we.
         let Ok(name) = self.parse_name() else {
             self.skip_until('>');
             return Ok(());
@@ -621,7 +642,8 @@ mod tests {
 
     #[test]
     fn script_contents_are_raw_text() {
-        let html = "<body><script>if (a < b && c > d) { render('<td>'); }</script><p>after</p></body>";
+        let html =
+            "<body><script>if (a < b && c > d) { render('<td>'); }</script><p>after</p></body>";
         let doc = parse_html(html).unwrap();
         let script = &doc.root.children[0];
         assert_eq!(script.name, "script");

@@ -60,7 +60,9 @@ impl JsonValue {
     /// Number of object/array values in this subtree (the `#Elements` statistic).
     pub fn element_count(&self) -> usize {
         match self {
-            JsonValue::Array(items) => 1 + items.iter().map(JsonValue::element_count).sum::<usize>(),
+            JsonValue::Array(items) => {
+                1 + items.iter().map(JsonValue::element_count).sum::<usize>()
+            }
             JsonValue::Object(fields) => {
                 1 + fields.iter().map(|(_, v)| v.element_count()).sum::<usize>()
             }
@@ -138,7 +140,10 @@ pub fn parse_json(input: &str) -> Result<JsonValue> {
     let v = p.parse_value()?;
     p.skip_ws();
     if !p.at_end() {
-        return Err(HdtError::parse("trailing characters after JSON value", p.pos));
+        return Err(HdtError::parse(
+            "trailing characters after JSON value",
+            p.pos,
+        ));
     }
     Ok(v)
 }
@@ -287,7 +292,10 @@ impl<'a> JsonParser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(HdtError::parse(format!("expected '{}'", b as char), self.pos))
+            Err(HdtError::parse(
+                format!("expected '{}'", b as char),
+                self.pos,
+            ))
         }
     }
 
@@ -301,7 +309,10 @@ impl<'a> JsonParser<'a> {
             Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
             Some(b'n') => self.parse_keyword("null", JsonValue::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
-            Some(c) => Err(HdtError::parse(format!("unexpected character '{}'", c as char), self.pos)),
+            Some(c) => Err(HdtError::parse(
+                format!("unexpected character '{}'", c as char),
+                self.pos,
+            )),
             None => Err(HdtError::parse("unexpected end of input", self.pos)),
         }
     }
@@ -398,8 +409,7 @@ impl<'a> JsonParser<'a> {
                                 if self.input[self.pos..].starts_with("\\u") {
                                     self.pos += 2;
                                     let low = self.parse_hex4()?;
-                                    let combined =
-                                        0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                                     out.push(char::from_u32(combined).unwrap_or('\u{FFFD}'));
                                 } else {
                                     out.push('\u{FFFD}');
@@ -531,7 +541,10 @@ mod tests {
         let friendship = tree.child(persons[0], "Friendship", 0).unwrap();
         let friends = tree.children_with_tag(friendship, "Friend");
         assert_eq!(friends.len(), 1);
-        assert_eq!(tree.data(tree.child(friends[0], "years", 0).unwrap()), Some("3"));
+        assert_eq!(
+            tree.data(tree.child(friends[0], "years", 0).unwrap()),
+            Some("3")
+        );
     }
 
     #[test]

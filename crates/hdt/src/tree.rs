@@ -51,9 +51,9 @@ impl Hdt {
 
     /// Checked access to a node.
     pub fn try_node(&self, id: NodeId) -> Result<&Node> {
-        self.nodes
-            .get(id.index())
-            .ok_or_else(|| HdtError::InvalidNode(format!("{id} out of range ({} nodes)", self.len())))
+        self.nodes.get(id.index()).ok_or_else(|| {
+            HdtError::InvalidNode(format!("{id} out of range ({} nodes)", self.len()))
+        })
     }
 
     /// Tag of a node.
@@ -94,7 +94,12 @@ impl Hdt {
 
     /// Adds a child node under `parent`.  The `pos` field is computed automatically as
     /// the number of existing children of `parent` with the same tag.
-    pub fn add_child(&mut self, parent: NodeId, tag: impl Into<String>, data: Option<String>) -> NodeId {
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        tag: impl Into<String>,
+        data: Option<String>,
+    ) -> NodeId {
         let tag = tag.into();
         let pos = self
             .children(parent)
@@ -211,7 +216,10 @@ impl Hdt {
     /// All leaf data values in the tree (used for constant mining in predicate
     /// universe construction, rule (4) of Figure 10).
     pub fn data_values(&self) -> Vec<&str> {
-        self.nodes.iter().filter_map(|n| n.data.as_deref()).collect()
+        self.nodes
+            .iter()
+            .filter_map(|n| n.data.as_deref())
+            .collect()
     }
 
     /// Depth of a node (root has depth 0).
@@ -238,7 +246,11 @@ impl Hdt {
     /// Counts "elements": internal nodes plus the root.  Used to report the
     /// `#Elements` statistic of Table 1.
     pub fn element_count(&self) -> usize {
-        self.nodes.iter().filter(|n| !n.children.is_empty()).count().max(1)
+        self.nodes
+            .iter()
+            .filter(|n| !n.children.is_empty())
+            .count()
+            .max(1)
     }
 
     /// Validates internal consistency (parent/child symmetry and pos correctness).

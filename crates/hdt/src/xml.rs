@@ -40,7 +40,11 @@ impl XmlNode {
 
     /// Total number of elements in this subtree (including `self`).
     pub fn element_count(&self) -> usize {
-        1 + self.children.iter().map(XmlNode::element_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(XmlNode::element_count)
+            .sum::<usize>()
     }
 }
 
@@ -95,7 +99,10 @@ pub fn parse_xml(input: &str) -> Result<XmlDocument> {
     let root = p.parse_element()?;
     p.skip_misc();
     if !p.at_end() {
-        return Err(HdtError::parse("trailing content after root element", p.pos));
+        return Err(HdtError::parse(
+            "trailing content after root element",
+            p.pos,
+        ));
     }
     Ok(XmlDocument { root })
 }
@@ -286,7 +293,10 @@ impl<'a> Parser<'a> {
                     let key = self.parse_name()?;
                     self.skip_ws();
                     if self.peek() != Some(b'=') {
-                        return Err(HdtError::parse("expected '=' after attribute name", self.pos));
+                        return Err(HdtError::parse(
+                            "expected '=' after attribute name",
+                            self.pos,
+                        ));
                     }
                     self.bump(1);
                     self.skip_ws();
@@ -333,7 +343,10 @@ impl<'a> Parser<'a> {
                 }
                 self.skip_ws();
                 if self.peek() != Some(b'>') {
-                    return Err(HdtError::parse("expected '>' after closing tag name", self.pos));
+                    return Err(HdtError::parse(
+                        "expected '>' after closing tag name",
+                        self.pos,
+                    ));
                 }
                 self.bump(1);
                 break;
@@ -354,7 +367,12 @@ impl<'a> Parser<'a> {
             } else if self.starts_with("<?") {
                 match self.input[self.pos..].find("?>") {
                     Some(rel) => self.bump(rel + 2),
-                    None => return Err(HdtError::parse("unterminated processing instruction", self.pos)),
+                    None => {
+                        return Err(HdtError::parse(
+                            "unterminated processing instruction",
+                            self.pos,
+                        ))
+                    }
                 }
             } else if self.peek() == Some(b'<') {
                 let child = self.parse_element()?;
@@ -399,14 +417,15 @@ fn unescape(raw: &str, offset: usize) -> Result<String> {
             "quot" => out.push('"'),
             "apos" => out.push('\''),
             _ if entity.starts_with("#x") || entity.starts_with("#X") => {
-                let cp = u32::from_str_radix(&entity[2..], 16)
-                    .map_err(|_| HdtError::parse(format!("bad numeric entity &{entity};"), offset))?;
+                let cp = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
+                    HdtError::parse(format!("bad numeric entity &{entity};"), offset)
+                })?;
                 out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
             }
             _ if entity.starts_with('#') => {
-                let cp: u32 = entity[1..]
-                    .parse()
-                    .map_err(|_| HdtError::parse(format!("bad numeric entity &{entity};"), offset))?;
+                let cp: u32 = entity[1..].parse().map_err(|_| {
+                    HdtError::parse(format!("bad numeric entity &{entity};"), offset)
+                })?;
                 out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
             }
             other => {
@@ -495,7 +514,9 @@ mod tests {
 
     #[test]
     fn doctype_and_pi_are_skipped() {
-        let doc = parse_xml("<?xml version=\"1.0\"?><!DOCTYPE root><?pi data?><root><x>1</x></root>").unwrap();
+        let doc =
+            parse_xml("<?xml version=\"1.0\"?><!DOCTYPE root><?pi data?><root><x>1</x></root>")
+                .unwrap();
         assert_eq!(doc.root.children.len(), 1);
     }
 

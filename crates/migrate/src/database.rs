@@ -238,11 +238,11 @@ impl Database {
         if idx.len() != key.len() {
             return None;
         }
-        self.tables.get(table)?.rows.iter().find(|r| {
-            idx.iter()
-                .zip(key)
-                .all(|(&i, v)| &r[i] == v)
-        })
+        self.tables
+            .get(table)?
+            .rows
+            .iter()
+            .find(|r| idx.iter().zip(key).all(|(&i, v)| &r[i] == v))
     }
 
     /// Helper to fetch a table's schema.
@@ -326,9 +326,9 @@ mod tests {
         let mut db = populated();
         db.insert("person", vec![Value::Null, Value::str("Ghost")]);
         let v = db.check_constraints();
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, ConstraintViolation::NullInPrimaryKey { table } if table == "person")));
+        assert!(v.iter().any(
+            |x| matches!(x, ConstraintViolation::NullInPrimaryKey { table } if table == "person")
+        ));
     }
 
     #[test]

@@ -130,7 +130,10 @@ impl fmt::Display for MigrationError {
                 write!(f, "synthesis failed for table `{table}`: {error}")
             }
             MigrationError::ArityMismatch(t) => {
-                write!(f, "program arity does not match data columns for table `{t}`")
+                write!(
+                    f,
+                    "program arity does not match data columns for table `{t}`"
+                )
             }
         }
     }
@@ -163,7 +166,11 @@ impl MigrationPlan {
             let Some(table) = self.schema.table(&task.table) else {
                 return Err(MigrationError::UnknownTable(task.table.clone()));
             };
-            for col in task.data_columns.iter().chain(task.keys.iter().map(|(c, _)| c)) {
+            for col in task
+                .data_columns
+                .iter()
+                .chain(task.keys.iter().map(|(c, _)| c))
+            {
                 if table.column_index(col).is_none() {
                     return Err(MigrationError::UnknownColumn {
                         table: task.table.clone(),
@@ -195,12 +202,14 @@ impl MigrationPlan {
             let synth_start = Instant::now();
             let program = match &task.source {
                 TableSource::Program(p) => p.clone(),
-                TableSource::Examples(examples) => learn_transformation(examples, &self.synth_config)
-                    .map_err(|error| MigrationError::Synthesis {
-                        table: task.table.clone(),
-                        error,
-                    })?
-                    .program,
+                TableSource::Examples(examples) => {
+                    learn_transformation(examples, &self.synth_config)
+                        .map_err(|error| MigrationError::Synthesis {
+                            table: task.table.clone(),
+                            error,
+                        })?
+                        .program
+                }
             };
             let synthesis_time = match &task.source {
                 TableSource::Program(_) => Duration::ZERO,
@@ -254,7 +263,9 @@ impl MigrationPlan {
 mod tests {
     use super::*;
     use crate::schema::{Column, TableSchema};
-    use mitra_dsl::ast::{ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, TableExtractor};
+    use mitra_dsl::ast::{
+        ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, TableExtractor,
+    };
     use mitra_hdt::generate::social_network;
 
     /// Schema: person(pk, name, pid) and friendship(person_fk, friend_pid, years).
@@ -263,7 +274,11 @@ mod tests {
             .with_table(
                 TableSchema::new(
                     "person",
-                    vec![Column::text("pk"), Column::integer("pid"), Column::text("name")],
+                    vec![
+                        Column::text("pk"),
+                        Column::integer("pid"),
+                        Column::text("name"),
+                    ],
                 )
                 .with_primary_key(&["pk"]),
             )
@@ -365,7 +380,10 @@ mod tests {
     fn plan_validation_catches_unknown_names() {
         let mut bad = plan();
         bad.tasks[0].table = "nope".to_string();
-        assert!(matches!(bad.run(&social_network(2, 1)), Err(MigrationError::UnknownTable(_))));
+        assert!(matches!(
+            bad.run(&social_network(2, 1)),
+            Err(MigrationError::UnknownTable(_))
+        ));
 
         let mut bad2 = plan();
         bad2.tasks[0].data_columns[0] = "ghost".to_string();
@@ -407,7 +425,10 @@ mod tests {
                 .pop()
                 .expect("fk must resolve");
             let friend_pid = &row[1];
-            assert_ne!(&person[1], friend_pid, "a person cannot befriend themselves");
+            assert_ne!(
+                &person[1], friend_pid,
+                "a person cannot befriend themselves"
+            );
         }
     }
 

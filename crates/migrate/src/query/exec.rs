@@ -3,9 +3,7 @@
 //! The pipeline is: bind tables → join (hash join for equality conditions, filtered
 //! nested loop otherwise) → filter → group/aggregate → order → limit → project.
 
-use super::ast::{
-    Aggregate, ColumnRef, ComparisonOp, Expr, Join, Query, SelectItem, TableRef,
-};
+use super::ast::{Aggregate, ColumnRef, ComparisonOp, Expr, Join, Query, SelectItem, TableRef};
 use super::QueryError;
 use crate::Database;
 use mitra_dsl::{Row, Table, Value};
@@ -22,9 +20,9 @@ pub fn execute_query(db: &Database, query: &Query) -> Result<Table, QueryError> 
 
     // WHERE.
     if let Some(filter) = &query.where_clause {
-        working.rows.retain(|row| {
-            evaluate_predicate(filter, &working.layout, row).unwrap_or(false)
-        });
+        working
+            .rows
+            .retain(|row| evaluate_predicate(filter, &working.layout, row).unwrap_or(false));
         // Surface binding errors (unknown/ambiguous columns) even if the table is
         // empty: evaluate once against a row of NULLs.
         if working.rows.is_empty() {
@@ -67,8 +65,7 @@ impl Layout {
             .iter()
             .enumerate()
             .filter(|(_, (alias, name))| {
-                name == &column.column
-                    && column.table.as_ref().is_none_or(|t| t == alias)
+                name == &column.column && column.table.as_ref().is_none_or(|t| t == alias)
             })
             .map(|(i, _)| i)
             .collect();
@@ -125,10 +122,7 @@ impl BoundRows {
         {
             let mut index: HashMap<String, Vec<&Row>> = HashMap::new();
             for row in &right.rows {
-                index
-                    .entry(row[right_idx].render())
-                    .or_default()
-                    .push(row);
+                index.entry(row[right_idx].render()).or_default().push(row);
             }
             let mut rows = Vec::new();
             for left_row in &self.rows {
@@ -136,7 +130,9 @@ impl BoundRows {
                 if left_row[left_idx].is_null() {
                     continue;
                 }
-                let Some(matches) = index.get(&key) else { continue };
+                let Some(matches) = index.get(&key) else {
+                    continue;
+                };
                 for right_row in matches {
                     let mut combined = left_row.clone();
                     combined.extend_from_slice(right_row);
@@ -183,11 +179,7 @@ impl BoundRows {
 /// If the ON condition contains an equality between a left-side column and a
 /// right-side column, returns `(left index, right index within the right layout,
 /// residual condition)`.
-fn equi_join_key(
-    on: &Expr,
-    left: &Layout,
-    right: &Layout,
-) -> Option<(usize, usize, Option<Expr>)> {
+fn equi_join_key(on: &Expr, left: &Layout, right: &Layout) -> Option<(usize, usize, Option<Expr>)> {
     let conjuncts = on.conjuncts();
     for (i, conjunct) in conjuncts.iter().enumerate() {
         let Expr::Comparison {
@@ -208,7 +200,9 @@ fn equi_join_key(
                 _ => None,
             },
         };
-        let Some((left_idx, right_idx)) = pair else { continue };
+        let Some((left_idx, right_idx)) = pair else {
+            continue;
+        };
         // Everything except this conjunct becomes the residual filter.
         let residual = conjuncts
             .iter()
@@ -335,14 +329,16 @@ fn project(query: &Query, working: &BoundRows) -> Result<Table, QueryError> {
             match item {
                 SelectItem::Column(c) => {
                     let idx = working.layout.resolve(c)?;
-                    let value = rows
-                        .first()
-                        .map(|r| r[idx].clone())
-                        .unwrap_or(Value::Null);
+                    let value = rows.first().map(|r| r[idx].clone()).unwrap_or(Value::Null);
                     out_row.push(value);
                 }
                 SelectItem::Aggregate { function, column } => {
-                    out_row.push(compute_aggregate(*function, column.as_ref(), rows, &working.layout)?);
+                    out_row.push(compute_aggregate(
+                        *function,
+                        column.as_ref(),
+                        rows,
+                        &working.layout,
+                    )?);
                 }
                 SelectItem::Wildcard => unreachable!("rejected above"),
             }
@@ -497,9 +493,7 @@ fn order_rows(query: &Query, working: &BoundRows, result: &mut Table) -> Result<
 
     result.rows.sort_by(|a, b| {
         for &(idx, descending) in &key_indices {
-            let ord = a[idx]
-                .compare(&b[idx])
-                .unwrap_or(Ordering::Equal);
+            let ord = a[idx].compare(&b[idx]).unwrap_or(Ordering::Equal);
             let ord = if descending { ord.reverse() } else { ord };
             if ord != Ordering::Equal {
                 return ord;
@@ -556,7 +550,10 @@ mod tests {
     fn hash_join_and_nested_loop_join_agree() {
         let db = tiny_db();
         // Equality condition → hash join.
-        let hash = run(&db, "SELECT t.a, u.c FROM t JOIN u ON t.a = u.a ORDER BY t.a");
+        let hash = run(
+            &db,
+            "SELECT t.a, u.c FROM t JOIN u ON t.a = u.a ORDER BY t.a",
+        );
         // Written as an inequality sandwich the planner falls back to a nested loop.
         let nested = run(
             &db,
@@ -586,15 +583,15 @@ mod tests {
 
     #[test]
     fn aggregates_ignore_nulls() {
-        let schema = Schema::new().with_table(TableSchema::new(
-            "v",
-            vec![Column::integer("x")],
-        ));
+        let schema = Schema::new().with_table(TableSchema::new("v", vec![Column::integer("x")]));
         let mut db = Database::new(schema);
         db.insert("v", vec![Value::int(10)]);
         db.insert("v", vec![Value::Null]);
         db.insert("v", vec![Value::int(20)]);
-        let out = run(&db, "SELECT COUNT(x), SUM(x), AVG(x), MIN(x), MAX(x) FROM v");
+        let out = run(
+            &db,
+            "SELECT COUNT(x), SUM(x), AVG(x), MIN(x), MAX(x) FROM v",
+        );
         assert_eq!(
             out.rows[0],
             vec![
@@ -609,10 +606,7 @@ mod tests {
 
     #[test]
     fn global_aggregate_over_empty_table_yields_one_row() {
-        let schema = Schema::new().with_table(TableSchema::new(
-            "v",
-            vec![Column::integer("x")],
-        ));
+        let schema = Schema::new().with_table(TableSchema::new("v", vec![Column::integer("x")]));
         let db = Database::new(schema);
         let out = run(&db, "SELECT COUNT(*) FROM v");
         assert_eq!(out.rows, vec![vec![Value::int(0)]]);

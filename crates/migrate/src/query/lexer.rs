@@ -77,22 +77,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                     return Err(QueryError::Parse("expected `=` after `!`".into()));
                 }
             }
-            b'<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        tokens.push(Token::Symbol("<="));
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        tokens.push(Token::Symbol("!="));
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token::Symbol("<"));
-                        i += 1;
-                    }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Symbol("<="));
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    tokens.push(Token::Symbol("!="));
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            },
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(Token::Symbol(">="));
@@ -126,9 +124,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
             }
             _ if b.is_ascii_alphabetic() || b == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token::Word(input[start..i].to_string()));

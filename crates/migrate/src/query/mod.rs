@@ -40,9 +40,7 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{
-    Aggregate, ComparisonOp, Expr, Join, OrderKey, Query, SelectItem, TableRef,
-};
+pub use ast::{Aggregate, ComparisonOp, Expr, Join, OrderKey, Query, SelectItem, TableRef};
 pub use exec::execute_query;
 pub use parser::parse_query;
 
@@ -98,7 +96,11 @@ mod tests {
             .with_table(
                 TableSchema::new(
                     "author",
-                    vec![Column::integer("aid"), Column::text("name"), Column::text("country")],
+                    vec![
+                        Column::integer("aid"),
+                        Column::text("name"),
+                        Column::text("country"),
+                    ],
                 )
                 .with_primary_key(&["aid"]),
             )
@@ -156,8 +158,11 @@ mod tests {
         let db = sample_db();
         let result = run_query(&db, "SELECT title FROM paper WHERE year = 1968").unwrap();
         assert_eq!(result.len(), 2);
-        let result =
-            run_query(&db, "SELECT title FROM paper WHERE year > 1900 AND aid != 3").unwrap();
+        let result = run_query(
+            &db,
+            "SELECT title FROM paper WHERE year > 1900 AND aid != 3",
+        )
+        .unwrap();
         assert_eq!(result.len(), 1);
         assert_eq!(result.rows[0][0], Value::str("Compilers"));
     }
@@ -195,8 +200,11 @@ mod tests {
     #[test]
     fn order_by_desc_and_limit() {
         let db = sample_db();
-        let result =
-            run_query(&db, "SELECT title FROM paper ORDER BY year DESC, title LIMIT 2").unwrap();
+        let result = run_query(
+            &db,
+            "SELECT title FROM paper ORDER BY year DESC, title LIMIT 2",
+        )
+        .unwrap();
         assert_eq!(result.len(), 2);
         assert_eq!(result.rows[0][0], Value::str("GOTO"));
     }

@@ -166,9 +166,10 @@ impl Parser {
 
         let limit = if self.eat_keyword("LIMIT") {
             match self.advance() {
-                Some(Token::Number(n)) => Some(n.parse::<usize>().map_err(|_| {
-                    QueryError::Parse(format!("invalid LIMIT value `{n}`"))
-                })?),
+                Some(Token::Number(n)) => Some(
+                    n.parse::<usize>()
+                        .map_err(|_| QueryError::Parse(format!("invalid LIMIT value `{n}`")))?,
+                ),
                 _ => return Err(QueryError::Parse("expected a number after LIMIT".into())),
             }
         } else {
@@ -203,7 +204,11 @@ impl Parser {
         }
         // Aggregate?
         if let Some(function) = self.peek().and_then(aggregate_keyword) {
-            if self.tokens.get(self.pos + 1).is_some_and(|t| t.is_symbol("(")) {
+            if self
+                .tokens
+                .get(self.pos + 1)
+                .is_some_and(|t| t.is_symbol("("))
+            {
                 self.pos += 2; // function name and '('
                 let column = if self.eat_symbol("*") {
                     if function != Aggregate::Count {
@@ -413,10 +418,8 @@ mod tests {
 
     #[test]
     fn parses_parentheses_not_and_is_null() {
-        let q = parse_query(
-            "SELECT a FROM t WHERE NOT (a < 3 OR a > 7) AND b IS NOT NULL",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT a FROM t WHERE NOT (a < 3 OR a > 7) AND b IS NOT NULL").unwrap();
         let w = q.where_clause.unwrap();
         assert!(matches!(w, Expr::And(_, _)));
     }

@@ -241,11 +241,8 @@ mod tests {
     fn person_friend_schema() -> Schema {
         Schema::new()
             .with_table(
-                TableSchema::new(
-                    "person",
-                    vec![Column::integer("pid"), Column::text("name")],
-                )
-                .with_primary_key(&["pid"]),
+                TableSchema::new("person", vec![Column::integer("pid"), Column::text("name")])
+                    .with_primary_key(&["pid"]),
             )
             .with_table(
                 TableSchema::new(
@@ -278,17 +275,19 @@ mod tests {
 
     #[test]
     fn missing_pk_column_rejected() {
-        let s = Schema::new().with_table(
-            TableSchema::new("t", vec![Column::text("a")]).with_primary_key(&["nope"]),
-        );
+        let s = Schema::new()
+            .with_table(TableSchema::new("t", vec![Column::text("a")]).with_primary_key(&["nope"]));
         assert!(s.validate().is_err());
     }
 
     #[test]
     fn dangling_foreign_key_rejected() {
         let s = Schema::new().with_table(
-            TableSchema::new("t", vec![Column::text("a")])
-                .with_foreign_key(&["a"], "missing", &["x"]),
+            TableSchema::new("t", vec![Column::text("a")]).with_foreign_key(
+                &["a"],
+                "missing",
+                &["x"],
+            ),
         );
         assert!(s.validate().is_err());
     }
@@ -296,10 +295,16 @@ mod tests {
     #[test]
     fn fk_arity_mismatch_rejected() {
         let s = Schema::new()
-            .with_table(TableSchema::new("p", vec![Column::text("x"), Column::text("y")]))
+            .with_table(TableSchema::new(
+                "p",
+                vec![Column::text("x"), Column::text("y")],
+            ))
             .with_table(
-                TableSchema::new("c", vec![Column::text("a")])
-                    .with_foreign_key(&["a"], "p", &["x", "y"]),
+                TableSchema::new("c", vec![Column::text("a")]).with_foreign_key(
+                    &["a"],
+                    "p",
+                    &["x", "y"],
+                ),
             );
         assert!(s.validate().is_err());
     }
@@ -309,7 +314,10 @@ mod tests {
         let s = person_friend_schema();
         assert!(s.table("person").is_some());
         assert!(s.table("nope").is_none());
-        assert_eq!(s.table("friendship").unwrap().column_index("years"), Some(2));
+        assert_eq!(
+            s.table("friendship").unwrap().column_index("years"),
+            Some(2)
+        );
         assert_eq!(ColumnType::Integer.sql_name(), "INTEGER");
     }
 }

@@ -37,7 +37,11 @@ pub fn create_table(table: &TableSchema) -> String {
     for fk in &table.foreign_keys {
         lines.push(format!(
             "  FOREIGN KEY ({}) REFERENCES {} ({})",
-            fk.columns.iter().map(|c| quote_ident(c)).collect::<Vec<_>>().join(", "),
+            fk.columns
+                .iter()
+                .map(|c| quote_ident(c))
+                .collect::<Vec<_>>()
+                .join(", "),
             quote_ident(&fk.referenced_table),
             fk.referenced_columns
                 .iter()
@@ -74,7 +78,10 @@ pub fn insert_statement(table: &str, columns: &[String], row: &[Value]) -> Strin
         .collect::<Vec<_>>()
         .join(", ");
     let vals = row.iter().map(sql_literal).collect::<Vec<_>>().join(", ");
-    format!("INSERT INTO {} ({cols}) VALUES ({vals});", quote_ident(table))
+    format!(
+        "INSERT INTO {} ({cols}) VALUES ({vals});",
+        quote_ident(table)
+    )
 }
 
 /// Renders a value as a SQL literal.
@@ -105,8 +112,11 @@ mod tests {
                     .with_primary_key(&["pid"]),
             )
             .with_table(
-                TableSchema::new("friend", vec![Column::integer("pid"), Column::integer("fid")])
-                    .with_foreign_key(&["pid"], "person", &["pid"]),
+                TableSchema::new(
+                    "friend",
+                    vec![Column::integer("pid"), Column::integer("fid")],
+                )
+                .with_foreign_key(&["pid"], "person", &["pid"]),
             )
     }
 

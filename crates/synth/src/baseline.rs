@@ -217,8 +217,7 @@ mod tests {
     #[test]
     fn blind_enumeration_finds_extractors() {
         let mut stats = EnumerationStats::default();
-        let cands =
-            enumerate_column_extractors_blind(&[simple_example()], 0, 4, 16, &mut stats);
+        let cands = enumerate_column_extractors_blind(&[simple_example()], 0, 4, 16, &mut stats);
         assert!(!cands.is_empty());
         assert!(stats.candidates_evaluated > cands.len());
     }
@@ -226,14 +225,17 @@ mod tests {
     #[test]
     fn baseline_solves_simple_projection() {
         let ex = simple_example();
-        let result = learn_transformation_baseline(&[ex.clone()], &SynthConfig::default()).unwrap();
+        let result =
+            learn_transformation_baseline(std::slice::from_ref(&ex), &SynthConfig::default())
+                .unwrap();
         assert!(eval_program(&ex.tree, &result.program).same_bag(&ex.output));
     }
 
     #[test]
     fn baseline_evaluates_more_candidates_than_dfa() {
         let ex = simple_example();
-        let dfa_result = learn_transformation(&[ex.clone()], &SynthConfig::default()).unwrap();
+        let dfa_result =
+            learn_transformation(std::slice::from_ref(&ex), &SynthConfig::default()).unwrap();
         let base_result = learn_transformation_baseline(&[ex], &SynthConfig::default()).unwrap();
         // The DFA path counts table-extractor candidates (small); the blind path counts
         // every enumerated word, which is much larger even on this tiny example.

@@ -76,7 +76,8 @@ mod tests {
     #[test]
     fn learns_name_extractor_for_first_column() {
         let ex = example();
-        let cands = learn_column_extractors(&[ex.clone()], 0, &ColumnLearnConfig::default());
+        let cands =
+            learn_column_extractors(std::slice::from_ref(&ex), 0, &ColumnLearnConfig::default());
         assert!(!cands.is_empty());
         // Every candidate must cover {Alice, Bob}.
         for pi in &cands {
@@ -105,7 +106,10 @@ mod tests {
         // we only require that more than one exists (e.g. via years and via id).
         let ex = example();
         let cands = learn_column_extractors(&[ex], 2, &ColumnLearnConfig::default());
-        assert!(cands.len() > 1, "expected several candidates, got {cands:?}");
+        assert!(
+            cands.len() > 1,
+            "expected several candidates, got {cands:?}"
+        );
     }
 
     #[test]
@@ -132,7 +136,8 @@ mod tests {
                 ],
             ),
         };
-        let one = learn_column_extractors(&[ex1.clone()], 0, &ColumnLearnConfig::default());
+        let one =
+            learn_column_extractors(std::slice::from_ref(&ex1), 0, &ColumnLearnConfig::default());
         let both = learn_column_extractors(&[ex1, ex2], 0, &ColumnLearnConfig::default());
         assert!(!both.is_empty());
         assert!(both.len() <= one.len());

@@ -89,8 +89,7 @@ pub fn solve_greedy(instance: &CoverInstance) -> Option<Cover> {
                 None => true,
                 Some((bg, bk)) => {
                     gain > bg
-                        || (gain == bg
-                            && (instance.weights[k], k) < (instance.weights[bk], bk))
+                        || (gain == bg && (instance.weights[k], k) < (instance.weights[bk], bk))
                 }
             };
             if better {
@@ -257,9 +256,9 @@ mod tests {
         // Elements 0..5.  Greedy picks the big set (covers 4), then needs 2 more = 3.
         // Optimal is the two disjoint sets of size 3 = 2 sets.
         let inst = instance(&[
-            &[true, true, true, false, false, false],  // A
-            &[false, false, false, true, true, true],  // B
-            &[true, true, false, true, true, false],   // big greedy bait (covers 4)
+            &[true, true, true, false, false, false], // A
+            &[false, false, false, true, true, true], // B
+            &[true, true, false, true, true, false],  // big greedy bait (covers 4)
             &[false, false, true, false, false, false],
             &[false, false, false, false, false, true],
         ]);
@@ -297,7 +296,7 @@ mod tests {
         let exact = solve_exact(&inst, 1_000_000).unwrap();
         assert_eq!(exact.len(), 3);
         // Verify it is a genuine cover.
-        let mut covered = vec![false; 9];
+        let mut covered = [false; 9];
         for &k in &exact {
             for (e, b) in matrix[k].iter().enumerate() {
                 if *b {
@@ -318,7 +317,7 @@ mod tests {
             &[true, true, false, false],
         ]);
         let cover = solve_greedy(&inst).unwrap();
-        let mut covered = vec![false; 4];
+        let mut covered = [false; 4];
         for &k in &cover {
             for &e in &inst.covers[k] {
                 covered[e] = true;
@@ -336,7 +335,7 @@ mod tests {
             &[false, false, true, false, false, true],
         ]);
         let cover = solve_exact(&inst, 1).unwrap();
-        let mut covered = vec![false; 6];
+        let mut covered = [false; 6];
         for &k in &cover {
             for &e in &inst.covers[k] {
                 covered[e] = true;

@@ -208,7 +208,8 @@ impl Dfa {
         for _ in 0..max_len {
             let mut next = Vec::new();
             for (q, word) in &frontier {
-                let mut steps: Vec<(&ExtractorStep, &usize)> = self.transitions[*q].iter().collect();
+                let mut steps: Vec<(&ExtractorStep, &usize)> =
+                    self.transitions[*q].iter().collect();
                 steps.sort_by(|a, b| a.0.cmp(b.0));
                 for (step, &nq) in steps {
                     let mut w = word.clone();
@@ -404,7 +405,10 @@ mod tests {
     fn covers_column_requires_all_values() {
         let t = social_network(2, 1);
         let persons = t.children_with_tag(t.root(), "Person");
-        let names: Vec<NodeId> = persons.iter().map(|p| t.child(*p, "name", 0).unwrap()).collect();
+        let names: Vec<NodeId> = persons
+            .iter()
+            .map(|p| t.child(*p, "name", 0).unwrap())
+            .collect();
         assert!(covers_column(&t, &names, &name_column()));
         assert!(!covers_column(&t, &names[..1], &name_column()));
     }

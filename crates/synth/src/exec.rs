@@ -106,11 +106,7 @@ pub fn plan(program: &Program) -> Plan {
         residual_clauses.push(clause);
     }
 
-    let residual = Predicate::conjunction(
-        residual_clauses
-            .into_iter()
-            .map(Predicate::disjunction),
-    );
+    let residual = Predicate::conjunction(residual_clauses.into_iter().map(Predicate::disjunction));
 
     // Join order: start from column 0, repeatedly add the column connected to the
     // already-joined set by some join constraint; fall back to the next unjoined column
@@ -126,7 +122,8 @@ pub fn plan(program: &Program) -> Plan {
                             || (j.right_col == *c && order.contains(&j.left_col))
                     })
             });
-            let next = next_joined.unwrap_or_else(|| (0..arity).find(|c| !order.contains(c)).unwrap());
+            let next =
+                next_joined.unwrap_or_else(|| (0..arity).find(|c| !order.contains(c)).unwrap());
             order.push(next);
         }
     }
@@ -395,8 +392,7 @@ mod tests {
             op: CompareOp::Eq,
             rhs: Operand::Const(Value::int(3)),
         };
-        let program =
-            mitra_dsl::Program::new(TableExtractor::new(vec![pi]), Predicate::or(a, b));
+        let program = mitra_dsl::Program::new(TableExtractor::new(vec![pi]), Predicate::or(a, b));
         let tree = social_network(5, 1);
         let naive = eval_program(&tree, &program);
         let fast = execute(&tree, &program);
@@ -407,10 +403,8 @@ mod tests {
     #[test]
     fn empty_predicate_program_is_full_cross_product() {
         let pi = ColumnExtractor::children(ColumnExtractor::Input, "Person");
-        let program = mitra_dsl::Program::new(
-            TableExtractor::new(vec![pi.clone(), pi]),
-            Predicate::True,
-        );
+        let program =
+            mitra_dsl::Program::new(TableExtractor::new(vec![pi.clone(), pi]), Predicate::True);
         let tree = social_network(3, 1);
         let (out, stats) = execute_with_stats(&tree, &program);
         assert_eq!(out.len(), 9);

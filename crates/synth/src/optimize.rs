@@ -57,8 +57,7 @@ pub fn analyze(tree: &Hdt, program: &Program) -> OptimizationReport {
             });
         }
     }
-    let optimized_clauses =
-        p.joins.len() + p.column_filters.iter().map(Vec::len).sum::<usize>();
+    let optimized_clauses = p.joins.len() + p.column_filters.iter().map(Vec::len).sum::<usize>();
     let residual_atoms = p.residual.atom_count();
     OptimizationReport {
         plan: p,

@@ -307,11 +307,18 @@ mod tests {
     fn learns_predicate_for_motivating_example() {
         let ex = social_example();
         let psi = social_psi();
-        let phi = learn_predicate(&[ex.clone()], &psi, &PredicateLearnConfig::default())
-            .expect("a predicate should be found");
+        let phi = learn_predicate(
+            std::slice::from_ref(&ex),
+            &psi,
+            &PredicateLearnConfig::default(),
+        )
+        .expect("a predicate should be found");
         let prog = Program::new(psi, phi);
         let out = eval_program(&ex.tree, &prog);
-        assert!(out.same_bag(&ex.output), "synthesized filter does not reproduce the example: {out}");
+        assert!(
+            out.same_bag(&ex.output),
+            "synthesized filter does not reproduce the example: {out}"
+        );
     }
 
     #[test]
@@ -343,8 +350,12 @@ mod tests {
             0,
         );
         let psi = TableExtractor::new(vec![pi.clone(), pi]);
-        let phi = learn_predicate(&[ex.clone()], &psi, &PredicateLearnConfig::default())
-            .expect("predicate expected");
+        let phi = learn_predicate(
+            std::slice::from_ref(&ex),
+            &psi,
+            &PredicateLearnConfig::default(),
+        )
+        .expect("predicate expected");
         let prog = Program::new(psi, phi);
         let out = eval_program(&ex.tree, &prog);
         assert!(out.same_bag(&ex.output), "got {out}");
@@ -358,7 +369,8 @@ mod tests {
             exact_cover: false,
             ..Default::default()
         };
-        let phi = learn_predicate(&[ex.clone()], &psi, &config).expect("greedy predicate");
+        let phi =
+            learn_predicate(std::slice::from_ref(&ex), &psi, &config).expect("greedy predicate");
         let prog = Program::new(psi, phi);
         assert!(eval_program(&ex.tree, &prog).same_bag(&ex.output));
     }
@@ -386,7 +398,7 @@ mod tests {
         // distinguished from (Alice, Bob, 4) tuples sharing all leaf data... the learner
         // may or may not find a classifier, but it must not panic and must return a
         // predicate that actually reproduces the example if it returns one.
-        if let Some(phi) = learn_predicate(&[ex.clone()], &psi, &config) {
+        if let Some(phi) = learn_predicate(std::slice::from_ref(&ex), &psi, &config) {
             let prog = Program::new(psi, phi);
             assert!(eval_program(&ex.tree, &prog).same_bag(&ex.output));
         }

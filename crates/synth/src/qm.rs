@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn contradiction_returns_none() {
         let a = assignment(&[1, 1]);
-        assert!(minimize(2, &[a.clone()], &[a]).is_none());
+        assert!(minimize(2, std::slice::from_ref(&a), std::slice::from_ref(&a)).is_none());
     }
 
     #[test]

@@ -215,7 +215,10 @@ pub fn learn_transformation(
 /// Enumerates combinations (one candidate per column), ordered by the total size of
 /// the chosen extractors so that simpler table extractors are tried first, capped at
 /// `max` combinations.
-fn ordered_combinations(per_column: &[Vec<ColumnExtractor>], max: usize) -> Vec<Vec<ColumnExtractor>> {
+fn ordered_combinations(
+    per_column: &[Vec<ColumnExtractor>],
+    max: usize,
+) -> Vec<Vec<ColumnExtractor>> {
     let mut combos: Vec<Vec<usize>> = vec![vec![]];
     for cands in per_column {
         let mut next = Vec::new();
@@ -277,7 +280,8 @@ mod tests {
     #[test]
     fn synthesizes_motivating_example() {
         let ex = social_example(3, 1);
-        let result = learn_transformation(&[ex.clone()], &SynthConfig::default()).unwrap();
+        let result =
+            learn_transformation(std::slice::from_ref(&ex), &SynthConfig::default()).unwrap();
         // The program must generalize: run it on a bigger document.
         let big = social_example(5, 2);
         let out = eval_program(&big.tree, &result.program);
@@ -306,7 +310,8 @@ mod tests {
         let tree = nested_objects();
         let output = Table::from_rows(&["outer", "inner"], &[&["outer-a", "inner-a"]]);
         let ex = Example::new(tree, output);
-        let result = learn_transformation(&[ex.clone()], &SynthConfig::default()).unwrap();
+        let result =
+            learn_transformation(std::slice::from_ref(&ex), &SynthConfig::default()).unwrap();
         let check = eval_program(&ex.tree, &result.program);
         assert!(check.same_bag(&ex.output));
     }
@@ -321,7 +326,10 @@ mod tests {
 
     #[test]
     fn error_on_inconsistent_arity() {
-        let e1 = Example::new(social_network(2, 1), Table::from_rows(&["a"], &[&["Alice"]]));
+        let e1 = Example::new(
+            social_network(2, 1),
+            Table::from_rows(&["a"], &[&["Alice"]]),
+        );
         let e2 = Example::new(
             social_network(2, 1),
             Table::from_rows(&["a", "b"], &[&["Alice", "Bob"]]),
@@ -360,7 +368,8 @@ mod tests {
     fn multiple_examples_are_all_satisfied() {
         let e1 = social_example(2, 1);
         let e2 = social_example(3, 1);
-        let result = learn_transformation(&[e1.clone(), e2.clone()], &SynthConfig::default()).unwrap();
+        let result =
+            learn_transformation(&[e1.clone(), e2.clone()], &SynthConfig::default()).unwrap();
         for ex in [e1, e2] {
             assert!(eval_program(&ex.tree, &result.program).same_bag(&ex.output));
         }
@@ -373,7 +382,8 @@ mod tests {
             ColumnExtractor::children(ColumnExtractor::Input, "a"),
             "b",
         );
-        let combos = ordered_combinations(&[vec![small.clone(), big.clone()], vec![small, big]], 10);
+        let combos =
+            ordered_combinations(&[vec![small.clone(), big.clone()], vec![small, big]], 10);
         let sizes: Vec<usize> = combos
             .iter()
             .map(|c| c.iter().map(ColumnExtractor::size).sum())

@@ -14,7 +14,9 @@
 //! by a configurable depth.
 
 use crate::synthesize::Example;
-use mitra_dsl::ast::{ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, TableExtractor};
+use mitra_dsl::ast::{
+    ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, TableExtractor,
+};
 use mitra_dsl::eval::{eval_column, eval_node_extractor};
 use mitra_dsl::Value;
 use mitra_hdt::{Hdt, NodeId};
@@ -181,8 +183,10 @@ pub fn construct_universe(
                 for op in const_ops {
                     // Ordering comparisons against non-numeric constants are rarely
                     // meaningful and blow up the universe; keep them for numbers only.
-                    if matches!(op, CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge)
-                        && c.as_number().is_none()
+                    if matches!(
+                        op,
+                        CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge
+                    ) && c.as_number().is_none()
                     {
                         continue;
                     }
@@ -280,9 +284,11 @@ mod tests {
     fn sibling_access_via_parent_then_child_is_found() {
         let ex = example();
         let chis = valid_node_extractors(&[ex], &name_extractor(), &UniverseConfig::default());
-        let sibling_id =
-            NodeExtractor::child(NodeExtractor::parent(NodeExtractor::Id), "id", 0);
-        assert!(chis.contains(&sibling_id), "expected sibling access in {chis:?}");
+        let sibling_id = NodeExtractor::child(NodeExtractor::parent(NodeExtractor::Id), "id", 0);
+        assert!(
+            chis.contains(&sibling_id),
+            "expected sibling access in {chis:?}"
+        );
     }
 
     #[test]
@@ -321,7 +327,10 @@ mod tests {
                 index: 2,
             },
         };
-        assert!(universe.contains(&phi2), "universe missing the id=fid join predicate");
+        assert!(
+            universe.contains(&phi2),
+            "universe missing the id=fid join predicate"
+        );
     }
 
     #[test]
@@ -335,7 +344,7 @@ mod tests {
             ..Default::default()
         };
         let big = UniverseConfig::default();
-        let u_small = construct_universe(&[ex.clone()], &psi, &small);
+        let u_small = construct_universe(std::slice::from_ref(&ex), &psi, &small);
         let u_big = construct_universe(&[ex], &psi, &big);
         assert!(u_small.len() < u_big.len());
     }

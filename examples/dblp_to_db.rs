@@ -47,7 +47,11 @@ fn main() {
             table.table, table.rows, table.synthesis_time, table.execution_time
         );
         let expected_rows = expected.get(&table.table).map(|t| t.len()).unwrap_or(0);
-        assert_eq!(table.rows, expected_rows, "row count mismatch for {}", table.table);
+        assert_eq!(
+            table.rows, expected_rows,
+            "row count mismatch for {}",
+            table.table
+        );
     }
 
     // Emit the first few lines of the SQL dump.

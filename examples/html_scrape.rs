@@ -27,8 +27,14 @@ fn main() {
     let synthesis = mitra
         .synthesize_from_html(&[(example_html, example_output)])
         .expect("synthesis should succeed");
-    println!("Synthesized in {:?} (cost: {:?})", synthesis.elapsed, synthesis.cost);
-    println!("{}", mitra::dsl::pretty::program_summary(&synthesis.program));
+    println!(
+        "Synthesized in {:?} (cost: {:?})",
+        synthesis.elapsed, synthesis.cost
+    );
+    println!(
+        "{}",
+        mitra::dsl::pretty::program_summary(&synthesis.program)
+    );
 
     // 3. Run it on a longer page the synthesizer never saw.
     let full_html = r#"<html><body>
@@ -43,7 +49,11 @@ fn main() {
     let table = mitra
         .run_on_html(&synthesis.program, full_html)
         .expect("execution should succeed");
-    println!("Extracted table ({} rows):\n{}", table.len(), table.to_csv());
+    println!(
+        "Extracted table ({} rows):\n{}",
+        table.len(),
+        table.to_csv()
+    );
 
     // 4. The XSLT back end still applies (HTML maps to the same HDT shape as XML).
     let xslt = mitra.emit(&synthesis.program, Backend::Xslt);

@@ -19,8 +19,14 @@ fn main() {
     let synthesis = mitra
         .synthesize_from_xml(&[(example_xml, example_output)])
         .expect("synthesis should succeed");
-    println!("Synthesized in {:?} (cost: {:?})", synthesis.elapsed, synthesis.cost);
-    println!("{}", mitra::dsl::pretty::program_summary(&synthesis.program));
+    println!(
+        "Synthesized in {:?} (cost: {:?})",
+        synthesis.elapsed, synthesis.cost
+    );
+    println!(
+        "{}",
+        mitra::dsl::pretty::program_summary(&synthesis.program)
+    );
 
     // 3. Apply the program to a larger document that the synthesizer never saw.
     let full_xml = r#"<catalog>
@@ -32,7 +38,11 @@ fn main() {
     let table = mitra
         .run_on_xml(&synthesis.program, full_xml)
         .expect("execution should succeed");
-    println!("Resulting table ({} rows):\n{}", table.len(), table.to_csv());
+    println!(
+        "Resulting table ({} rows):\n{}",
+        table.len(),
+        table.to_csv()
+    );
 
     // 4. Emit executable XSLT for use outside this library.
     let xslt = mitra.emit(&synthesis.program, Backend::Xslt);

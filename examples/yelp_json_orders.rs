@@ -40,7 +40,11 @@ fn main() {
         .run_on_json(&synthesis.program, &json)
         .expect("execution");
     let (_, expected_large) = spec.generate(20);
-    println!("Extracted {} review rows (expected {})", table.len(), expected_large["review"].len());
+    println!(
+        "Extracted {} review rows (expected {})",
+        table.len(),
+        expected_large["review"].len()
+    );
     assert_eq!(table.len(), expected_large["review"].len());
 
     // Emit the JavaScript artifact (the Mitra-json backend of the paper).

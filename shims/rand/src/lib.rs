@@ -1,0 +1,126 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network registry, so the workspace wires `rand` to
+//! this API-compatible subset (see `shims/README.md`). It covers exactly what the
+//! workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over half-open integer ranges.
+//!
+//! The generator is splitmix64 — statistically fine for synthetic test-data
+//! generation, NOT cryptographically secure, and intentionally stable across
+//! releases so the 98-task corpus stays byte-for-byte deterministic.
+
+use std::ops::Range;
+
+/// A PRNG that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be uniformly sampled from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)` using `next` as the entropy source.
+    fn sample(low: Self, high: Self, next: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(low: Self, high: Self, next: u64) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                // Offset arithmetic stays in i128: for signed types the span can
+                // exceed the type's positive max, so `low + offset` must not be
+                // computed in $t.
+                let span = (high as i128 - low as i128) as u128;
+                (low as i128 + (next as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing random-number trait (subset: `gen_range`).
+pub trait Rng {
+    /// Returns the next raw 64 bits of entropy.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from the half-open range `low..high`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let next = self.next_u64();
+        T::sample(range.start, range.end, next)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood; public domain reference constants).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..5);
+            assert!(v < 5);
+            let w = rng.gen_range(-3i64..4);
+            assert!((-3..4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_handles_full_span_signed_ranges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(i8::MIN..i8::MAX);
+            assert!((i8::MIN..i8::MAX).contains(&v));
+        }
+    }
+}

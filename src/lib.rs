@@ -17,6 +17,6 @@
 //! See `examples/quickstart.rs` for a two-minute tour and DESIGN.md / EXPERIMENTS.md
 //! for the mapping from the paper's evaluation to the benchmark harness.
 
-pub use mitra_core::{parse_csv_table, Mitra, MitraError};
 pub use mitra_core::{codegen, dsl, hdt, migrate, synth};
+pub use mitra_core::{parse_csv_table, Mitra, MitraError};
 pub use mitra_datagen as datagen;

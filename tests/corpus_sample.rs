@@ -56,7 +56,12 @@ fn synthesized_programs_generalize_to_scaled_documents() {
     let tasks = generate_corpus();
     let config = SynthConfig::default();
     let sample = if FULL_COVERAGE { 4 } else { 1 };
-    for task in tasks.iter().filter(|t| t.expressible).step_by(23).take(sample) {
+    for task in tasks
+        .iter()
+        .filter(|t| t.expressible)
+        .step_by(23)
+        .take(sample)
+    {
         let synthesis =
             learn_transformation(std::slice::from_ref(&task.example), &config).expect("synthesis");
         let small_rows = execute(&task.example.tree, &synthesis.program).len();

@@ -20,8 +20,8 @@ fn figure8_example() -> Example {
 #[test]
 fn figure8_task_synthesizes_with_constant_and_structural_predicates() {
     let example = figure8_example();
-    let synthesis =
-        learn_transformation(&[example.clone()], &SynthConfig::default()).expect("synthesis succeeds");
+    let synthesis = learn_transformation(std::slice::from_ref(&example), &SynthConfig::default())
+        .expect("synthesis succeeds");
     let result = eval_program(&example.tree, &synthesis.program);
     assert!(result.same_bag(&example.output));
 
@@ -36,8 +36,8 @@ fn figure8_program_respects_threshold_on_new_data() {
     // Build a larger document with both qualifying and non-qualifying outer objects and
     // check the threshold semantics carry over.
     use mitra::hdt::HdtBuilder;
-    let synthesis = learn_transformation(&[figure8_example()], &SynthConfig::default())
-        .expect("synthesis");
+    let synthesis =
+        learn_transformation(&[figure8_example()], &SynthConfig::default()).expect("synthesis");
 
     let bigger = HdtBuilder::new("root")
         .open("object")

@@ -11,9 +11,8 @@ fn imdb_like_migration_produces_constrained_database() {
     // Restrict to a subset of tables to keep the integration test fast; the full
     // 9-table migration runs in the bench harness.
     let mut plan = spec.migration_plan();
-    plan.tasks.retain(|t| {
-        ["person", "company", "movie_genre", "episode"].contains(&t.table.as_str())
-    });
+    plan.tasks
+        .retain(|t| ["person", "company", "movie_genre", "episode"].contains(&t.table.as_str()));
     let (document, expected) = spec.generate(6);
     let report = plan.run(&document).expect("migration succeeds");
     assert_eq!(report.tables.len(), 4);

@@ -10,8 +10,8 @@ use mitra::synth::synthesize::{learn_transformation, SynthConfig};
 #[test]
 fn motivating_example_synthesizes_and_generalizes() {
     let example = social::training_example();
-    let synthesis =
-        learn_transformation(&[example.clone()], &SynthConfig::default()).expect("synthesis");
+    let synthesis = learn_transformation(std::slice::from_ref(&example), &SynthConfig::default())
+        .expect("synthesis");
 
     // The program reproduces the training example exactly.
     let out = execute(&example.tree, &synthesis.program);
@@ -62,7 +62,9 @@ fn motivating_example_through_xml_plugin() {
         .expect("synthesis from XML text");
 
     // The program reproduces the training example through the XML plug-in...
-    let out = mitra.run_on_xml(&synthesis.program, &xml).expect("run on training doc");
+    let out = mitra
+        .run_on_xml(&synthesis.program, &xml)
+        .expect("run on training doc");
     assert!(out.same_bag(&expected));
 
     // ... and generalizes to a much larger document, including more friends per person.

@@ -1,7 +1,9 @@
 //! Property-based integration tests: parser round-trips and execution-engine
 //! equivalence over randomly generated documents and programs.
 
-use mitra::dsl::ast::{ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, TableExtractor};
+use mitra::dsl::ast::{
+    ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, TableExtractor,
+};
 use mitra::dsl::eval::eval_program;
 use mitra::dsl::validate::validate_against;
 use mitra::dsl::{Program, Value};
@@ -23,8 +25,7 @@ fn json_value(depth: u32) -> impl Strategy<Value = JsonValue> {
     leaf.prop_recursive(depth, 24, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
-            prop::collection::vec(("[a-z]{1,6}", inner), 0..4)
-                .prop_map(JsonValue::Object),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(JsonValue::Object),
         ]
     })
 }
@@ -44,11 +45,7 @@ fn random_tree() -> impl Strategy<Value = Hdt> {
                     stack.push(id);
                 }
                 1 => {
-                    tree.add_child(
-                        *stack.last().unwrap(),
-                        tags[tag_idx],
-                        Some(val.to_string()),
-                    );
+                    tree.add_child(*stack.last().unwrap(), tags[tag_idx], Some(val.to_string()));
                 }
                 _ => {
                     if stack.len() > 1 {
@@ -69,17 +66,18 @@ fn random_program() -> impl Strategy<Value = Program> {
         Just("entry".to_string()),
         Just("field".to_string()),
     ];
-    let extractor = prop::collection::vec((0u8..3, tags.clone(), 0usize..2), 1..3).prop_map(|steps| {
-        let mut pi = ColumnExtractor::Input;
-        for (kind, tag, pos) in steps {
-            pi = match kind {
-                0 => ColumnExtractor::children(pi, tag),
-                1 => ColumnExtractor::pchildren(pi, tag, pos),
-                _ => ColumnExtractor::descendants(pi, tag),
-            };
-        }
-        pi
-    });
+    let extractor =
+        prop::collection::vec((0u8..3, tags.clone(), 0usize..2), 1..3).prop_map(|steps| {
+            let mut pi = ColumnExtractor::Input;
+            for (kind, tag, pos) in steps {
+                pi = match kind {
+                    0 => ColumnExtractor::children(pi, tag),
+                    1 => ColumnExtractor::pchildren(pi, tag, pos),
+                    _ => ColumnExtractor::descendants(pi, tag),
+                };
+            }
+            pi
+        });
     (
         prop::collection::vec(extractor, 1..3),
         0usize..50,
