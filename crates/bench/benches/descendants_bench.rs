@@ -1,0 +1,84 @@
+//! Criterion benchmark for the tag-interned, indexed HDT arena: the
+//! descendants-heavy evaluation workload (see `mitra_bench::descend`) comparing
+//!
+//! * `naive_walk` — the pre-refactor implementation: a full subtree traversal per
+//!   `descendants_with_tag` query, comparing tags node by node
+//!   ([`mitra_hdt::Hdt::descendants_with_tag_naive`], kept as the reference);
+//! * `indexed_scan` — the pre-order range scan over the per-tag occurrence list
+//!   (`O(log n + k)` per query, zero-copy slice results).
+//!
+//! Also measures end-to-end evaluation of a descendants-based DSL column extractor
+//! through both engines' shared `eval_column` path, which now runs on the index.
+//! The acceptance bar for the refactor is a ≥2× speedup on this workload; the
+//! committed `BENCH_synthesis.json` baseline tracks the measured numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mitra_bench::descend;
+use mitra_dsl::ast::ColumnExtractor;
+use mitra_dsl::eval::eval_column;
+use std::time::Duration;
+
+fn bench_descendants_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("descendants_index");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    for (sections, items) in [(100usize, 100usize), (400, 400)] {
+        let tree = descend::corpus(sections, items);
+        let queries = descend::queries(&tree);
+        // Build the index outside the timing loop so `indexed_scan` measures
+        // steady-state queries (the build itself is measured separately below).
+        let _ = descend::run_indexed(&tree, &queries);
+
+        group.bench_with_input(
+            BenchmarkId::new("naive_walk", format!("{sections}x{items}")),
+            &(),
+            |b, _| b.iter(|| descend::run_naive(&tree, &queries)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("indexed_scan", format!("{sections}x{items}")),
+            &(),
+            |b, _| b.iter(|| descend::run_indexed(&tree, &queries)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("index_build", format!("{sections}x{items}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    // Cloning resets the derived index; the first query rebuilds it.
+                    // The timing therefore covers arena clone + cold index build —
+                    // an upper bound on the one-time cost a fresh tree pays.
+                    let fresh = tree.clone();
+                    fresh.descendants_with_tag(fresh.root(), "anchor").len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_descendants_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("descendants_eval");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    let tree = descend::corpus(200, 200);
+    // descendants(children(s, section), anchor): one selective descendants query per
+    // section — the shape DFA construction and program evaluation produce.
+    let pi = ColumnExtractor::descendants(
+        ColumnExtractor::children(ColumnExtractor::Input, "section"),
+        "anchor",
+    );
+    let _ = eval_column(&tree, &pi);
+    group.bench_function("eval_column/descendants_per_section", |b| {
+        b.iter(|| eval_column(&tree, &pi).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_descendants_index, bench_descendants_eval);
+criterion_main!(benches);

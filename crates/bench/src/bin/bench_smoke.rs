@@ -1,0 +1,104 @@
+//! Bench-smoke harness: a fast, machine-readable snapshot of the performance
+//! trajectory, written as `BENCH_synthesis.json`.
+//!
+//! Run with: `cargo run -p mitra-bench --release --bin bench_smoke [-- --out PATH]
+//! [-- --limit N] [-- --scale N] [-- --table2-from PATH]`
+//!
+//! The output combines three measurements:
+//!
+//! * `table1` — synthesis over the first `limit` corpus tasks (Table 1 smoke slice);
+//! * `table2` — full-database migration of the four dataset simulators at `scale`
+//!   (or, with `--table2-from`, the JSON array a previous `table2 --json` run
+//!   produced — CI uses this to avoid re-running ~2.5 minutes of synthesis);
+//! * `descendants_index` — the descendants-heavy evaluation workload comparing the
+//!   pre-refactor subtree walk against the pre-order/occurrence-list index (the
+//!   headline number of the tag-interning + indexing refactor; `speedup` must stay
+//!   well above 2).
+//!
+//! CI runs this binary on every push and uploads the JSON as an artifact; the
+//! repository keeps a committed baseline so the trajectory is reviewable in-diff.
+
+use mitra_bench::descend;
+use mitra_bench::json::{int, num, obj, s};
+use mitra_bench::table2::{rows_to_json_value, run_table2};
+use mitra_bench::{mean, median, run_task, table1_config};
+use mitra_datagen::generate_corpus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_synthesis.json".to_string());
+    let limit: usize = get("--limit").and_then(|v| v.parse().ok()).unwrap_or(12);
+    let scale: usize = get("--scale").and_then(|v| v.parse().ok()).unwrap_or(25);
+    let table2_from = get("--table2-from");
+
+    // Table 1 smoke slice.
+    eprintln!("bench_smoke: table1 slice ({limit} tasks)...");
+    let mut tasks = generate_corpus();
+    tasks.truncate(limit);
+    let config = table1_config();
+    let results: Vec<_> = tasks.iter().map(|t| run_task(t, &config)).collect();
+    let times: Vec<f64> = results
+        .iter()
+        .filter(|r| r.solved)
+        .map(|r| r.time.as_secs_f64())
+        .collect();
+    let table1 = obj(vec![
+        ("tasks", int(results.len())),
+        ("solved", int(results.iter().filter(|r| r.solved).count())),
+        ("median_time_secs", num(median(&times))),
+        ("mean_time_secs", num(mean(&times))),
+    ]);
+
+    // Table 2: reuse a previous `table2 --json` run when provided, measure otherwise.
+    let (table2, table2_desc) = match &table2_from {
+        Some(path) => {
+            eprintln!("bench_smoke: table2 from {path}...");
+            let text = std::fs::read_to_string(path).expect("read --table2-from file");
+            let value = mitra_hdt::parse_json(&text).expect("--table2-from holds JSON");
+            (value, format!("from {path}"))
+        }
+        None => {
+            eprintln!("bench_smoke: table2 migrations (scale {scale})...");
+            (
+                rows_to_json_value(&run_table2(scale)),
+                format!("scale={scale}"),
+            )
+        }
+    };
+
+    // The descendants-index headline comparison.
+    eprintln!("bench_smoke: descendants index workload...");
+    let m = descend::measure(400, 400, 5);
+    let descendants = obj(vec![
+        ("nodes", int(m.nodes)),
+        ("queries", int(m.queries)),
+        ("hits", int(m.hits)),
+        ("naive_secs", num(m.naive_secs)),
+        ("indexed_secs", num(m.indexed_secs)),
+        ("speedup", num(m.speedup())),
+    ]);
+
+    let doc = obj(vec![
+        (
+            "config",
+            s(format!(
+                "table1 limit={limit}, table2 {table2_desc}, descend 400x400 best-of-5"
+            )),
+        ),
+        ("table1", table1),
+        ("table2", table2),
+        ("descendants_index", descendants),
+    ]);
+
+    std::fs::write(&out_path, format!("{}\n", doc.to_string_pretty()))
+        .expect("write baseline file");
+    eprintln!(
+        "bench_smoke: wrote {out_path} (descendants speedup: {:.1}x)",
+        m.speedup()
+    );
+}

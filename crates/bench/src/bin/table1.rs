@@ -1,14 +1,69 @@
 //! Regenerates Table 1 of the paper: synthesis results over the 98-task corpus,
 //! grouped by input format and output column count.
 //!
-//! Run with: `cargo run -p mitra-bench --release --bin table1`
+//! Run with: `cargo run -p mitra-bench --release --bin table1 [-- --json] [-- --limit N]`
+//!
+//! * `--json` — emit one machine-readable JSON object on stdout instead of the
+//!   human-readable table (used by the CI bench-smoke step and `bench_smoke`);
+//! * `--limit N` — run only the first N corpus tasks (smoke runs).
 
+use mitra_bench::json::{int, num, obj, s, JsonValue};
 use mitra_bench::{mean, median, run_task, table1_config, TaskResult};
 use mitra_datagen::corpus::{Category, DocFormat};
 use mitra_datagen::generate_corpus;
 
+/// Renders per-task results plus aggregates as a JSON object.
+pub fn results_to_json(results: &[(Category, TaskResult)]) -> String {
+    let tasks = JsonValue::Array(
+        results
+            .iter()
+            .map(|(cat, r)| {
+                obj(vec![
+                    ("id", int(r.id)),
+                    ("name", s(&r.name)),
+                    ("format", s(format!("{:?}", r.format))),
+                    ("category", s(cat.label())),
+                    ("solved", JsonValue::Bool(r.solved)),
+                    ("time_secs", num(r.time.as_secs_f64())),
+                    ("elements", int(r.elements)),
+                    ("rows", int(r.rows)),
+                    ("predicates", int(r.predicates)),
+                    ("loc", int(r.loc)),
+                ])
+            })
+            .collect(),
+    );
+    let solved_times: Vec<f64> = results
+        .iter()
+        .filter(|(_, r)| r.solved)
+        .map(|(_, r)| r.time.as_secs_f64())
+        .collect();
+    obj(vec![
+        ("total", int(results.len())),
+        (
+            "solved",
+            int(results.iter().filter(|(_, r)| r.solved).count()),
+        ),
+        ("median_time_secs", num(median(&solved_times))),
+        ("mean_time_secs", num(mean(&solved_times))),
+        ("tasks", tasks),
+    ])
+    .to_string_compact()
+}
+
 fn main() {
-    let tasks = generate_corpus();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let as_json = args.iter().any(|a| a == "--json");
+    let limit = args
+        .iter()
+        .position(|a| a == "--limit")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+
+    let mut tasks = generate_corpus();
+    if let Some(n) = limit {
+        tasks.truncate(n);
+    }
     let config = table1_config();
     eprintln!("Running synthesis on {} corpus tasks...", tasks.len());
     let results: Vec<(Category, TaskResult)> = tasks
@@ -29,6 +84,11 @@ fn main() {
             (task.category, r)
         })
         .collect();
+
+    if as_json {
+        println!("{}", results_to_json(&results));
+        return;
+    }
 
     println!("\nTable 1 — synthesis over the 98-task corpus (reproduction)\n");
     println!(

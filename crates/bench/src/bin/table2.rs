@@ -1,20 +1,25 @@
 //! Regenerates Table 2 of the paper: example-driven migration of the four dataset
 //! simulators (DBLP, IMDB, MONDIAL, YELP) into full relational databases.
 //!
-//! Run with: `cargo run -p mitra-bench --release --bin table2 [scale]`
+//! Run with: `cargo run -p mitra-bench --release --bin table2 [scale] [-- --json]`
 //!
 //! `scale` is the number of instances per top-level entity used for the *execution*
 //! document (the synthesis examples always use a tiny 2-instance sample, as in the
 //! paper).  The default of 200 keeps the run under a couple of minutes; larger values
-//! scale the `#Rows` and execution-time columns linearly.
+//! scale the `#Rows` and execution-time columns linearly.  With `--json`, one
+//! machine-readable JSON array is emitted on stdout instead of the table.
 
-use mitra_datagen::datasets::all_datasets;
+use mitra_bench::table2::{rows_to_json, run_table2};
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let as_json = args.iter().any(|a| a == "--json");
+    let scale: usize = args.iter().find_map(|s| s.parse().ok()).unwrap_or(200);
+
+    if as_json {
+        println!("{}", rows_to_json(&run_table2(scale)));
+        return;
+    }
 
     println!("Table 2 — full-database migration of the dataset simulators (reproduction)\n");
     println!(
@@ -32,32 +37,26 @@ fn main() {
         "Violations"
     );
 
-    for spec in all_datasets() {
-        let plan = spec.migration_plan();
-        let (document, _expected) = spec.generate(scale);
-        let elements = document.ids().filter(|id| !document.is_leaf(*id)).count();
-        match plan.run(&document) {
-            Ok(report) => {
-                let n = report.tables.len() as f64;
-                println!(
-                    "{:<9} {:<7} {:>9} | {:>7} {:>6} | {:>12.2} {:>12.2} | {:>9} {:>13.2} {:>13.2} | {:>10}",
-                    spec.name,
-                    spec.format,
-                    elements,
-                    spec.table_count(),
-                    spec.schema().total_columns(),
-                    report.total_synthesis_time().as_secs_f64(),
-                    report.total_synthesis_time().as_secs_f64() / n,
-                    report.total_rows(),
-                    report.total_execution_time().as_secs_f64(),
-                    report.total_execution_time().as_secs_f64() / n,
-                    report.violations
-                );
-            }
-            Err(e) => {
-                println!("{:<9} {:<7} MIGRATION FAILED: {e}", spec.name, spec.format);
-            }
+    for row in run_table2(scale) {
+        if let Some(e) = &row.error {
+            println!("{:<9} {:<7} MIGRATION FAILED: {e}", row.name, row.format);
+            continue;
         }
+        let n = row.tables.max(1) as f64;
+        println!(
+            "{:<9} {:<7} {:>9} | {:>7} {:>6} | {:>12.2} {:>12.2} | {:>9} {:>13.2} {:>13.2} | {:>10}",
+            row.name,
+            row.format,
+            row.elements,
+            row.tables,
+            row.columns,
+            row.synth_total_secs,
+            row.synth_total_secs / n,
+            row.rows,
+            row.exec_total_secs,
+            row.exec_total_secs / n,
+            row.violations
+        );
     }
     println!("\n(execution scale: {scale} instances per top-level entity; synthesis always uses a 2-instance example)");
 }

@@ -23,6 +23,10 @@ use mitra_datagen::corpus::{DocFormat, Task};
 use mitra_synth::synthesize::{learn_transformation, SynthConfig, Synthesis};
 use std::time::Duration;
 
+pub mod descend;
+pub mod json;
+pub mod table2;
+
 /// Result of running the synthesizer on one corpus task.
 #[derive(Debug, Clone)]
 pub struct TaskResult {

@@ -62,6 +62,7 @@ impl From<mitra_core::MitraError> for CliError {
             MitraError::Parse(_)
             | MitraError::BadOutputExample(_)
             | MitraError::DslParse(_)
+            | MitraError::Eval(_)
             | MitraError::Query(_)
             | MitraError::Schema(_) => CliError::Input(e.to_string()),
         }

@@ -13,6 +13,7 @@
 //!
 //! `MitraError` is the only error type the `mitra` facade crate exports.
 
+use mitra_dsl::eval::EvalError;
 use mitra_dsl::parse::ParseError;
 use mitra_hdt::HdtError;
 use mitra_migrate::migrate::MigrationError;
@@ -30,6 +31,8 @@ pub enum MitraError {
     BadOutputExample(String),
     /// A DSL program's textual form could not be parsed.
     DslParse(ParseError),
+    /// Naive evaluation exceeded its resource limits (cross-product row cap).
+    Eval(EvalError),
     /// Synthesis failed.
     Synthesis(SynthError),
     /// Full-database migration failed.
@@ -46,6 +49,7 @@ impl fmt::Display for MitraError {
             MitraError::Parse(e) => write!(f, "failed to parse input document: {e}"),
             MitraError::BadOutputExample(e) => write!(f, "bad output example: {e}"),
             MitraError::DslParse(e) => write!(f, "failed to parse DSL program: {e}"),
+            MitraError::Eval(e) => write!(f, "evaluation failed: {e}"),
             MitraError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
             MitraError::Migration(e) => write!(f, "migration failed: {e}"),
             MitraError::Query(e) => write!(f, "query failed: {e}"),
@@ -60,6 +64,7 @@ impl std::error::Error for MitraError {
             MitraError::Parse(e) => Some(e),
             MitraError::BadOutputExample(_) => None,
             MitraError::DslParse(e) => Some(e),
+            MitraError::Eval(e) => Some(e),
             MitraError::Synthesis(e) => Some(e),
             MitraError::Migration(e) => Some(e),
             MitraError::Query(e) => Some(e),
@@ -77,6 +82,12 @@ impl From<HdtError> for MitraError {
 impl From<ParseError> for MitraError {
     fn from(e: ParseError) -> Self {
         MitraError::DslParse(e)
+    }
+}
+
+impl From<EvalError> for MitraError {
+    fn from(e: EvalError) -> Self {
+        MitraError::Eval(e)
     }
 }
 
@@ -134,6 +145,7 @@ mod tests {
                 offset: 7,
             }
             .into(),
+            EvalError::TooManyRows { rows: 10, cap: 5 }.into(),
             SynthError::Timeout.into(),
             MigrationError::UnknownTable("t".into()).into(),
             QueryError::UnknownColumn("c".into()).into(),
@@ -146,6 +158,7 @@ mod tests {
                 MitraError::Parse(_) => "parse",
                 MitraError::BadOutputExample(_) => "example",
                 MitraError::DslParse(_) => "dsl",
+                MitraError::Eval(_) => "eval",
                 MitraError::Synthesis(_) => "synth",
                 MitraError::Migration(_) => "migration",
                 MitraError::Query(_) => "query",
@@ -154,7 +167,15 @@ mod tests {
             .collect();
         assert_eq!(
             variants,
-            vec!["parse", "dsl", "synth", "migration", "query", "schema"]
+            vec![
+                "parse",
+                "dsl",
+                "eval",
+                "synth",
+                "migration",
+                "query",
+                "schema"
+            ]
         );
     }
 

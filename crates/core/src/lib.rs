@@ -35,6 +35,8 @@ pub use error::MitraError;
 pub use mitra_codegen as codegen;
 pub use mitra_dsl as dsl;
 pub use mitra_hdt as hdt;
+pub use mitra_hdt::intern;
+pub use mitra_hdt::{Interner, Symbol, TagId};
 pub use mitra_migrate as migrate;
 pub use mitra_synth as synth;
 

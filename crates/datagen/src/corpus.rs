@@ -534,7 +534,7 @@ fn concat_task(rng: &mut StdRng, columns: usize, size: usize) -> (Hdt, Table) {
 pub fn hdt_to_xml_text(tree: &Hdt) -> String {
     fn write_node(tree: &Hdt, node: NodeId, indent: usize, out: &mut String) {
         let pad = "  ".repeat(indent);
-        let tag = tree.tag(node);
+        let tag = tree.tag_name(node);
         if tree.is_leaf(node) {
             let data = mitra_hdt::xml::escape(tree.data(node).unwrap_or(""));
             out.push_str(&format!("{pad}<{tag}>{data}</{tag}>\n"));
@@ -569,7 +569,7 @@ pub fn hdt_to_json_text(tree: &Hdt) -> String {
         // Group children by tag, preserving order of first appearance.
         let mut fields: Vec<(String, Vec<NodeId>)> = Vec::new();
         for &c in tree.children(node) {
-            let tag = tree.tag(c).to_string();
+            let tag = tree.tag_name(c).to_string();
             match fields.iter_mut().find(|(t, _)| *t == tag) {
                 Some((_, v)) => v.push(c),
                 None => fields.push((tag, vec![c])),
@@ -682,7 +682,7 @@ mod tests {
             }
             let result = learn_transformation(std::slice::from_ref(&task.example), &config)
                 .unwrap_or_else(|e| panic!("task {} failed: {e}", task.name));
-            let out = eval_program(&task.example.tree, &result.program);
+            let out = eval_program(&task.example.tree, &result.program).unwrap();
             assert!(
                 out.same_bag(&task.example.output),
                 "task {} mismatch",

@@ -1,6 +1,13 @@
 //! Abstract syntax of the tree-to-table DSL (Figure 6).
+//!
+//! Tags inside extractors are interned [`TagId`]s, so comparing or hashing AST nodes
+//! (in particular [`ExtractorStep`], the DFA alphabet of Figure 9) operates on `u32`s.
+//! The constructors accept anything convertible into a `TagId` (including `&str`,
+//! which interns through the global interner), and tag *names* are resolved back to
+//! strings only at the string boundary (pretty-printing, parsing, code generation).
 
 use crate::value::Value;
+use mitra_hdt::TagId;
 
 /// Comparison operators usable in predicates (the ⊙ of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,14 +73,14 @@ pub enum ColumnExtractor {
         /// Inner extractor applied first.
         inner: Box<ColumnExtractor>,
         /// Tag to select.
-        tag: String,
+        tag: TagId,
     },
     /// `pchildren(π, tag, pos)` — children with the given tag *and* position.
     PChildren {
         /// Inner extractor applied first.
         inner: Box<ColumnExtractor>,
         /// Tag to select.
-        tag: String,
+        tag: TagId,
         /// Position among same-tag siblings.
         pos: usize,
     },
@@ -82,13 +89,13 @@ pub enum ColumnExtractor {
         /// Inner extractor applied first.
         inner: Box<ColumnExtractor>,
         /// Tag to select.
-        tag: String,
+        tag: TagId,
     },
 }
 
 impl ColumnExtractor {
     /// Convenience constructor for `children(inner, tag)`.
-    pub fn children(inner: ColumnExtractor, tag: impl Into<String>) -> Self {
+    pub fn children(inner: ColumnExtractor, tag: impl Into<TagId>) -> Self {
         ColumnExtractor::Children {
             inner: Box::new(inner),
             tag: tag.into(),
@@ -96,7 +103,7 @@ impl ColumnExtractor {
     }
 
     /// Convenience constructor for `pchildren(inner, tag, pos)`.
-    pub fn pchildren(inner: ColumnExtractor, tag: impl Into<String>, pos: usize) -> Self {
+    pub fn pchildren(inner: ColumnExtractor, tag: impl Into<TagId>, pos: usize) -> Self {
         ColumnExtractor::PChildren {
             inner: Box::new(inner),
             tag: tag.into(),
@@ -105,7 +112,7 @@ impl ColumnExtractor {
     }
 
     /// Convenience constructor for `descendants(inner, tag)`.
-    pub fn descendants(inner: ColumnExtractor, tag: impl Into<String>) -> Self {
+    pub fn descendants(inner: ColumnExtractor, tag: impl Into<TagId>) -> Self {
         ColumnExtractor::Descendants {
             inner: Box::new(inner),
             tag: tag.into(),
@@ -117,11 +124,9 @@ impl ColumnExtractor {
         let mut cur = ColumnExtractor::Input;
         for s in steps {
             cur = match s {
-                ExtractorStep::Children(tag) => ColumnExtractor::children(cur, tag.clone()),
-                ExtractorStep::PChildren(tag, pos) => {
-                    ColumnExtractor::pchildren(cur, tag.clone(), *pos)
-                }
-                ExtractorStep::Descendants(tag) => ColumnExtractor::descendants(cur, tag.clone()),
+                ExtractorStep::Children(tag) => ColumnExtractor::children(cur, *tag),
+                ExtractorStep::PChildren(tag, pos) => ColumnExtractor::pchildren(cur, *tag, *pos),
+                ExtractorStep::Descendants(tag) => ColumnExtractor::descendants(cur, *tag),
             };
         }
         cur
@@ -139,15 +144,15 @@ impl ColumnExtractor {
             ColumnExtractor::Input => {}
             ColumnExtractor::Children { inner, tag } => {
                 inner.collect_steps(out);
-                out.push(ExtractorStep::Children(tag.clone()));
+                out.push(ExtractorStep::Children(*tag));
             }
             ColumnExtractor::PChildren { inner, tag, pos } => {
                 inner.collect_steps(out);
-                out.push(ExtractorStep::PChildren(tag.clone(), *pos));
+                out.push(ExtractorStep::PChildren(*tag, *pos));
             }
             ColumnExtractor::Descendants { inner, tag } => {
                 inner.collect_steps(out);
-                out.push(ExtractorStep::Descendants(tag.clone()));
+                out.push(ExtractorStep::Descendants(*tag));
             }
         }
     }
@@ -164,14 +169,19 @@ impl ColumnExtractor {
 }
 
 /// One step of a column extractor, i.e. one letter of the DFA alphabet (Figure 9).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Letters hold interned [`TagId`]s, so hashing a letter (and therefore hashing DFA
+/// transition maps and product states) hashes `u32`s, never strings.  The derived
+/// `Ord` follows interning order; alphabet construction sorts by tag *name* where
+/// deterministic lexicographic enumeration matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ExtractorStep {
     /// `children_tag`
-    Children(String),
+    Children(TagId),
     /// `pchildren_{tag,pos}`
-    PChildren(String, usize),
+    PChildren(TagId, usize),
     /// `descendants_tag`
-    Descendants(String),
+    Descendants(TagId),
 }
 
 /// Table extractor ψ: the cross product of column extractors, each applied to
@@ -214,7 +224,7 @@ pub enum NodeExtractor {
         /// Inner extractor applied first.
         inner: Box<NodeExtractor>,
         /// Tag of the child to follow.
-        tag: String,
+        tag: TagId,
         /// Position of the child to follow.
         pos: usize,
     },
@@ -227,7 +237,7 @@ impl NodeExtractor {
     }
 
     /// Convenience constructor for `child(inner, tag, pos)`.
-    pub fn child(inner: NodeExtractor, tag: impl Into<String>, pos: usize) -> Self {
+    pub fn child(inner: NodeExtractor, tag: impl Into<TagId>, pos: usize) -> Self {
         NodeExtractor::Child {
             inner: Box::new(inner),
             tag: tag.into(),

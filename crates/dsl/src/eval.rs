@@ -10,6 +10,70 @@ use crate::ast::{ColumnExtractor, NodeExtractor, Operand, Predicate, Program, Ta
 use crate::table::Table;
 use crate::value::Value;
 use mitra_hdt::{Hdt, NodeId};
+use std::fmt;
+
+/// Default cap on the number of rows the naive cross product may materialize.
+///
+/// The limit exists to turn a hopeless `children(s,a) × children(s,b) × …` blow-up
+/// into a reported error instead of an out-of-memory abort; the optimized executor in
+/// `mitra-synth::exec` is the right tool for large documents.
+pub const DEFAULT_MAX_ROWS: usize = 4_000_000;
+
+/// Resource limits applied by the naive evaluator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalLimits {
+    /// Maximum number of rows a materialized cross product may contain.
+    pub max_rows: usize,
+}
+
+impl Default for EvalLimits {
+    fn default() -> Self {
+        EvalLimits {
+            max_rows: DEFAULT_MAX_ROWS,
+        }
+    }
+}
+
+impl EvalLimits {
+    /// Limits with a specific row cap.
+    pub fn with_max_rows(max_rows: usize) -> Self {
+        EvalLimits { max_rows }
+    }
+}
+
+/// Errors raised by the naive evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The product of the per-column set sizes overflowed `usize`.
+    ProductOverflow {
+        /// Number of columns in the offending table extractor.
+        arity: usize,
+    },
+    /// The cross product would materialize more rows than the configured cap.
+    TooManyRows {
+        /// The number of rows the cross product would produce.
+        rows: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::ProductOverflow { arity } => write!(
+                f,
+                "cross product of {arity} columns overflows the row counter"
+            ),
+            EvalError::TooManyRows { rows, cap } => write!(
+                f,
+                "cross product would materialize {rows} rows, above the cap of {cap}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 /// Evaluates a column extractor on a set of starting nodes, returning the extracted
 /// node set in document order (duplicates possible, as in the paper's set-of-nodes with
@@ -20,19 +84,19 @@ pub fn eval_column_from(tree: &Hdt, start: &[NodeId], pi: &ColumnExtractor) -> V
         ColumnExtractor::Children { inner, tag } => {
             let base = eval_column_from(tree, start, inner);
             base.iter()
-                .flat_map(|n| tree.children_with_tag(*n, tag))
+                .flat_map(|n| tree.children_with_tag(*n, *tag).iter().copied())
                 .collect()
         }
         ColumnExtractor::PChildren { inner, tag, pos } => {
             let base = eval_column_from(tree, start, inner);
             base.iter()
-                .flat_map(|n| tree.children_with_tag_pos(*n, tag, *pos))
+                .flat_map(|n| tree.children_with_tag_pos(*n, *tag, *pos))
                 .collect()
         }
         ColumnExtractor::Descendants { inner, tag } => {
             let base = eval_column_from(tree, start, inner);
             base.iter()
-                .flat_map(|n| tree.descendants_with_tag(*n, tag))
+                .flat_map(|n| tree.descendants_with_tag(*n, *tag).iter().copied())
                 .collect()
         }
     }
@@ -45,20 +109,56 @@ pub fn eval_column(tree: &Hdt, pi: &ColumnExtractor) -> Vec<NodeId> {
 
 /// Evaluates a table extractor: the cross product of its columns.  Entries are node
 /// ids, matching the paper's intermediate tables whose cells are "pointers" to nodes.
-pub fn eval_table_extractor(tree: &Hdt, psi: &TableExtractor) -> Vec<Vec<NodeId>> {
+pub fn eval_table_extractor(
+    tree: &Hdt,
+    psi: &TableExtractor,
+) -> Result<Vec<Vec<NodeId>>, EvalError> {
+    eval_table_extractor_with(tree, psi, &EvalLimits::default())
+}
+
+/// Like [`eval_table_extractor`], with an explicit row cap.
+pub fn eval_table_extractor_with(
+    tree: &Hdt,
+    psi: &TableExtractor,
+    limits: &EvalLimits,
+) -> Result<Vec<Vec<NodeId>>, EvalError> {
     let columns: Vec<Vec<NodeId>> = psi.columns.iter().map(|pi| eval_column(tree, pi)).collect();
-    cross_product(&columns)
+    cross_product_with(&columns, limits)
+}
+
+/// Cross product of the per-column node lists, under the default row cap.
+pub fn cross_product(columns: &[Vec<NodeId>]) -> Result<Vec<Vec<NodeId>>, EvalError> {
+    cross_product_with(columns, &EvalLimits::default())
 }
 
 /// Cross product of the per-column node lists.
-pub fn cross_product(columns: &[Vec<NodeId>]) -> Vec<Vec<NodeId>> {
+///
+/// The row count is computed with checked multiplication *before* anything is
+/// materialized, so an oversized product is rejected as an [`EvalError`] instead of
+/// allocating.
+pub fn cross_product_with(
+    columns: &[Vec<NodeId>],
+    limits: &EvalLimits,
+) -> Result<Vec<Vec<NodeId>>, EvalError> {
     if columns.is_empty() {
-        return vec![];
+        return Ok(vec![]);
     }
     if columns.iter().any(|c| c.is_empty()) {
-        return vec![];
+        return Ok(vec![]);
     }
-    let total: usize = columns.iter().map(Vec::len).product();
+    let total = columns
+        .iter()
+        .map(Vec::len)
+        .try_fold(1usize, |acc, len| acc.checked_mul(len))
+        .ok_or(EvalError::ProductOverflow {
+            arity: columns.len(),
+        })?;
+    if total > limits.max_rows {
+        return Err(EvalError::TooManyRows {
+            rows: total,
+            cap: limits.max_rows,
+        });
+    }
     let mut out = Vec::with_capacity(total);
     let mut idx = vec![0usize; columns.len()];
     loop {
@@ -67,7 +167,7 @@ pub fn cross_product(columns: &[Vec<NodeId>]) -> Vec<Vec<NodeId>> {
         let mut k = columns.len();
         loop {
             if k == 0 {
-                return out;
+                return Ok(out);
             }
             k -= 1;
             idx[k] += 1;
@@ -90,7 +190,7 @@ pub fn eval_node_extractor(tree: &Hdt, node: NodeId, phi: &NodeExtractor) -> Opt
         }
         NodeExtractor::Child { inner, tag, pos } => {
             let n = eval_node_extractor(tree, node, inner)?;
-            tree.child(n, tag, *pos)
+            tree.child(n, *tag, *pos)
         }
     }
 }
@@ -168,27 +268,36 @@ pub fn eval_predicate(tree: &Hdt, tuple: &[NodeId], phi: &Predicate) -> bool {
 
 /// Evaluates a full program on a tree, producing the relational output table
 /// (`filter(ψ, λt.φ)` of Figure 7): tuples of node *data* for the rows that satisfy φ.
-pub fn eval_program(tree: &Hdt, program: &Program) -> Table {
+pub fn eval_program(tree: &Hdt, program: &Program) -> Result<Table, EvalError> {
+    eval_program_with(tree, program, &EvalLimits::default())
+}
+
+/// Like [`eval_program`], with an explicit row cap for the intermediate product.
+pub fn eval_program_with(
+    tree: &Hdt,
+    program: &Program,
+    limits: &EvalLimits,
+) -> Result<Table, EvalError> {
     let mut table = if program.column_names.is_empty() {
         Table::anonymous(program.arity())
     } else {
         Table::new(program.column_names.clone())
     };
-    for tuple in eval_table_extractor(tree, &program.extractor) {
+    for tuple in eval_table_extractor_with(tree, &program.extractor, limits)? {
         if eval_predicate(tree, &tuple, &program.predicate) {
             table.push(tuple.iter().map(|n| node_value(tree, *n)).collect());
         }
     }
-    table
+    Ok(table)
 }
 
 /// Evaluates a program but keeps node ids instead of projecting to data values.
 /// Useful for key generation during full-database migration (Section 6).
-pub fn eval_program_nodes(tree: &Hdt, program: &Program) -> Vec<Vec<NodeId>> {
-    eval_table_extractor(tree, &program.extractor)
+pub fn eval_program_nodes(tree: &Hdt, program: &Program) -> Result<Vec<Vec<NodeId>>, EvalError> {
+    Ok(eval_table_extractor(tree, &program.extractor)?
         .into_iter()
         .filter(|tuple| eval_predicate(tree, tuple, &program.predicate))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -259,9 +368,56 @@ mod tests {
             vec![NodeId(3)],
             vec![NodeId(4), NodeId(5), NodeId(6)],
         ];
-        assert_eq!(cross_product(&cols).len(), 6);
-        assert!(cross_product(&[vec![], vec![NodeId(1)]]).is_empty());
-        assert!(cross_product(&[]).is_empty());
+        assert_eq!(cross_product(&cols).unwrap().len(), 6);
+        assert!(cross_product(&[vec![], vec![NodeId(1)]])
+            .unwrap()
+            .is_empty());
+        assert!(cross_product(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cross_product_row_cap_is_enforced_before_allocation() {
+        let cols = vec![vec![NodeId(0); 100], vec![NodeId(1); 100]];
+        let limits = EvalLimits::with_max_rows(5_000);
+        assert_eq!(
+            cross_product_with(&cols, &limits),
+            Err(EvalError::TooManyRows {
+                rows: 10_000,
+                cap: 5_000
+            })
+        );
+        // Under the cap the product materializes normally.
+        assert_eq!(
+            cross_product_with(&cols, &EvalLimits::with_max_rows(10_000))
+                .unwrap()
+                .len(),
+            10_000
+        );
+    }
+
+    #[test]
+    fn cross_product_overflow_is_reported_not_wrapped() {
+        // Column sizes whose product overflows usize must be rejected via checked
+        // multiplication, not wrap around to a small allocation.
+        let big = vec![NodeId(0); 1 << 20];
+        let cols: Vec<Vec<NodeId>> = (0..4).map(|_| big.clone()).collect();
+        assert_eq!(
+            cross_product(&cols),
+            Err(EvalError::ProductOverflow { arity: 4 })
+        );
+    }
+
+    #[test]
+    fn eval_program_surfaces_row_cap_errors() {
+        let t = social_network(40, 1);
+        let pi = ColumnExtractor::children(ColumnExtractor::Input, "Person");
+        let psi = TableExtractor::new(vec![pi.clone(), pi.clone(), pi]);
+        let prog = Program::new(psi, Predicate::True);
+        let limits = EvalLimits::with_max_rows(100);
+        assert!(matches!(
+            eval_program_with(&t, &prog, &limits),
+            Err(EvalError::TooManyRows { .. })
+        ));
     }
 
     #[test]
@@ -297,7 +453,7 @@ mod tests {
     fn figure3_program_produces_expected_table() {
         let t = social_network(2, 1);
         let program = figure3_program();
-        let out = eval_program(&t, &program);
+        let out = eval_program(&t, &program).unwrap();
         // Alice(1) friends Bob(2) for (1+2)%10+1=4 years; Bob friends Alice for 4 years.
         let expected = Table::from_rows(
             &["c0", "c1", "c2"],
@@ -321,7 +477,7 @@ mod tests {
             "Person",
         )]);
         let prog = Program::new(psi, p);
-        assert!(eval_program(&t, &prog).is_empty());
+        assert!(eval_program(&t, &prog).unwrap().is_empty());
     }
 
     #[test]
@@ -365,7 +521,7 @@ mod tests {
             rhs: Operand::Const(Value::int(3)),
         };
         let prog = Program::new(TableExtractor::new(vec![pi]), p);
-        let out = eval_program_nodes(&t, &prog);
+        let out = eval_program_nodes(&t, &prog).unwrap();
         assert_eq!(out.len(), 2);
     }
 
@@ -374,7 +530,7 @@ mod tests {
         let t = social_network(2, 1);
         let mut prog = figure3_program();
         prog.column_names = vec!["Person".into(), "Friend-with".into(), "years".into()];
-        let out = eval_program(&t, &prog);
+        let out = eval_program(&t, &prog).unwrap();
         assert_eq!(out.columns, vec!["Person", "Friend-with", "years"]);
     }
 }

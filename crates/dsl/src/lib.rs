@@ -37,7 +37,8 @@ pub use ast::{
 };
 pub use cost::{cost, Cost};
 pub use eval::{
-    eval_column, eval_node_extractor, eval_predicate, eval_program, eval_table_extractor,
+    eval_column, eval_node_extractor, eval_predicate, eval_program, eval_program_with,
+    eval_table_extractor, EvalError, EvalLimits,
 };
 pub use table::{Row, Table};
 pub use validate::{validate, validate_against, Diagnostic, Severity, Validation};

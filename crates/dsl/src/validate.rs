@@ -13,7 +13,7 @@
 //!   group in the document), which almost always means an empty result.
 
 use crate::ast::{ColumnExtractor, NodeExtractor, Operand, Predicate, Program};
-use mitra_hdt::Hdt;
+use mitra_hdt::{Hdt, TagId};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -137,7 +137,7 @@ pub fn validate(program: &Program) -> Validation {
 /// tag-alphabet and position plausibility checks.
 pub fn validate_against(program: &Program, tree: &Hdt) -> Validation {
     let mut v = validate(program);
-    let alphabet: HashSet<&str> = tree.ids().map(|id| tree.tag(id)).collect();
+    let alphabet: HashSet<TagId> = tree.ids().map(|id| tree.tag(id)).collect();
     let max_pos = tree.positions().into_iter().max().unwrap_or(0);
 
     for (i, column) in program.extractor.columns.iter().enumerate() {
@@ -192,18 +192,18 @@ fn check_predicate_indices(predicate: &Predicate, arity: usize, v: &mut Validati
 fn check_column_tags(
     column: &ColumnExtractor,
     column_index: usize,
-    alphabet: &HashSet<&str>,
+    alphabet: &HashSet<TagId>,
     max_pos: usize,
     v: &mut Validation,
 ) {
     match column {
         ColumnExtractor::Input => {}
         ColumnExtractor::Children { inner, tag } | ColumnExtractor::Descendants { inner, tag } => {
-            warn_unknown_tag(tag, column_index, alphabet, v);
+            warn_unknown_tag(*tag, column_index, alphabet, v);
             check_column_tags(inner, column_index, alphabet, max_pos, v);
         }
         ColumnExtractor::PChildren { inner, tag, pos } => {
-            warn_unknown_tag(tag, column_index, alphabet, v);
+            warn_unknown_tag(*tag, column_index, alphabet, v);
             if *pos > max_pos {
                 v.push(Diagnostic::warning(format!(
                     "column {column_index} selects position {pos} of `{tag}`, but no node in the \
@@ -215,8 +215,13 @@ fn check_column_tags(
     }
 }
 
-fn warn_unknown_tag(tag: &str, column_index: usize, alphabet: &HashSet<&str>, v: &mut Validation) {
-    if !alphabet.contains(tag) {
+fn warn_unknown_tag(
+    tag: TagId,
+    column_index: usize,
+    alphabet: &HashSet<TagId>,
+    v: &mut Validation,
+) {
+    if !alphabet.contains(&tag) {
         v.push(Diagnostic::warning(format!(
             "column {column_index} selects tag `{tag}`, which does not occur in the document"
         )));
@@ -225,7 +230,7 @@ fn warn_unknown_tag(tag: &str, column_index: usize, alphabet: &HashSet<&str>, v:
 
 fn check_node_extractor_tags(
     extractor: &NodeExtractor,
-    alphabet: &HashSet<&str>,
+    alphabet: &HashSet<TagId>,
     max_pos: usize,
     v: &mut Validation,
 ) {
@@ -233,7 +238,7 @@ fn check_node_extractor_tags(
         NodeExtractor::Id => {}
         NodeExtractor::Parent(inner) => check_node_extractor_tags(inner, alphabet, max_pos, v),
         NodeExtractor::Child { inner, tag, pos } => {
-            if !alphabet.contains(tag.as_str()) {
+            if !alphabet.contains(tag) {
                 v.push(Diagnostic::warning(format!(
                     "predicate follows child tag `{tag}`, which does not occur in the document"
                 )));

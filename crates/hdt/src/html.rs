@@ -81,15 +81,17 @@ pub struct HtmlDocument {
 impl HtmlDocument {
     /// Converts the document into a hierarchical data tree (Section 3 mapping).
     pub fn to_hdt(&self) -> Hdt {
-        let mut tree = Hdt::with_root(self.root.name.clone());
+        let mut tree = Hdt::with_root(&self.root.name);
         let root = tree.root();
         Self::fill(&mut tree, root, &self.root);
         tree
     }
 
     fn fill(tree: &mut Hdt, id: NodeId, elem: &HtmlElement) {
+        // Same interning funnel as the XML plug-in: every tag goes through
+        // `add_child` and the shared global interner.
         for (k, v) in &elem.attributes {
-            tree.add_child(id, k.clone(), Some(v.clone()));
+            tree.add_child(id, k, Some(v.clone()));
         }
         if let Some(t) = &elem.text {
             if !t.is_empty() {
@@ -97,7 +99,7 @@ impl HtmlDocument {
             }
         }
         for c in &elem.children {
-            let cid = tree.add_child(id, c.name.clone(), None);
+            let cid = tree.add_child(id, &c.name, None);
             Self::fill(tree, cid, c);
         }
     }
@@ -700,7 +702,7 @@ mod tests {
         let html = "<table><tr><td class=\"name\">Ada</td></tr></table>";
         let tree = html_to_hdt(html).unwrap();
         let root = tree.root();
-        assert_eq!(tree.tag(root), "table");
+        assert_eq!(tree.tag_name(root), "table");
         let tr = tree.children_with_tag(root, "tr")[0];
         let td = tree.children_with_tag(tr, "td")[0];
         // Attribute and text content both become leaf children.

@@ -1,0 +1,244 @@
+//! Tag interning: [`Symbol`]/[`TagId`] and the [`Interner`].
+//!
+//! Every tag in the Mitra stack — XML element and attribute names, JSON keys, HTML
+//! element names, synthetic generator tags — is interned into a small copyable
+//! [`Symbol`] the moment it enters an [`crate::Hdt`] arena.  From that point on the
+//! entire stack (the DSL AST, the evaluator, the synthesizer's DFA alphabet, the
+//! predicate universe, the optimized executor) compares and hashes `u32`s instead of
+//! heap-allocated strings; tag *names* reappear only at the string boundary (the DSL
+//! parser/pretty-printer, code generation, and SQL emission).
+//!
+//! The stack uses one process-wide interner (see [`global`]), so `Symbol`s are
+//! consistent across trees: a program synthesized against one document evaluates
+//! against any other document without tag remapping.  The tag universe of real
+//! documents is tiny compared to the documents themselves, so interned strings are
+//! deliberately leaked (`Box::leak`) to hand out `&'static str` names without
+//! lifetime plumbing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a dense `u32` handle into the global [`Interner`].
+///
+/// Equality, ordering and hashing all operate on the handle.  Ordering follows
+/// interning order (first-seen first), *not* lexicographic order of the names; code
+/// that needs name order (e.g. deterministic alphabet enumeration) must sort by
+/// [`Symbol::as_str`] explicitly.
+///
+/// [`Symbol::as_str`], `Display` and the `From<&str>` conversions all go through the
+/// **global** interner.  A `Symbol` produced by a standalone [`Interner`] instance is
+/// only meaningful to that instance and must be resolved with its
+/// [`Interner::resolve`]; resolving it globally returns whatever string happens to
+/// occupy the same slot there.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+/// The role `Symbol` plays throughout the tree layer: a node tag.
+pub type TagId = Symbol;
+
+impl Symbol {
+    /// The raw interner handle.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Resolves the symbol to its string through the global interner.
+    #[inline]
+    pub fn as_str(self) -> &'static str {
+        global().resolve(self)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({} {:?})", self.0, self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        global().intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Self {
+        global().intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        global().intern(&s)
+    }
+}
+
+#[derive(Default)]
+struct InternerInner {
+    /// `Symbol(i)` resolves to `strings[i]`.
+    strings: Vec<&'static str>,
+    /// Reverse map for interning.
+    map: HashMap<&'static str, u32>,
+}
+
+/// A thread-safe append-only string interner.
+///
+/// Reads (the common case: a string that is already interned, or resolving a symbol)
+/// take a shared lock; only the first interning of a new string takes the exclusive
+/// lock.  Interned strings are leaked so that [`Interner::resolve`] can return
+/// `&'static str`.
+///
+/// The whole Mitra stack uses the [`global`] instance, which is what makes `TagId`s
+/// comparable across trees and programs.  Standalone instances exist for isolation
+/// (tests, tools): their symbols are scoped to the instance that minted them —
+/// resolve those through [`Interner::resolve`] on the same instance, never through
+/// [`Symbol::as_str`]/`Display` (which consult the global table).
+#[derive(Default)]
+pub struct Interner {
+    inner: RwLock<InternerInner>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns a string, returning its symbol (idempotent).
+    pub fn intern(&self, s: &str) -> Symbol {
+        if let Some(&id) = self.inner.read().expect("interner poisoned").map.get(s) {
+            return Symbol(id);
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        // Double-check: another thread may have interned `s` between the locks.
+        if let Some(&id) = inner.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(inner.strings.len()).expect("interner overflow");
+        inner.strings.push(leaked);
+        inner.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Resolves a symbol to its string.  Unknown handles (symbols minted by a
+    /// different interner) resolve to a sentinel instead of panicking.
+    pub fn resolve(&self, sym: Symbol) -> &'static str {
+        self.inner
+            .read()
+            .expect("interner poisoned")
+            .strings
+            .get(sym.0 as usize)
+            .copied()
+            .unwrap_or("<unknown-symbol>")
+    }
+
+    /// Looks a string up without interning it.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        self.inner
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(s)
+            .map(|&id| Symbol(id))
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("interner poisoned").strings.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Interner({} symbols)", self.len())
+    }
+}
+
+static GLOBAL: OnceLock<Interner> = OnceLock::new();
+
+/// The process-wide interner used by the whole Mitra stack.
+pub fn global() -> &'static Interner {
+    GLOBAL.get_or_init(Interner::new)
+}
+
+/// Interns a string in the global interner.
+#[inline]
+pub fn intern(s: &str) -> Symbol {
+    global().intern(s)
+}
+
+/// Resolves a symbol through the global interner.
+#[inline]
+pub fn resolve(sym: Symbol) -> &'static str {
+    global().resolve(sym)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_roundtrips() {
+        let a = intern("Person");
+        let b = intern("Person");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "Person");
+        assert_eq!(resolve(a), "Person");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = intern("alpha-tag");
+        let b = intern("beta-tag");
+        assert_ne!(a, b);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn from_impls_intern_globally() {
+        let a: Symbol = "gamma-tag".into();
+        let b: Symbol = String::from("gamma-tag").into();
+        let owned = String::from("gamma-tag");
+        let c: Symbol = (&owned).into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn local_interner_is_independent() {
+        let local = Interner::new();
+        assert!(local.is_empty());
+        let s = local.intern("only-local");
+        assert_eq!(local.resolve(s), "only-local");
+        assert_eq!(local.lookup("only-local"), Some(s));
+        assert_eq!(local.lookup("never-seen"), None);
+        assert_eq!(local.len(), 1);
+    }
+
+    #[test]
+    fn unknown_symbols_resolve_to_sentinel() {
+        let local = Interner::new();
+        assert_eq!(local.resolve(Symbol(999_999)), "<unknown-symbol>");
+    }
+
+    #[test]
+    fn display_and_debug_show_the_name() {
+        let s = intern("display-me");
+        assert_eq!(format!("{s}"), "display-me");
+        assert!(format!("{s:?}").contains("display-me"));
+    }
+}

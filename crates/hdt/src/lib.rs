@@ -18,10 +18,16 @@
 //!
 //! Finally, [`generate`] contains small helpers used by tests and examples to build
 //! trees programmatically.
+//!
+//! Tags are interned: [`intern`] defines [`Symbol`]/[`TagId`] and the process-wide
+//! [`Interner`] every ingestion path funnels through, and [`tree::Hdt`] maintains the
+//! pre-order / per-tag occurrence indexes that make `descendants`/`children` lookups
+//! `O(log n + k)` range scans (see DESIGN.md §2 "Tree representation & indexing").
 
 pub mod error;
 pub mod generate;
 pub mod html;
+pub mod intern;
 pub mod json;
 pub mod node;
 pub mod tree;
@@ -29,6 +35,7 @@ pub mod xml;
 
 pub use error::{HdtError, Result};
 pub use html::{parse_html, HtmlDocument, HtmlElement};
+pub use intern::{Interner, Symbol, TagId};
 pub use json::{parse_json, JsonValue};
 pub use node::{Node, NodeId};
 pub use tree::{Hdt, HdtBuilder};

@@ -6,6 +6,7 @@
 //! synthesis algorithms cheap: node sets become sorted `Vec<NodeId>`s and hashing a
 //! DFA state is hashing a slice of `u32`s.
 
+use crate::intern::TagId;
 use std::fmt;
 
 /// Identifier of a node inside a particular [`crate::Hdt`] arena.
@@ -40,13 +41,13 @@ impl From<u32> for NodeId {
 
 /// A single node of a hierarchical data tree.
 ///
-/// Mirrors Definition 1: `tag` is the label, `pos` the position among same-tag siblings
-/// and `data` the payload (only meaningful for leaves).  The parent/children links are
-/// maintained by the owning [`crate::Hdt`].
+/// Mirrors Definition 1: `tag` is the label (an interned [`TagId`]), `pos` the position
+/// among same-tag siblings and `data` the payload (only meaningful for leaves).  The
+/// parent/children links are maintained by the owning [`crate::Hdt`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
-    /// Label of the node (XML element name, JSON key, synthetic tag, ...).
-    pub tag: String,
+    /// Label of the node (XML element name, JSON key, synthetic tag, ...), interned.
+    pub tag: TagId,
     /// `pos` means this node is the `pos`'th child with tag `tag` under its parent.
     pub pos: usize,
     /// Data stored at the node.  `None` for internal nodes, `Some` for leaves.
@@ -59,7 +60,7 @@ pub struct Node {
 
 impl Node {
     /// Creates a new node with no parent/children links yet.
-    pub fn new(tag: impl Into<String>, pos: usize, data: Option<String>) -> Self {
+    pub fn new(tag: impl Into<TagId>, pos: usize, data: Option<String>) -> Self {
         Node {
             tag: tag.into(),
             pos,

@@ -3,23 +3,155 @@
 //! [`Hdt`] owns all nodes of one document in a flat vector and exposes the traversal
 //! primitives that the DSL semantics (Figure 7) need: children lookup by tag, children
 //! lookup by tag *and* position, descendant search by tag, and parent lookup.
+//!
+//! Tags are interned [`TagId`]s (see [`crate::intern`]), so every lookup compares and
+//! hashes `u32`s.  On top of the arena the tree maintains a lazily built
+//! [`TreeIndex`]:
+//!
+//! * a **pre-order numbering** — `preorder(n)` and an exclusive `subtree_end(n)` — so
+//!   that "is `d` a descendant of `n`" becomes an interval test;
+//! * a **per-tag occurrence list** sorted by pre-order number, making
+//!   [`Hdt::descendants_with_tag`] a binary-search range scan (`O(log n + k)`) that
+//!   returns a contiguous slice, instead of a full subtree walk;
+//! * a **children-grouped-by-tag map**, making [`Hdt::children_with_tag`] a single
+//!   hash lookup returning a slice.
+//!
+//! The index is built on first query and invalidated by mutation (`add_child*`), so
+//! construction stays cheap and read-heavy workloads (synthesis, evaluation) pay the
+//! build cost exactly once per tree.
 
 use crate::error::{HdtError, Result};
+use crate::intern::TagId;
 use crate::node::{Node, NodeId};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Derived navigation indexes over one [`Hdt`] arena (see the module docs).
+#[derive(Debug, Clone)]
+struct TreeIndex {
+    /// Pre-order number of each node, indexed by arena position.
+    pre: Vec<u32>,
+    /// Exclusive end of each node's subtree in pre-order numbering: every strict
+    /// descendant `d` of `n` satisfies `pre[n] < pre[d] < end[n]`.
+    end: Vec<u32>,
+    /// Per-tag occurrence lists, both vectors sorted by pre-order number in lockstep.
+    occurrences: HashMap<TagId, TagOccurrences>,
+    /// Children of a node holding a given tag, in document order.
+    children_by_tag: HashMap<(NodeId, TagId), Vec<NodeId>>,
+}
+
+/// All nodes carrying one tag, sorted by pre-order number.  `pre` and `nodes` are
+/// parallel: `nodes[i]` has pre-order number `pre[i]`.  Keeping them parallel lets
+/// range queries return a borrowed `&[NodeId]` slice with no per-query allocation.
+#[derive(Debug, Clone, Default)]
+struct TagOccurrences {
+    pre: Vec<u32>,
+    nodes: Vec<NodeId>,
+}
+
+impl TreeIndex {
+    fn build(tree: &Hdt) -> TreeIndex {
+        let n = tree.nodes.len();
+        let mut pre = vec![0u32; n];
+        let mut end = vec![0u32; n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+
+        // Iterative pre-order numbering with explicit enter/exit frames so arbitrarily
+        // deep documents cannot overflow the call stack.
+        enum Frame {
+            Enter(NodeId),
+            Exit(NodeId),
+        }
+        let mut counter = 0u32;
+        let mut stack = vec![Frame::Enter(tree.root())];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(id) => {
+                    pre[id.index()] = counter;
+                    counter += 1;
+                    order.push(id);
+                    stack.push(Frame::Exit(id));
+                    for c in tree.node(id).children.iter().rev() {
+                        stack.push(Frame::Enter(*c));
+                    }
+                }
+                Frame::Exit(id) => end[id.index()] = counter,
+            }
+        }
+
+        // Occurrence lists: pushing in pre-order keeps each tag's vectors sorted.
+        let mut occurrences: HashMap<TagId, TagOccurrences> = HashMap::new();
+        for id in &order {
+            let node = tree.node(*id);
+            let occ = occurrences.entry(node.tag).or_default();
+            occ.pre.push(pre[id.index()]);
+            occ.nodes.push(*id);
+        }
+
+        // Children grouped by tag, preserving document order within each group.
+        let mut children_by_tag: HashMap<(NodeId, TagId), Vec<NodeId>> = HashMap::new();
+        for id in tree.ids() {
+            for c in &tree.node(id).children {
+                children_by_tag
+                    .entry((id, tree.node(*c).tag))
+                    .or_default()
+                    .push(*c);
+            }
+        }
+
+        TreeIndex {
+            pre,
+            end,
+            occurrences,
+            children_by_tag,
+        }
+    }
+}
 
 /// A hierarchical data tree: a rooted, ordered tree of `(tag, pos, data)` nodes.
 ///
 /// Nodes are stored in an arena; [`NodeId`]s index into it.  The root always has id 0.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Hdt {
     nodes: Vec<Node>,
+    /// Number of children with a given tag already inserted under a parent; makes
+    /// automatic `pos` assignment in [`Hdt::add_child`] O(1) instead of a scan over
+    /// the parent's children (quadratic ingestion for wide nodes).
+    child_tag_counts: HashMap<(NodeId, TagId), usize>,
+    /// Lazily built navigation index; cleared by every mutation.
+    index: OnceLock<TreeIndex>,
 }
+
+/// Cloning copies the tree structure and construction bookkeeping but *not* the
+/// derived index: a clone starts cold and rebuilds on its first indexed query.  This
+/// keeps clones cheap and gives benchmarks a way to measure the index build.
+impl Clone for Hdt {
+    fn clone(&self) -> Self {
+        Hdt {
+            nodes: self.nodes.clone(),
+            child_tag_counts: self.child_tag_counts.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+/// Equality considers only the tree structure; the derived index and construction
+/// bookkeeping are ignored (they are functions of the nodes).
+impl PartialEq for Hdt {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+    }
+}
+
+impl Eq for Hdt {}
 
 impl Hdt {
     /// Creates a tree consisting only of a root node with the given tag.
-    pub fn with_root(tag: impl Into<String>) -> Self {
+    pub fn with_root(tag: impl Into<TagId>) -> Self {
         Hdt {
             nodes: vec![Node::new(tag, 0, None)],
+            child_tag_counts: HashMap::new(),
+            index: OnceLock::new(),
         }
     }
 
@@ -56,10 +188,17 @@ impl Hdt {
         })
     }
 
-    /// Tag of a node.
+    /// Interned tag of a node.
     #[inline]
-    pub fn tag(&self, id: NodeId) -> &str {
-        &self.node(id).tag
+    pub fn tag(&self, id: NodeId) -> TagId {
+        self.node(id).tag
+    }
+
+    /// Tag of a node, resolved to its name (string boundary only — rendering,
+    /// diagnostics, SQL/codegen emission).
+    #[inline]
+    pub fn tag_name(&self, id: NodeId) -> &'static str {
+        self.node(id).tag.as_str()
     }
 
     /// Position of a node among same-tag siblings.
@@ -92,20 +231,27 @@ impl Hdt {
         &self.node(id).children
     }
 
+    /// The navigation index, building it on first use.
+    #[inline]
+    fn index(&self) -> &TreeIndex {
+        self.index.get_or_init(|| TreeIndex::build(self))
+    }
+
     /// Adds a child node under `parent`.  The `pos` field is computed automatically as
-    /// the number of existing children of `parent` with the same tag.
+    /// the number of existing children of `parent` with the same tag (O(1) via the
+    /// per-parent tag counts).
     pub fn add_child(
         &mut self,
         parent: NodeId,
-        tag: impl Into<String>,
+        tag: impl Into<TagId>,
         data: Option<String>,
     ) -> NodeId {
         let tag = tag.into();
         let pos = self
-            .children(parent)
-            .iter()
-            .filter(|c| self.node(**c).tag == tag)
-            .count();
+            .child_tag_counts
+            .get(&(parent, tag))
+            .copied()
+            .unwrap_or(0);
         self.add_child_with_pos(parent, tag, pos, data)
     }
 
@@ -113,20 +259,38 @@ impl Hdt {
     pub fn add_child_with_pos(
         &mut self,
         parent: NodeId,
-        tag: impl Into<String>,
+        tag: impl Into<TagId>,
         pos: usize,
         data: Option<String>,
     ) -> NodeId {
+        let tag = tag.into();
         let id = NodeId(self.nodes.len() as u32);
         let mut node = Node::new(tag, pos, data);
         node.parent = Some(parent);
         self.nodes.push(node);
         self.nodes[parent.index()].children.push(id);
+        *self.child_tag_counts.entry((parent, tag)).or_insert(0) += 1;
+        // Any previously built index is stale now.
+        self.index.take();
         id
     }
 
     /// Children of `id` whose tag equals `tag` (the `children` DSL construct).
-    pub fn children_with_tag(&self, id: NodeId, tag: &str) -> Vec<NodeId> {
+    /// A single hash lookup into the children-by-tag index.
+    pub fn children_with_tag(&self, id: NodeId, tag: impl Into<TagId>) -> &[NodeId] {
+        let tag = tag.into();
+        self.index()
+            .children_by_tag
+            .get(&(id, tag))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Children of `id` whose tag equals `tag`, computed by scanning the child list.
+    /// Reference implementation used by property tests and benchmarks to validate the
+    /// indexed [`Hdt::children_with_tag`].
+    pub fn children_with_tag_naive(&self, id: NodeId, tag: impl Into<TagId>) -> Vec<NodeId> {
+        let tag = tag.into();
         self.children(id)
             .iter()
             .copied()
@@ -136,29 +300,53 @@ impl Hdt {
 
     /// Children of `id` whose tag equals `tag` and whose pos equals `pos`
     /// (the `pchildren` DSL construct).
-    pub fn children_with_tag_pos(&self, id: NodeId, tag: &str, pos: usize) -> Vec<NodeId> {
-        self.children(id)
+    pub fn children_with_tag_pos(
+        &self,
+        id: NodeId,
+        tag: impl Into<TagId>,
+        pos: usize,
+    ) -> Vec<NodeId> {
+        self.children_with_tag(id, tag)
             .iter()
             .copied()
-            .filter(|c| {
-                let n = self.node(*c);
-                n.tag == tag && n.pos == pos
-            })
+            .filter(|c| self.node(*c).pos == pos)
             .collect()
     }
 
     /// A single child of `id` with the given tag and pos (the `child` node-extractor
     /// construct of the predicate language).  Returns `None` if no such child exists.
-    pub fn child(&self, id: NodeId, tag: &str, pos: usize) -> Option<NodeId> {
-        self.children(id).iter().copied().find(|c| {
-            let n = self.node(*c);
-            n.tag == tag && n.pos == pos
-        })
+    pub fn child(&self, id: NodeId, tag: impl Into<TagId>, pos: usize) -> Option<NodeId> {
+        self.children_with_tag(id, tag)
+            .iter()
+            .copied()
+            .find(|c| self.node(*c).pos == pos)
     }
 
     /// All (strict) descendants of `id` with the given tag, in pre-order
     /// (the `descendants` DSL construct).
-    pub fn descendants_with_tag(&self, id: NodeId, tag: &str) -> Vec<NodeId> {
+    ///
+    /// `O(log n + k)`: a binary search over the tag's occurrence list for the
+    /// pre-order interval of `id`'s subtree, returning the matching nodes as a
+    /// borrowed contiguous slice.
+    pub fn descendants_with_tag(&self, id: NodeId, tag: impl Into<TagId>) -> &[NodeId] {
+        let tag = tag.into();
+        let idx = self.index();
+        let Some(occ) = idx.occurrences.get(&tag) else {
+            return &[];
+        };
+        // Strict descendants: the interval starts one past the node itself.
+        let lo = idx.pre[id.index()] + 1;
+        let hi = idx.end[id.index()];
+        let a = occ.pre.partition_point(|&p| p < lo);
+        let b = occ.pre.partition_point(|&p| p < hi);
+        &occ.nodes[a..b]
+    }
+
+    /// All (strict) descendants of `id` with the given tag, found by walking the
+    /// subtree.  Reference implementation used by property tests and benchmarks to
+    /// validate the indexed [`Hdt::descendants_with_tag`].
+    pub fn descendants_with_tag_naive(&self, id: NodeId, tag: impl Into<TagId>) -> Vec<NodeId> {
+        let tag = tag.into();
         let mut out = Vec::new();
         let mut stack: Vec<NodeId> = self.children(id).iter().rev().copied().collect();
         while let Some(n) = stack.pop() {
@@ -172,17 +360,28 @@ impl Hdt {
         out
     }
 
+    /// Pre-order number of a node (root is 0).
+    #[inline]
+    pub fn preorder_number(&self, id: NodeId) -> u32 {
+        self.index().pre[id.index()]
+    }
+
+    /// Exclusive end of a node's subtree in pre-order numbering: every strict
+    /// descendant `d` satisfies `preorder_number(id) < preorder_number(d) <
+    /// subtree_end(id)`.
+    #[inline]
+    pub fn subtree_end(&self, id: NodeId) -> u32 {
+        self.index().end[id.index()]
+    }
+
     /// All nodes in pre-order (root first).
     pub fn preorder(&self) -> Vec<NodeId> {
-        let mut out = Vec::with_capacity(self.len());
-        let mut stack = vec![self.root()];
-        while let Some(n) = stack.pop() {
-            out.push(n);
-            for c in self.children(n).iter().rev() {
-                stack.push(*c);
-            }
+        let idx = self.index();
+        let mut order = vec![NodeId::ROOT; self.len()];
+        for id in self.ids() {
+            order[idx.pre[id.index()] as usize] = id;
         }
-        out
+        order
     }
 
     /// Iterator over every node id in arena order.
@@ -190,12 +389,14 @@ impl Hdt {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
-    /// Set of distinct tags appearing in the tree, excluding the root's tag.
-    pub fn tags(&self) -> Vec<String> {
-        let mut tags: Vec<String> = Vec::new();
+    /// Set of distinct tags appearing in the tree, in order of first appearance
+    /// (arena order).
+    pub fn tags(&self) -> Vec<TagId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut tags = Vec::new();
         for n in &self.nodes {
-            if !tags.iter().any(|t| t == &n.tag) {
-                tags.push(n.tag.clone());
+            if seen.insert(n.tag) {
+                tags.push(n.tag);
             }
         }
         tags
@@ -264,6 +465,9 @@ impl Hdt {
         }
         for id in self.ids() {
             let n = self.node(id);
+            // pos must equal the index among same-tag siblings; counting with a
+            // per-tag map keeps validation linear in the child count.
+            let mut tag_counts: HashMap<TagId, usize> = HashMap::new();
             for c in &n.children {
                 let child = self.try_node(*c)?;
                 if child.parent != Some(id) {
@@ -271,6 +475,16 @@ impl Hdt {
                         "child {c} of {id} has wrong parent link"
                     )));
                 }
+                let expected = tag_counts.entry(child.tag).or_insert(0);
+                if child.pos != *expected {
+                    return Err(HdtError::Structure(format!(
+                        "{c} has pos {} but is the {}'th `{}` child of {id}",
+                        child.pos,
+                        expected,
+                        child.tag.as_str()
+                    )));
+                }
+                *expected += 1;
             }
             if let Some(p) = n.parent {
                 if !self.node(p).children.contains(&id) {
@@ -278,25 +492,24 @@ impl Hdt {
                         "{id} not listed among children of its parent {p}"
                     )));
                 }
-                // pos must equal the index among same-tag siblings.
-                let expected = self
-                    .children(p)
-                    .iter()
-                    .filter(|s| self.node(**s).tag == n.tag)
-                    .position(|s| *s == id);
-                if expected != Some(n.pos) {
-                    return Err(HdtError::Structure(format!(
-                        "{id} has pos {} but is the {:?}'th `{}` child of {p}",
-                        n.pos, expected, n.tag
-                    )));
-                }
             }
         }
         Ok(())
     }
+
+    /// Test-only access to the raw node storage (used to corrupt trees on purpose).
+    #[cfg(test)]
+    pub(crate) fn nodes_mut(&mut self) -> &mut Vec<Node> {
+        self.index.take();
+        &mut self.nodes
+    }
 }
 
 /// Convenience builder for constructing trees in a nested, declarative style.
+///
+/// All four ingestion paths (XML, JSON, HTML and the synthetic generators) funnel
+/// through the same arena mutators ([`Hdt::add_child`]/[`Hdt::add_child_with_pos`]),
+/// which intern every tag through the shared global interner.
 ///
 /// ```
 /// use mitra_hdt::HdtBuilder;
@@ -315,7 +528,7 @@ pub struct HdtBuilder {
 
 impl HdtBuilder {
     /// Starts a new tree with the given root tag.
-    pub fn new(root_tag: impl Into<String>) -> Self {
+    pub fn new(root_tag: impl Into<TagId>) -> Self {
         let tree = Hdt::with_root(root_tag);
         HdtBuilder {
             stack: vec![tree.root()],
@@ -328,20 +541,20 @@ impl HdtBuilder {
     }
 
     /// Opens a new internal node and makes it the current parent.
-    pub fn open(mut self, tag: impl Into<String>) -> Self {
+    pub fn open(mut self, tag: impl Into<TagId>) -> Self {
         let id = self.tree.add_child(self.top(), tag, None);
         self.stack.push(id);
         self
     }
 
     /// Adds a leaf node carrying data under the current parent.
-    pub fn leaf(mut self, tag: impl Into<String>, data: impl Into<String>) -> Self {
+    pub fn leaf(mut self, tag: impl Into<TagId>, data: impl Into<String>) -> Self {
         self.tree.add_child(self.top(), tag, Some(data.into()));
         self
     }
 
     /// Adds an empty (data-less) leaf under the current parent.
-    pub fn empty(mut self, tag: impl Into<String>) -> Self {
+    pub fn empty(mut self, tag: impl Into<TagId>) -> Self {
         self.tree.add_child(self.top(), tag, None);
         self
     }
@@ -365,6 +578,7 @@ impl HdtBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern;
 
     fn sample() -> Hdt {
         HdtBuilder::new("root")
@@ -389,7 +603,8 @@ mod tests {
     fn builder_produces_consistent_tree() {
         let t = sample();
         t.validate().expect("tree should validate");
-        assert_eq!(t.tag(t.root()), "root");
+        assert_eq!(t.tag(t.root()), intern::intern("root"));
+        assert_eq!(t.tag_name(t.root()), "root");
         assert_eq!(t.children_with_tag(t.root(), "Person").len(), 2);
     }
 
@@ -420,6 +635,51 @@ mod tests {
     }
 
     #[test]
+    fn indexed_lookups_agree_with_naive_reference() {
+        let t = sample();
+        for id in t.ids() {
+            for tag in t.tags() {
+                assert_eq!(
+                    t.descendants_with_tag(id, tag).to_vec(),
+                    t.descendants_with_tag_naive(id, tag),
+                    "descendants mismatch at {id} tag {tag}"
+                );
+                assert_eq!(
+                    t.children_with_tag(id, tag).to_vec(),
+                    t.children_with_tag_naive(id, tag),
+                    "children mismatch at {id} tag {tag}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_is_rebuilt_after_mutation() {
+        let mut t = sample();
+        // Force the index to exist, then mutate.
+        assert_eq!(t.descendants_with_tag(t.root(), "Person").len(), 2);
+        let root = t.root();
+        t.add_child(root, "Person", None);
+        assert_eq!(t.descendants_with_tag(t.root(), "Person").len(), 3);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn preorder_numbers_nest_subtrees() {
+        let t = sample();
+        for id in t.ids() {
+            let lo = t.preorder_number(id);
+            let hi = t.subtree_end(id);
+            assert!(lo < hi);
+            for d in t.descendants_with_tag_naive(id, "fid") {
+                assert!(t.preorder_number(d) > lo && t.preorder_number(d) < hi);
+            }
+        }
+        assert_eq!(t.preorder_number(t.root()), 0);
+        assert_eq!(t.subtree_end(t.root()) as usize, t.len());
+    }
+
+    #[test]
     fn child_lookup_by_tag_and_pos() {
         let t = sample();
         let p0 = t.children_with_tag(t.root(), "Person")[0];
@@ -442,7 +702,7 @@ mod tests {
         assert!(vals.contains(&"Alice"));
         assert!(vals.contains(&"3"));
         let tags = t.tags();
-        assert!(tags.iter().any(|s| s == "Friendship"));
+        assert!(tags.iter().any(|t| t.as_str() == "Friendship"));
     }
 
     #[test]
@@ -461,8 +721,8 @@ mod tests {
     fn validate_detects_bad_pos() {
         let mut t = sample();
         // Corrupt a pos on purpose.
-        let persons = t.children_with_tag(t.root(), "Person");
-        t.nodes[persons[1].index()].pos = 7;
+        let persons = t.children_with_tag(t.root(), "Person").to_vec();
+        t.nodes_mut()[persons[1].index()].pos = 7;
         assert!(t.validate().is_err());
     }
 
@@ -477,5 +737,18 @@ mod tests {
         let t = sample();
         assert_eq!(t.leaf_count(), 6);
         assert!(t.element_count() >= 4);
+    }
+
+    #[test]
+    fn clone_and_equality_ignore_index_state() {
+        let t = sample();
+        let mut u = t.clone();
+        assert_eq!(t, u);
+        // Querying one side builds its index; equality must be unaffected.
+        assert_eq!(u.descendants_with_tag(u.root(), "name").len(), 2);
+        assert_eq!(t, u);
+        let root = u.root();
+        u.add_child(root, "Person", None);
+        assert_ne!(t, u);
     }
 }

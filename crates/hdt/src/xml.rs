@@ -62,15 +62,17 @@ impl XmlDocument {
     /// * each attribute `a="v"` becomes a leaf child tagged `a` with data `v`;
     /// * text content becomes a leaf child tagged `text` with the text as data.
     pub fn to_hdt(&self) -> Hdt {
-        let mut tree = Hdt::with_root(self.root.name.clone());
+        let mut tree = Hdt::with_root(&self.root.name);
         let root = tree.root();
         Self::fill(&mut tree, root, &self.root);
         tree
     }
 
     fn fill(tree: &mut Hdt, id: NodeId, elem: &XmlNode) {
+        // Tags are interned on entry: `add_child` funnels every name through the
+        // shared global interner.
         for (k, v) in &elem.attributes {
-            tree.add_child(id, k.clone(), Some(v.clone()));
+            tree.add_child(id, k, Some(v.clone()));
         }
         if let Some(t) = &elem.text {
             if !t.is_empty() {
@@ -78,7 +80,7 @@ impl XmlDocument {
             }
         }
         for c in &elem.children {
-            let cid = tree.add_child(id, c.name.clone(), None);
+            let cid = tree.add_child(id, &c.name, None);
             Self::fill(tree, cid, c);
         }
     }

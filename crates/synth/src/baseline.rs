@@ -19,7 +19,7 @@ use crate::predicate::{learn_predicate, PredicateLearnConfig};
 use crate::synthesize::{Example, SynthConfig, SynthError, Synthesis};
 use mitra_dsl::ast::{ColumnExtractor, ExtractorStep, Program, TableExtractor};
 use mitra_dsl::cost::cost;
-use mitra_dsl::eval::eval_program;
+use mitra_dsl::eval::{eval_program_with, EvalLimits};
 use mitra_dsl::Value;
 use std::time::Instant;
 
@@ -84,7 +84,7 @@ pub fn enumerate_column_extractors_blind(
             if !all_empty && word.len() < max_len {
                 for letter in &alphabet {
                     let mut w = word.clone();
-                    w.push(letter.clone());
+                    w.push(*letter);
                     next.push(w);
                 }
             }
@@ -173,10 +173,14 @@ pub fn learn_transformation_baseline(
         };
         let mut program = Program::new(psi, phi);
         program.column_names = examples[0].output.columns.clone();
-        if !examples
-            .iter()
-            .all(|ex| eval_program(&ex.tree, &program).same_bag(&ex.output))
-        {
+        // Same validation cap as the predicate learner (see `learn_transformation`):
+        // resource failures are impossible for candidates that got this far.
+        let limits = EvalLimits::with_max_rows(config.max_intermediate_rows);
+        if !examples.iter().all(|ex| {
+            eval_program_with(&ex.tree, &program, &limits)
+                .map(|t| t.same_bag(&ex.output))
+                .unwrap_or(false)
+        }) {
             continue;
         }
         programs_found += 1;
@@ -204,6 +208,7 @@ pub fn learn_transformation_baseline(
 mod tests {
     use super::*;
     use crate::synthesize::learn_transformation;
+    use mitra_dsl::eval::eval_program;
     use mitra_dsl::Table;
     use mitra_hdt::generate::social_network;
 
@@ -228,7 +233,9 @@ mod tests {
         let result =
             learn_transformation_baseline(std::slice::from_ref(&ex), &SynthConfig::default())
                 .unwrap();
-        assert!(eval_program(&ex.tree, &result.program).same_bag(&ex.output));
+        assert!(eval_program(&ex.tree, &result.program)
+            .unwrap()
+            .same_bag(&ex.output));
     }
 
     #[test]

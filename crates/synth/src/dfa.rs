@@ -14,8 +14,8 @@
 
 use mitra_dsl::ast::ExtractorStep;
 use mitra_dsl::Value;
-use mitra_hdt::{Hdt, NodeId};
-use std::collections::{HashMap, VecDeque};
+use mitra_hdt::{Hdt, NodeId, TagId};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Limits applied while constructing and enumerating automata.
 #[derive(Debug, Clone, Copy)]
@@ -122,7 +122,7 @@ impl Dfa {
                         i
                     }
                 };
-                transitions[q].insert(letter.clone(), next_q);
+                transitions[q].insert(*letter, next_q);
             }
         }
 
@@ -188,8 +188,9 @@ impl Dfa {
     }
 
     /// Enumerates accepted words in order of increasing length (ties broken by the
-    /// lexicographic order of the letters), up to `max_len` letters and at most
-    /// `max_words` results.
+    /// letters' kind and tag *name*, so the order is deterministic and independent of
+    /// global interning history), up to `max_len` letters and at most `max_words`
+    /// results.
     ///
     /// The empty word is included when the initial state is accepting (it corresponds
     /// to the identity column extractor `s`).
@@ -210,10 +211,10 @@ impl Dfa {
             for (q, word) in &frontier {
                 let mut steps: Vec<(&ExtractorStep, &usize)> =
                     self.transitions[*q].iter().collect();
-                steps.sort_by(|a, b| a.0.cmp(b.0));
+                steps.sort_by_key(|(s, _)| step_name_key(s));
                 for (step, &nq) in steps {
                     let mut w = word.clone();
-                    w.push(step.clone());
+                    w.push(*step);
                     if self.accepting[nq] {
                         results.push(w.clone());
                         if results.len() >= max_words {
@@ -234,31 +235,45 @@ impl Dfa {
 
 /// The DFA alphabet induced by a tree: one `children`/`descendants` letter per tag and
 /// one `pchildren` letter per (tag, pos) pair occurring in the tree.
+///
+/// Tags are interned `TagId`s, but the alphabet is ordered by tag *name* so that
+/// enumeration order stays deterministic and independent of interning order.  This is
+/// the only place the DFA machinery touches tag strings; everything past alphabet
+/// construction compares and hashes `u32` handles.
 pub fn alphabet_of(tree: &Hdt) -> Vec<ExtractorStep> {
-    let mut letters = Vec::new();
-    let mut tag_pos: Vec<(String, usize)> = Vec::new();
+    let mut tag_pos: HashSet<(TagId, usize)> = HashSet::new();
     for id in tree.ids() {
-        let n = tree.node(id);
         if id == tree.root() {
             continue;
         }
-        if !tag_pos.contains(&(n.tag.clone(), n.pos)) {
-            tag_pos.push((n.tag.clone(), n.pos));
-        }
+        let n = tree.node(id);
+        tag_pos.insert((n.tag, n.pos));
     }
-    let mut tags: Vec<String> = tag_pos.iter().map(|(t, _)| t.clone()).collect();
+    let mut tags: Vec<TagId> = tag_pos.iter().map(|(t, _)| *t).collect();
+    tags.sort_by_key(|t| t.as_str());
     tags.dedup();
-    tags.sort();
-    tags.dedup();
+    let mut letters = Vec::with_capacity(tags.len() * 2 + tag_pos.len());
     for tag in &tags {
-        letters.push(ExtractorStep::Children(tag.clone()));
-        letters.push(ExtractorStep::Descendants(tag.clone()));
+        letters.push(ExtractorStep::Children(*tag));
+        letters.push(ExtractorStep::Descendants(*tag));
     }
-    tag_pos.sort();
+    let mut tag_pos: Vec<(TagId, usize)> = tag_pos.into_iter().collect();
+    tag_pos.sort_by_key(|(t, p)| (t.as_str(), *p));
     for (tag, pos) in tag_pos {
         letters.push(ExtractorStep::PChildren(tag, pos));
     }
     letters
+}
+
+/// Sort key ordering extractor steps by kind, tag *name* and position — stable across
+/// processes regardless of what was interned before (the derived `Ord` on
+/// [`ExtractorStep`] follows interning order and is only deterministic per process).
+fn step_name_key(step: &ExtractorStep) -> (u8, &'static str, usize) {
+    match step {
+        ExtractorStep::Children(t) => (0, t.as_str(), 0),
+        ExtractorStep::Descendants(t) => (1, t.as_str(), 0),
+        ExtractorStep::PChildren(t, p) => (2, t.as_str(), *p),
+    }
 }
 
 /// Applies one extractor step to a node set.
@@ -266,15 +281,15 @@ pub fn apply_step(tree: &Hdt, set: &[NodeId], step: &ExtractorStep) -> Vec<NodeI
     match step {
         ExtractorStep::Children(tag) => set
             .iter()
-            .flat_map(|n| tree.children_with_tag(*n, tag))
+            .flat_map(|n| tree.children_with_tag(*n, *tag).iter().copied())
             .collect(),
         ExtractorStep::PChildren(tag, pos) => set
             .iter()
-            .flat_map(|n| tree.children_with_tag_pos(*n, tag, *pos))
+            .flat_map(|n| tree.children_with_tag_pos(*n, *tag, *pos))
             .collect(),
         ExtractorStep::Descendants(tag) => set
             .iter()
-            .flat_map(|n| tree.descendants_with_tag(*n, tag))
+            .flat_map(|n| tree.descendants_with_tag(*n, *tag).iter().copied())
             .collect(),
     }
 }

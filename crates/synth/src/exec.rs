@@ -329,7 +329,7 @@ mod tests {
         let program = synthesized_program();
         for (n, f) in [(2, 1), (4, 2), (6, 3)] {
             let tree = social_network(n, f);
-            let naive = eval_program(&tree, &program);
+            let naive = eval_program(&tree, &program).unwrap();
             let fast = execute(&tree, &program);
             assert!(naive.same_bag(&fast), "mismatch at n={n} f={f}");
         }
@@ -394,7 +394,7 @@ mod tests {
         };
         let program = mitra_dsl::Program::new(TableExtractor::new(vec![pi]), Predicate::or(a, b));
         let tree = social_network(5, 1);
-        let naive = eval_program(&tree, &program);
+        let naive = eval_program(&tree, &program).unwrap();
         let fast = execute(&tree, &program);
         assert!(naive.same_bag(&fast));
         assert_eq!(fast.len(), 2);

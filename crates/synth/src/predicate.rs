@@ -18,7 +18,7 @@ use crate::qm::minimize;
 use crate::synthesize::Example;
 use crate::universe::{construct_universe, UniverseConfig};
 use mitra_dsl::ast::{Operand, Predicate, TableExtractor};
-use mitra_dsl::eval::{eval_predicate, eval_table_extractor, node_value};
+use mitra_dsl::eval::{eval_predicate, eval_table_extractor_with, node_value, EvalLimits};
 use mitra_dsl::Value;
 use mitra_hdt::NodeId;
 
@@ -73,11 +73,11 @@ pub fn label_tuples(
     max_rows: usize,
 ) -> Option<Vec<LabelledTuple>> {
     let mut out = Vec::new();
+    let limits = EvalLimits::with_max_rows(max_rows);
     for (ex_idx, ex) in examples.iter().enumerate() {
-        let tuples = eval_table_extractor(&ex.tree, psi);
-        if tuples.len() > max_rows {
-            return None;
-        }
+        // The row cap doubles as the candidate filter: an oversized intermediate
+        // table rejects the candidate without materializing anything.
+        let tuples = eval_table_extractor_with(&ex.tree, psi, &limits).ok()?;
         let mut covered_rows = vec![false; ex.output.rows.len()];
         for nodes in tuples {
             let values: Vec<Value> = nodes.iter().map(|n| node_value(&ex.tree, *n)).collect();
@@ -314,7 +314,7 @@ mod tests {
         )
         .expect("a predicate should be found");
         let prog = Program::new(psi, phi);
-        let out = eval_program(&ex.tree, &prog);
+        let out = eval_program(&ex.tree, &prog).unwrap();
         assert!(
             out.same_bag(&ex.output),
             "synthesized filter does not reproduce the example: {out}"
@@ -357,7 +357,7 @@ mod tests {
         )
         .expect("predicate expected");
         let prog = Program::new(psi, phi);
-        let out = eval_program(&ex.tree, &prog);
+        let out = eval_program(&ex.tree, &prog).unwrap();
         assert!(out.same_bag(&ex.output), "got {out}");
     }
 
@@ -372,7 +372,7 @@ mod tests {
         let phi =
             learn_predicate(std::slice::from_ref(&ex), &psi, &config).expect("greedy predicate");
         let prog = Program::new(psi, phi);
-        assert!(eval_program(&ex.tree, &prog).same_bag(&ex.output));
+        assert!(eval_program(&ex.tree, &prog).unwrap().same_bag(&ex.output));
     }
 
     #[test]
@@ -400,7 +400,7 @@ mod tests {
         // predicate that actually reproduces the example if it returns one.
         if let Some(phi) = learn_predicate(std::slice::from_ref(&ex), &psi, &config) {
             let prog = Program::new(psi, phi);
-            assert!(eval_program(&ex.tree, &prog).same_bag(&ex.output));
+            assert!(eval_program(&ex.tree, &prog).unwrap().same_bag(&ex.output));
         }
     }
 }

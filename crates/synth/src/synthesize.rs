@@ -12,7 +12,7 @@ use crate::predicate::{learn_predicate, PredicateLearnConfig};
 use crate::universe::UniverseConfig;
 use mitra_dsl::ast::{ColumnExtractor, Program, TableExtractor};
 use mitra_dsl::cost::{cost, Cost};
-use mitra_dsl::eval::eval_program;
+use mitra_dsl::eval::{eval_program_with, EvalLimits};
 use mitra_dsl::Table;
 use mitra_hdt::Hdt;
 use std::fmt;
@@ -176,11 +176,17 @@ pub fn learn_transformation(
         };
         let mut program = Program::new(psi, phi);
         program.column_names = examples[0].output.columns.clone();
-        // Validate against every example (Theorem 3 soundness check).
-        if !examples
-            .iter()
-            .all(|ex| eval_program(&ex.tree, &program).same_bag(&ex.output))
-        {
+        // Validate against every example (Theorem 3 soundness check).  The row cap
+        // matches the one `learn_predicate` already enforced on the same trees and
+        // extractor, so a candidate that reached this point can never fail on
+        // resources — `Err` here (impossible by that invariant) conservatively
+        // rejects the candidate rather than panicking.
+        let limits = EvalLimits::with_max_rows(config.max_intermediate_rows);
+        if !examples.iter().all(|ex| {
+            eval_program_with(&ex.tree, &program, &limits)
+                .map(|t| t.same_bag(&ex.output))
+                .unwrap_or(false)
+        }) {
             continue;
         }
         programs_found += 1;
@@ -260,6 +266,7 @@ fn partial_size(per_column: &[Vec<ColumnExtractor>], combo: &[usize]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mitra_dsl::eval::eval_program;
     use mitra_dsl::pretty;
     use mitra_hdt::generate::{nested_objects, social_network, social_network_rows};
 
@@ -284,7 +291,7 @@ mod tests {
             learn_transformation(std::slice::from_ref(&ex), &SynthConfig::default()).unwrap();
         // The program must generalize: run it on a bigger document.
         let big = social_example(5, 2);
-        let out = eval_program(&big.tree, &result.program);
+        let out = eval_program(&big.tree, &result.program).unwrap();
         assert!(
             out.same_bag(&big.output),
             "program does not generalize:\n{}\ngot {out}",
@@ -312,7 +319,7 @@ mod tests {
         let ex = Example::new(tree, output);
         let result =
             learn_transformation(std::slice::from_ref(&ex), &SynthConfig::default()).unwrap();
-        let check = eval_program(&ex.tree, &result.program);
+        let check = eval_program(&ex.tree, &result.program).unwrap();
         assert!(check.same_bag(&ex.output));
     }
 
@@ -371,7 +378,9 @@ mod tests {
         let result =
             learn_transformation(&[e1.clone(), e2.clone()], &SynthConfig::default()).unwrap();
         for ex in [e1, e2] {
-            assert!(eval_program(&ex.tree, &result.program).same_bag(&ex.output));
+            assert!(eval_program(&ex.tree, &result.program)
+                .unwrap()
+                .same_bag(&ex.output));
         }
     }
 

@@ -19,7 +19,8 @@ use mitra_dsl::ast::{
 };
 use mitra_dsl::eval::{eval_column, eval_node_extractor};
 use mitra_dsl::Value;
-use mitra_hdt::{Hdt, NodeId};
+use mitra_hdt::{Hdt, NodeId, TagId};
+use std::collections::HashSet;
 
 /// Configuration for predicate-universe construction.
 #[derive(Debug, Clone, Copy)]
@@ -62,21 +63,22 @@ pub fn valid_node_extractors(
         .map(|ex| (&ex.tree, eval_column(&ex.tree, pi)))
         .collect();
 
-    // Candidate (tag,pos) pairs for `child` steps, mined from all trees.
-    let mut tag_pos: Vec<(String, usize)> = Vec::new();
+    // Candidate (tag,pos) pairs for `child` steps, mined from all trees.  Sorted by
+    // tag *name* so enumeration order is deterministic regardless of interning order.
+    let mut seen: HashSet<(TagId, usize)> = HashSet::new();
+    let mut tag_pos: Vec<(TagId, usize)> = Vec::new();
     for ex in examples {
         for id in ex.tree.ids() {
             if id == ex.tree.root() {
                 continue;
             }
             let n = ex.tree.node(id);
-            let key = (n.tag.clone(), n.pos);
-            if !tag_pos.contains(&key) {
-                tag_pos.push(key);
+            if seen.insert((n.tag, n.pos)) {
+                tag_pos.push((n.tag, n.pos));
             }
         }
     }
-    tag_pos.sort();
+    tag_pos.sort_by_key(|(t, p)| (t.as_str(), *p));
 
     let mut result: Vec<NodeExtractor> = Vec::new();
     let mut frontier: Vec<NodeExtractor> = vec![NodeExtractor::Id];
@@ -96,7 +98,7 @@ pub fn valid_node_extractors(
             }
             // child(base, tag, pos)
             for (tag, pos) in &tag_pos {
-                let cand = NodeExtractor::child(base.clone(), tag.clone(), *pos);
+                let cand = NodeExtractor::child(base.clone(), *tag, *pos);
                 if is_valid(&per_example_nodes, &cand) && !result.contains(&cand) {
                     result.push(cand.clone());
                     next.push(cand);

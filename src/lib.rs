@@ -18,5 +18,6 @@
 //! for the mapping from the paper's evaluation to the benchmark harness.
 
 pub use mitra_core::{codegen, dsl, hdt, migrate, synth};
+pub use mitra_core::{intern, Interner, Symbol, TagId};
 pub use mitra_core::{parse_csv_table, Mitra, MitraError};
 pub use mitra_datagen as datagen;

@@ -22,7 +22,7 @@ fn figure8_task_synthesizes_with_constant_and_structural_predicates() {
     let example = figure8_example();
     let synthesis = learn_transformation(std::slice::from_ref(&example), &SynthConfig::default())
         .expect("synthesis succeeds");
-    let result = eval_program(&example.tree, &synthesis.program);
+    let result = eval_program(&example.tree, &synthesis.program).unwrap();
     assert!(result.same_bag(&example.output));
 
     // The synthesized predicate needs at least two atoms, as in the paper's program:
@@ -57,7 +57,7 @@ fn figure8_program_respects_threshold_on_new_data() {
         .close()
         .close()
         .build();
-    let result = eval_program(&bigger, &synthesis.program);
+    let result = eval_program(&bigger, &synthesis.program).unwrap();
     // Whatever exact predicate was learned, the row for the qualifying outer object
     // must be present and the non-qualifying one absent.
     let rendered: Vec<Vec<String>> = result

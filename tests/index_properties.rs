@@ -1,0 +1,181 @@
+//! Property tests for the interned, indexed HDT arena:
+//!
+//! * the indexed `descendants_with_tag` / `children_with_tag` (pre-order range scan
+//!   and children-by-tag map) must agree with the naive subtree/child-list traversals
+//!   on random trees, for every node and every tag;
+//! * the pre-order numbering must nest subtrees correctly;
+//! * interning must round-trip every tag produced by the XML, JSON and HTML parsers.
+
+use mitra::hdt::html::html_to_hdt;
+use mitra::hdt::json::json_to_hdt;
+use mitra::hdt::xml::xml_to_hdt;
+use mitra::hdt::{Hdt, NodeId};
+use mitra::intern;
+use proptest::prelude::*;
+
+/// Strategy for small random trees built through the arena mutators, mixing
+/// automatic (`add_child`) and explicit (`add_child_with_pos`) position assignment
+/// the way the JSON plug-in does.
+fn random_tree() -> impl Strategy<Value = Hdt> {
+    let ops = prop::collection::vec((0u8..4, 0usize..5, 0usize..50), 1..60);
+    ops.prop_map(|ops| {
+        let tags = ["item", "group", "entry", "field", "misc"];
+        let mut tree = Hdt::with_root("root");
+        let mut stack = vec![tree.root()];
+        for (kind, tag_idx, val) in ops {
+            let top = *stack.last().unwrap();
+            match kind {
+                0 => {
+                    let id = tree.add_child(top, tags[tag_idx], None);
+                    stack.push(id);
+                }
+                1 => {
+                    tree.add_child(top, tags[tag_idx], Some(val.to_string()));
+                }
+                2 => {
+                    // Interleave a query so the index gets built and then invalidated
+                    // by the next mutation — the staleness path must stay correct.
+                    let _ = tree.descendants_with_tag(top, tags[tag_idx]).len();
+                }
+                _ => {
+                    if stack.len() > 1 {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        tree
+    })
+}
+
+fn all_tags(tree: &Hdt) -> Vec<mitra::TagId> {
+    let mut tags = tree.tags();
+    // Also query a tag that never occurs in the tree: both implementations must
+    // agree on the empty answer.
+    tags.push(intern::intern("no-such-tag-anywhere"));
+    tags
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn indexed_descendants_agree_with_naive_walk(tree in random_tree()) {
+        for id in tree.ids() {
+            for tag in all_tags(&tree) {
+                let indexed: Vec<NodeId> = tree.descendants_with_tag(id, tag).to_vec();
+                let naive = tree.descendants_with_tag_naive(id, tag);
+                prop_assert!(
+                    indexed == naive,
+                    "descendants({}, {}) diverged: {:?} vs {:?}", id, tag, indexed, naive
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_children_agree_with_naive_scan(tree in random_tree()) {
+        for id in tree.ids() {
+            for tag in all_tags(&tree) {
+                let indexed: Vec<NodeId> = tree.children_with_tag(id, tag).to_vec();
+                let naive = tree.children_with_tag_naive(id, tag);
+                prop_assert!(
+                    indexed == naive,
+                    "children({}, {}) diverged: {:?} vs {:?}", id, tag, indexed, naive
+                );
+                // child() must agree with position-filtering the naive result.
+                for pos in 0..3usize {
+                    let via_child = tree.child(id, tag, pos);
+                    let via_naive = naive.iter().copied().find(|c| tree.pos(*c) == pos);
+                    prop_assert_eq!(via_child, via_naive);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preorder_numbering_nests_subtrees(tree in random_tree()) {
+        let order = tree.preorder();
+        prop_assert_eq!(order.len(), tree.len());
+        for id in tree.ids() {
+            let lo = tree.preorder_number(id);
+            let hi = tree.subtree_end(id);
+            prop_assert!(lo < hi);
+            // Every child's interval is strictly inside the parent's.
+            for &c in tree.children(id) {
+                prop_assert!(tree.preorder_number(c) > lo);
+                prop_assert!(tree.subtree_end(c) <= hi);
+            }
+        }
+        prop_assert_eq!(tree.subtree_end(tree.root()) as usize, tree.len());
+    }
+
+    #[test]
+    fn mixed_pos_assignment_still_validates(tree in random_tree()) {
+        prop_assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn interning_roundtrips_xml_parser_tags(names in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..6)) {
+        // Build an XML document whose element names are the random identifiers.
+        let mut doc = String::from("<root>");
+        for n in &names {
+            doc.push_str(&format!("<{n} attr_{n}=\"v\">x</{n}>"));
+        }
+        doc.push_str("</root>");
+        let tree = xml_to_hdt(&doc).expect("generated XML parses");
+        // Every tag in the tree resolves back to a string that re-interns to the
+        // same symbol, and the parsed element names are among them.
+        for tag in tree.tags() {
+            prop_assert_eq!(intern::intern(tag.as_str()), tag);
+        }
+        for n in &names {
+            let sym = intern::intern(n);
+            prop_assert!(tree.tags().contains(&sym), "tag {} lost in XML ingestion", n);
+            let attr = intern::intern(&format!("attr_{n}"));
+            prop_assert!(tree.tags().contains(&attr), "attribute tag attr_{} lost", n);
+        }
+    }
+
+    #[test]
+    fn interning_roundtrips_json_parser_tags(keys in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..6)) {
+        let mut doc = String::from("{");
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&format!("\"{k}\": [1, 2]"));
+        }
+        doc.push('}');
+        let tree = json_to_hdt(&doc).expect("generated JSON parses");
+        for tag in tree.tags() {
+            prop_assert_eq!(intern::intern(tag.as_str()), tag);
+        }
+        for k in &keys {
+            prop_assert!(
+                tree.tags().contains(&intern::intern(k)),
+                "key {} lost in JSON ingestion", k
+            );
+        }
+    }
+
+    #[test]
+    fn interning_roundtrips_html_parser_tags(names in prop::collection::vec("[a-z]{1,8}", 1..5)) {
+        let mut doc = String::from("<html><body>");
+        for n in &names {
+            doc.push_str(&format!("<{n}>text</{n}>"));
+        }
+        doc.push_str("</body></html>");
+        let tree = html_to_hdt(&doc).expect("generated HTML parses");
+        for tag in tree.tags() {
+            prop_assert_eq!(intern::intern(tag.as_str()), tag);
+        }
+        // The HTML parser lowercases names; ours are already lowercase.
+        for n in &names {
+            prop_assert!(
+                tree.tags().contains(&intern::intern(n)),
+                "element {} lost in HTML ingestion", n
+            );
+        }
+    }
+}
