@@ -2,14 +2,18 @@
 //! trajectory, written as `BENCH_synthesis.json`.
 //!
 //! Run with: `cargo run -p mitra-bench --release --bin bench_smoke [-- --out PATH]
-//! [-- --limit N] [-- --scale N] [-- --table2-from PATH]`
+//! [-- --limit N] [-- --scale N] [-- --threads N]`
 //!
 //! The output combines three measurements:
 //!
-//! * `table1` — synthesis over the first `limit` corpus tasks (Table 1 smoke slice);
-//! * `table2` — full-database migration of the four dataset simulators at `scale`
-//!   (or, with `--table2-from`, the JSON array a previous `table2 --json` run
-//!   produced — CI uses this to avoid re-running ~2.5 minutes of synthesis);
+//! * `table1` — synthesis over the first `limit` corpus tasks (Table 1 smoke slice),
+//!   run at the parallel thread count;
+//! * `table2` — full-database migration of the four dataset simulators at `scale`,
+//!   measured **twice**: once sequentially (`--threads 1`) and once at the parallel
+//!   thread count (`--threads N`, default all cores).  The harness asserts that the
+//!   synthesized programs are byte-identical across the two runs (the worker pool's
+//!   canonical-merge determinism guarantee) and reports the MONDIAL synthesis
+//!   speedup — the headline number of the parallel-synthesis refactor;
 //! * `descendants_index` — the descendants-heavy evaluation workload comparing the
 //!   pre-refactor subtree walk against the pre-order/occurrence-list index (the
 //!   headline number of the tag-interning + indexing refactor; `speedup` must stay
@@ -17,10 +21,12 @@
 //!
 //! CI runs this binary on every push and uploads the JSON as an artifact; the
 //! repository keeps a committed baseline so the trajectory is reviewable in-diff.
+//! The process exits non-zero when the determinism check fails, so CI cannot
+//! silently ship a scheduling-dependent synthesizer.
 
 use mitra_bench::descend;
-use mitra_bench::json::{int, num, obj, s};
-use mitra_bench::table2::{rows_to_json_value, run_table2};
+use mitra_bench::json::{int, num, obj, s, JsonValue};
+use mitra_bench::table2::{rows_to_json_value, run_table2_with, MigrationRow};
 use mitra_bench::{mean, median, run_task, table1_config};
 use mitra_datagen::generate_corpus;
 
@@ -34,13 +40,15 @@ fn main() {
     let out_path = get("--out").unwrap_or_else(|| "BENCH_synthesis.json".to_string());
     let limit: usize = get("--limit").and_then(|v| v.parse().ok()).unwrap_or(12);
     let scale: usize = get("--scale").and_then(|v| v.parse().ok()).unwrap_or(25);
-    let table2_from = get("--table2-from");
+    let threads: usize = get("--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let parallel_threads = mitra_pool::resolve(threads);
 
-    // Table 1 smoke slice.
-    eprintln!("bench_smoke: table1 slice ({limit} tasks)...");
+    // Table 1 smoke slice, at the parallel thread count.
+    eprintln!("bench_smoke: table1 slice ({limit} tasks, {parallel_threads} threads)...");
     let mut tasks = generate_corpus();
     tasks.truncate(limit);
-    let config = table1_config();
+    let mut config = table1_config();
+    config.threads = parallel_threads;
     let results: Vec<_> = tasks.iter().map(|t| run_task(t, &config)).collect();
     let times: Vec<f64> = results
         .iter()
@@ -52,23 +60,25 @@ fn main() {
         ("solved", int(results.iter().filter(|r| r.solved).count())),
         ("median_time_secs", num(median(&times))),
         ("mean_time_secs", num(mean(&times))),
+        (
+            "truncated_tasks",
+            int(results.iter().filter(|r| r.truncated).count()),
+        ),
+        ("threads", int(parallel_threads)),
     ]);
 
-    // Table 2: reuse a previous `table2 --json` run when provided, measure otherwise.
-    let (table2, table2_desc) = match &table2_from {
-        Some(path) => {
-            eprintln!("bench_smoke: table2 from {path}...");
-            let text = std::fs::read_to_string(path).expect("read --table2-from file");
-            let value = mitra_hdt::parse_json(&text).expect("--table2-from holds JSON");
-            (value, format!("from {path}"))
-        }
-        None => {
-            eprintln!("bench_smoke: table2 migrations (scale {scale})...");
-            (
-                rows_to_json_value(&run_table2(scale)),
-                format!("scale={scale}"),
-            )
-        }
+    // Table 2: sequential baseline, then the parallel run of the same plans.
+    eprintln!("bench_smoke: table2 migrations (scale {scale}, 1 thread)...");
+    let sequential = run_table2_with(scale, 1);
+    let (parallel, programs_identical, mondial_speedup) = if parallel_threads > 1 {
+        eprintln!("bench_smoke: table2 migrations (scale {scale}, {parallel_threads} threads)...");
+        let parallel = run_table2_with(scale, parallel_threads);
+        let identical = programs_match(&sequential, &parallel);
+        let speedup = dataset_speedup(&sequential, &parallel, "MONDIAL");
+        (Some(parallel), identical, speedup)
+    } else {
+        eprintln!("bench_smoke: single-threaded environment, skipping the parallel run");
+        (None, true, None)
     };
 
     // The descendants-index headline comparison.
@@ -83,11 +93,30 @@ fn main() {
         ("speedup", num(m.speedup())),
     ]);
 
+    let mut table2_fields = vec![
+        (
+            "threads",
+            obj(vec![
+                ("sequential", int(1)),
+                ("parallel", int(parallel_threads)),
+            ]),
+        ),
+        ("sequential", rows_to_json_value(&sequential)),
+    ];
+    if let Some(par) = &parallel {
+        table2_fields.push(("parallel", rows_to_json_value(par)));
+    }
+    table2_fields.push(("programs_identical", JsonValue::Bool(programs_identical)));
+    if let Some(x) = mondial_speedup {
+        table2_fields.push(("mondial_synth_speedup", num(x)));
+    }
+    let table2 = obj(table2_fields);
+
     let doc = obj(vec![
         (
             "config",
             s(format!(
-                "table1 limit={limit}, table2 {table2_desc}, descend 400x400 best-of-5"
+                "table1 limit={limit}, table2 scale={scale} at threads 1 vs {parallel_threads}, descend 400x400 best-of-5"
             )),
         ),
         ("table1", table1),
@@ -98,7 +127,34 @@ fn main() {
     std::fs::write(&out_path, format!("{}\n", doc.to_string_pretty()))
         .expect("write baseline file");
     eprintln!(
-        "bench_smoke: wrote {out_path} (descendants speedup: {:.1}x)",
-        m.speedup()
+        "bench_smoke: wrote {out_path} (descendants speedup: {:.1}x{})",
+        m.speedup(),
+        match mondial_speedup {
+            Some(x) => format!(", MONDIAL synth speedup: {x:.2}x"),
+            None => String::new(),
+        }
     );
+    if !programs_identical {
+        eprintln!("bench_smoke: FATAL: synthesized programs differ between thread counts");
+        std::process::exit(1);
+    }
+}
+
+/// True when both runs synthesized byte-identical programs for every dataset.
+fn programs_match(a: &[MigrationRow], b: &[MigrationRow]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(ra, rb)| ra.name == rb.name && ra.programs == rb.programs && ra.rows == rb.rows)
+}
+
+/// Wall-clock synthesis speedup of run `b` over run `a` for one dataset.
+fn dataset_speedup(a: &[MigrationRow], b: &[MigrationRow], name: &str) -> Option<f64> {
+    let base = a.iter().find(|r| r.name == name)?;
+    let fast = b.iter().find(|r| r.name == name)?;
+    if fast.synth_total_secs > 0.0 {
+        Some(base.synth_total_secs / fast.synth_total_secs)
+    } else {
+        None
+    }
 }

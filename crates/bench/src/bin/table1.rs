@@ -1,11 +1,14 @@
 //! Regenerates Table 1 of the paper: synthesis results over the 98-task corpus,
 //! grouped by input format and output column count.
 //!
-//! Run with: `cargo run -p mitra-bench --release --bin table1 [-- --json] [-- --limit N]`
+//! Run with: `cargo run -p mitra-bench --release --bin table1 [-- --json] [-- --limit N]
+//! [-- --threads N]`
 //!
 //! * `--json` — emit one machine-readable JSON object on stdout instead of the
 //!   human-readable table (used by the CI bench-smoke step and `bench_smoke`);
-//! * `--limit N` — run only the first N corpus tasks (smoke runs).
+//! * `--limit N` — run only the first N corpus tasks (smoke runs);
+//! * `--threads N` — synthesis worker threads (default: `MITRA_THREADS`, else all
+//!   cores; results are identical at every value, only timings change).
 
 use mitra_bench::json::{int, num, obj, s, JsonValue};
 use mitra_bench::{mean, median, run_task, table1_config, TaskResult};
@@ -29,6 +32,7 @@ pub fn results_to_json(results: &[(Category, TaskResult)]) -> String {
                     ("rows", int(r.rows)),
                     ("predicates", int(r.predicates)),
                     ("loc", int(r.loc)),
+                    ("truncated", JsonValue::Bool(r.truncated)),
                 ])
             })
             .collect(),
@@ -46,6 +50,14 @@ pub fn results_to_json(results: &[(Category, TaskResult)]) -> String {
         ),
         ("median_time_secs", num(median(&solved_times))),
         ("mean_time_secs", num(mean(&solved_times))),
+        (
+            "truncated_tasks",
+            int(results.iter().filter(|(_, r)| r.truncated).count()),
+        ),
+        (
+            "threads",
+            int(results.iter().map(|(_, r)| r.threads).max().unwrap_or(1)),
+        ),
         ("tasks", tasks),
     ])
     .to_string_compact()
@@ -60,12 +72,24 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok());
 
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+
     let mut tasks = generate_corpus();
     if let Some(n) = limit {
         tasks.truncate(n);
     }
-    let config = table1_config();
-    eprintln!("Running synthesis on {} corpus tasks...", tasks.len());
+    let mut config = table1_config();
+    config.threads = threads;
+    eprintln!(
+        "Running synthesis on {} corpus tasks ({} worker threads)...",
+        tasks.len(),
+        mitra_pool::resolve(threads)
+    );
     let results: Vec<(Category, TaskResult)> = tasks
         .iter()
         .map(|task| {

@@ -48,6 +48,11 @@ pub struct TaskResult {
     pub predicates: usize,
     /// Lines of code of the emitted artifact (0 when unsolved).
     pub loc: usize,
+    /// True when DFA construction/enumeration hit a limit for this task: its search
+    /// space was silently under-explored and its numbers must be read accordingly.
+    pub truncated: bool,
+    /// Worker threads used by the synthesizer.
+    pub threads: usize,
 }
 
 /// Runs the synthesizer on one corpus task and gathers the Table 1 statistics.
@@ -73,6 +78,8 @@ pub fn run_task(task: &Task, config: &SynthConfig) -> TaskResult {
                 rows: task.row_count(),
                 predicates: synthesis.cost.atoms,
                 loc: artifact.loc(),
+                truncated: synthesis.truncated,
+                threads: synthesis.threads_used,
             }
         }
         Err(_) => TaskResult {
@@ -85,6 +92,8 @@ pub fn run_task(task: &Task, config: &SynthConfig) -> TaskResult {
             rows: task.row_count(),
             predicates: 0,
             loc: 0,
+            truncated: false,
+            threads: mitra_pool::resolve(config.threads),
         },
     }
 }

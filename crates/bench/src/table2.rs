@@ -18,24 +18,47 @@ pub struct MigrationRow {
     pub tables: usize,
     /// Total columns across tables.
     pub columns: usize,
-    /// Total synthesis time in seconds.
+    /// Wall-clock time of the synthesis phase in seconds.  With one worker this
+    /// equals the per-table sum; with several it is what the user actually waits.
     pub synth_total_secs: f64,
+    /// Sum of per-table synthesis times in seconds (CPU-ish time; overlaps under
+    /// parallelism, so it can exceed `synth_total_secs`).
+    pub synth_cpu_secs: f64,
     /// Rows migrated across all tables.
     pub rows: usize,
     /// Total execution time in seconds.
     pub exec_total_secs: f64,
     /// Constraint violations in the migrated database (0 on success).
     pub violations: usize,
+    /// Worker threads the migration plan was run with (after resolution).
+    pub threads: usize,
+    /// Pretty-printed synthesized programs in table order — not serialized; used by
+    /// `bench_smoke` to assert thread-count determinism.
+    pub programs: Vec<String>,
     /// Error message when the migration failed outright.
     pub error: Option<String>,
 }
 
-/// Runs every dataset simulator's migration plan at the given scale.
+/// Runs every dataset simulator's migration plan at the given scale, on the
+/// process-global thread count.
 pub fn run_table2(scale: usize) -> Vec<MigrationRow> {
+    run_table2_with(scale, 0)
+}
+
+/// Runs every dataset simulator's migration plan at the given scale and worker
+/// thread count (`0` = the process-global setting, `1` = sequential).
+pub fn run_table2_with(scale: usize, threads: usize) -> Vec<MigrationRow> {
+    let resolved = mitra_pool::resolve(threads);
     all_datasets()
         .into_iter()
         .map(|spec| {
-            let plan = spec.migration_plan();
+            let mut plan = spec.migration_plan();
+            plan.synth_config.threads = resolved;
+            // Measure complete synthesis: a wall-clock timeout firing mid-search
+            // would change *which candidates get examined* depending on machine
+            // speed and thread count, making both the timing columns and the
+            // cross-thread-count determinism check meaningless on slow runners.
+            plan.synth_config.timeout = None;
             let (document, _expected) = spec.generate(scale);
             let elements = document.ids().filter(|id| !document.is_leaf(*id)).count();
             match plan.run(&document) {
@@ -45,10 +68,13 @@ pub fn run_table2(scale: usize) -> Vec<MigrationRow> {
                     elements,
                     tables: spec.table_count(),
                     columns: spec.schema().total_columns(),
-                    synth_total_secs: report.total_synthesis_time().as_secs_f64(),
+                    synth_total_secs: report.synthesis_wall.as_secs_f64(),
+                    synth_cpu_secs: report.total_synthesis_time().as_secs_f64(),
                     rows: report.total_rows(),
                     exec_total_secs: report.total_execution_time().as_secs_f64(),
                     violations: report.violations,
+                    threads: resolved,
+                    programs: report.programs().into_iter().map(str::to_string).collect(),
                     error: None,
                 },
                 Err(e) => MigrationRow {
@@ -58,9 +84,12 @@ pub fn run_table2(scale: usize) -> Vec<MigrationRow> {
                     tables: spec.table_count(),
                     columns: spec.schema().total_columns(),
                     synth_total_secs: 0.0,
+                    synth_cpu_secs: 0.0,
                     rows: 0,
                     exec_total_secs: 0.0,
                     violations: 0,
+                    threads: resolved,
+                    programs: Vec::new(),
                     error: Some(e.to_string()),
                 },
             }
@@ -80,9 +109,11 @@ pub fn rows_to_json_value(rows: &[MigrationRow]) -> JsonValue {
                     ("tables", int(r.tables)),
                     ("columns", int(r.columns)),
                     ("synth_total_secs", num(r.synth_total_secs)),
+                    ("synth_cpu_secs", num(r.synth_cpu_secs)),
                     ("rows", int(r.rows)),
                     ("exec_total_secs", num(r.exec_total_secs)),
                     ("violations", int(r.violations)),
+                    ("threads", int(r.threads)),
                 ];
                 if let Some(e) = &r.error {
                     fields.push(("error", s(e)));
@@ -116,9 +147,12 @@ mod tests {
                 tables: 9,
                 columns: 39,
                 synth_total_secs: 3.5,
+                synth_cpu_secs: 3.5,
                 rows: 275,
                 exec_total_secs: 0.001,
                 violations: 0,
+                threads: 1,
+                programs: vec!["filter(...)".into()],
                 error: None,
             },
             MigrationRow {
@@ -128,9 +162,12 @@ mod tests {
                 tables: 1,
                 columns: 2,
                 synth_total_secs: 0.0,
+                synth_cpu_secs: 0.0,
                 rows: 0,
                 exec_total_secs: 0.0,
                 violations: 0,
+                threads: 1,
+                programs: Vec::new(),
                 error: Some("synthesis failed".into()),
             },
         ];
@@ -138,7 +175,11 @@ mod tests {
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"name\":\"dblp\""));
         assert!(json.contains("\"rows\":275"));
+        assert!(json.contains("\"threads\":1"));
+        assert!(json.contains("\"synth_cpu_secs\":3.5"));
         assert!(json.contains("\"error\":\"synthesis failed\""));
+        // Programs are an in-process determinism probe, not part of the JSON.
+        assert!(!json.contains("filter(...)"));
         // The emitted document round-trips through the hdt parser.
         assert_eq!(
             mitra_hdt::parse_json(&json).expect("valid JSON"),

@@ -20,8 +20,8 @@ pub struct ParsedArgs {
 }
 
 /// Option keys that take a value; everything else starting with `--` is a switch.
-const VALUE_OPTIONS: [&str; 9] = [
-    "input", "output", "program", "format", "emit", "out", "limit", "scale", "query",
+const VALUE_OPTIONS: [&str; 10] = [
+    "input", "output", "program", "format", "emit", "out", "limit", "scale", "query", "threads",
 ];
 
 impl ParsedArgs {

@@ -80,6 +80,10 @@ USAGE:
     mitra-cli migrate <dblp|imdb|mondial|yelp> [--scale <per-entity>] [--query <sql>]
     mitra-cli help
 
+Every command accepts --threads <n>: the number of worker threads for synthesis and
+execution (default: the MITRA_THREADS environment variable, else all available
+cores; 1 forces the sequential path).  Results are identical at every thread count.
+
 The synthesize command learns a transformation program from a single input document and
 the relational table it should produce (given as CSV with a header line).  The run
 command executes a previously saved program (in the textual DSL syntax) over a new,
@@ -95,6 +99,13 @@ where
     S: Into<String>,
 {
     let args = ParsedArgs::parse(raw_args).map_err(CliError::Usage)?;
+    // `--threads N` configures the process-global worker pool before any command
+    // runs; 0 (the default) leaves the MITRA_THREADS / auto-detection chain in
+    // charge.  Thread count never changes results, only wall-clock time.
+    let threads = args.numeric_option("threads", 0).map_err(CliError::Usage)?;
+    if threads > 0 {
+        mitra_pool::set_threads(threads);
+    }
     let Some(command) = args.command.clone() else {
         return Ok(USAGE.to_string());
     };
@@ -254,6 +265,21 @@ mod tests {
     #[test]
     fn migrate_requires_a_dataset_name() {
         assert!(matches!(run_cli(["migrate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn threads_flag_is_parsed_and_validated() {
+        // A valid thread count is accepted by any command (results never depend on
+        // it, so `datasets` is a cheap probe)...
+        let out = run_cli(["datasets", "--threads", "2"]).unwrap();
+        assert!(out.contains("DBLP"));
+        // ...and a malformed one is a usage error.
+        assert!(matches!(
+            run_cli(["datasets", "--threads", "lots"]),
+            Err(CliError::Usage(_))
+        ));
+        // Restore the auto-detection default for the other tests in this process.
+        mitra_pool::set_threads(0);
     }
 
     #[test]

@@ -177,6 +177,7 @@ pub fn dataset_synth_config() -> SynthConfig {
         max_intermediate_rows: 200_000,
         exact_cover: true,
         timeout: Some(std::time::Duration::from_secs(120)),
+        threads: 0,
     }
 }
 

@@ -140,6 +140,19 @@ pub fn cross_product_with(
     columns: &[Vec<NodeId>],
     limits: &EvalLimits,
 ) -> Result<Vec<Vec<NodeId>>, EvalError> {
+    let slices: Vec<&[NodeId]> = columns.iter().map(Vec::as_slice).collect();
+    cross_product_slices(&slices, limits)
+}
+
+/// Cross product over borrowed per-column slices.
+///
+/// This is the allocation-free entry point used by the synthesizer's shared
+/// column-evaluation cache: workers hold `Arc`ed node lists and pass slices here
+/// without cloning a `Vec<Vec<NodeId>>` per candidate.
+pub fn cross_product_slices(
+    columns: &[&[NodeId]],
+    limits: &EvalLimits,
+) -> Result<Vec<Vec<NodeId>>, EvalError> {
     if columns.is_empty() {
         return Ok(vec![]);
     }
@@ -148,7 +161,7 @@ pub fn cross_product_with(
     }
     let total = columns
         .iter()
-        .map(Vec::len)
+        .map(|c| c.len())
         .try_fold(1usize, |acc, len| acc.checked_mul(len))
         .ok_or(EvalError::ProductOverflow {
             arity: columns.len(),
@@ -300,6 +313,18 @@ pub fn eval_program_nodes(tree: &Hdt, program: &Program) -> Result<Vec<Vec<NodeI
         .collect())
 }
 
+/// Compile-time guarantee that everything a synthesis worker context needs — the
+/// program under evaluation, the resource limits threaded into it, and the produced
+/// table — can cross thread boundaries.  Parallel candidate validation shares
+/// `&Program`/`EvalLimits` across scoped workers and sends `Table`s back.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Program>();
+    assert_send_sync::<EvalLimits>();
+    assert_send_sync::<EvalError>();
+    assert_send_sync::<Table>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +398,24 @@ mod tests {
             .unwrap()
             .is_empty());
         assert!(cross_product(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cross_product_slices_agrees_with_owned_columns() {
+        let cols = vec![
+            vec![NodeId(1), NodeId(2)],
+            vec![NodeId(3), NodeId(4), NodeId(5)],
+        ];
+        let slices: Vec<&[NodeId]> = cols.iter().map(Vec::as_slice).collect();
+        let limits = EvalLimits::default();
+        assert_eq!(
+            cross_product_with(&cols, &limits).unwrap(),
+            cross_product_slices(&slices, &limits).unwrap()
+        );
+        assert!(cross_product_slices(&[], &limits).unwrap().is_empty());
+        assert!(cross_product_slices(&[&[], &[NodeId(1)]], &limits)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

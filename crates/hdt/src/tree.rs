@@ -237,6 +237,18 @@ impl Hdt {
         self.index.get_or_init(|| TreeIndex::build(self))
     }
 
+    /// Eagerly builds the navigation index if it does not exist yet.
+    ///
+    /// Parallel synthesis shares one tree across many workers; without this, the
+    /// first indexed query from each worker funnels through the `OnceLock`
+    /// initialization, serializing every thread behind one index build at the worst
+    /// possible moment.  Calling `ensure_index` once before fanning out moves the
+    /// build to the coordinating thread so workers only ever take the fast
+    /// read-only path.
+    pub fn ensure_index(&self) {
+        let _ = self.index();
+    }
+
     /// Adds a child node under `parent`.  The `pos` field is computed automatically as
     /// the number of existing children of `parent` with the same tag (O(1) via the
     /// per-parent tag counts).
@@ -575,6 +587,14 @@ impl HdtBuilder {
     }
 }
 
+/// Compile-time guarantee that a tree can be shared across pool workers: the lazy
+/// index lives in a `OnceLock` and every lookup returns borrowed data, so `&Hdt` is
+/// safe to hand to scoped threads without cloning.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Hdt>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,6 +671,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn ensure_index_prebuilds_and_mutation_invalidates() {
+        let mut t = sample();
+        t.ensure_index();
+        assert!(t.index.get().is_some(), "index must exist after ensure");
+        assert_eq!(t.descendants_with_tag(t.root(), "Person").len(), 2);
+        let root = t.root();
+        t.add_child(root, "Person", None);
+        assert!(t.index.get().is_none(), "mutation must clear the index");
+        t.ensure_index();
+        assert_eq!(t.descendants_with_tag(t.root(), "Person").len(), 3);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::database::Database;
 use crate::keys::{eval_key, KeySpec};
 use crate::schema::Schema;
 use mitra_dsl::eval::node_value;
-use mitra_dsl::{Program, Table, Value};
+use mitra_dsl::{pretty, Program, Table, Value};
 use mitra_hdt::Hdt;
 use mitra_synth::exec::execute_nodes;
 use mitra_synth::synthesize::{learn_transformation, Example, SynthConfig, SynthError};
@@ -58,11 +58,16 @@ pub struct TableReport {
     /// Table name.
     pub table: String,
     /// Time spent synthesizing the program (zero when a program was supplied).
+    /// With a parallel plan this is the table's own wall time on its worker;
+    /// per-table times overlap and may sum to more than the phase wall clock.
     pub synthesis_time: Duration,
     /// Time spent executing the program and generating keys.
     pub execution_time: Duration,
     /// Rows produced.
     pub rows: usize,
+    /// The program that populated the table, pretty-printed.  Thread-count
+    /// determinism checks compare this text across runs.
+    pub program: String,
 }
 
 /// The result of running a migration plan.
@@ -74,10 +79,15 @@ pub struct MigrationReport {
     pub tables: Vec<TableReport>,
     /// Constraint violations found in the final database (empty on success).
     pub violations: usize,
+    /// Wall-clock time of the synthesis phase (all tables, including fan-out).
+    pub synthesis_wall: Duration,
+    /// Wall-clock time of the execution phase (all tables).
+    pub execution_wall: Duration,
 }
 
 impl MigrationReport {
-    /// Total synthesis time across tables.
+    /// Total synthesis time across tables (sum of per-table worker times; see
+    /// [`MigrationReport::synthesis_wall`] for the elapsed wall clock).
     pub fn total_synthesis_time(&self) -> Duration {
         self.tables.iter().map(|t| t.synthesis_time).sum()
     }
@@ -90,6 +100,12 @@ impl MigrationReport {
     /// Total rows across tables.
     pub fn total_rows(&self) -> usize {
         self.tables.iter().map(|t| t.rows).sum()
+    }
+
+    /// The pretty-printed programs of every table, in task order.  Two runs of the
+    /// same plan — at any two thread counts — must produce equal vectors.
+    pub fn programs(&self) -> Vec<&str> {
+        self.tables.iter().map(|t| t.program.as_str()).collect()
     }
 }
 
@@ -186,42 +202,69 @@ impl MigrationPlan {
     ///
     /// The same `document` is used for every table, matching the paper's setting where
     /// a single large dataset is shredded into multiple tables.
+    ///
+    /// Synthesis is the dominant cost and every table's task is independent, so the
+    /// synthesis phase fans out across tables on up to `synth_config.threads` pool
+    /// workers (`0` = the process-global setting, `1` = sequential); each table's
+    /// own `learn_transformation` may fan out further, bounded by the pool's nesting
+    /// limit.  Results are deterministic: per-table outcomes are merged in task
+    /// order, so the populated database, the reported error (if any) and the
+    /// synthesized programs are identical at every thread count.
     pub fn run(&self, document: &Hdt) -> Result<MigrationReport, MigrationError> {
         self.validate()?;
+        // Shared read-only across workers (synthesis examples carry their own trees,
+        // but execution below reuses this document): build its index exactly once.
+        document.ensure_index();
+        let threads = mitra_pool::resolve(self.synth_config.threads);
+
+        // Phase 1 — synthesis fan-out: obtain every table's program.  The arity
+        // check lives inside the worker so the canonical task-order merge reports
+        // the same first error the sequential loop would have.
+        let synth_start = Instant::now();
+        type TableProgram = Result<(Program, Duration), MigrationError>;
+        let outcomes: Vec<TableProgram> =
+            mitra_pool::parallel_map(threads, &self.tasks, |_, task| {
+                let t0 = Instant::now();
+                let program = match &task.source {
+                    TableSource::Program(p) => p.clone(),
+                    TableSource::Examples(examples) => {
+                        learn_transformation(examples, &self.synth_config)
+                            .map_err(|error| MigrationError::Synthesis {
+                                table: task.table.clone(),
+                                error,
+                            })?
+                            .program
+                    }
+                };
+                let synthesis_time = match &task.source {
+                    TableSource::Program(_) => Duration::ZERO,
+                    TableSource::Examples(_) => t0.elapsed(),
+                };
+                if program.arity() != task.data_columns.len() {
+                    return Err(MigrationError::ArityMismatch(task.table.clone()));
+                }
+                Ok((program, synthesis_time))
+            });
+        let mut programs = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            programs.push(outcome?);
+        }
+        let synthesis_wall = synth_start.elapsed();
+
+        // Phase 2 — execution, in task order.
+        let exec_start = Instant::now();
         let mut database = Database::new(self.schema.clone());
         let mut reports = Vec::with_capacity(self.tasks.len());
-
-        for task in &self.tasks {
+        for (task, (program, synthesis_time)) in self.tasks.iter().zip(programs) {
             let table_schema = self
                 .schema
                 .table(&task.table)
                 .expect("validated above")
                 .clone();
 
-            // Obtain the program (synthesizing if necessary).
-            let synth_start = Instant::now();
-            let program = match &task.source {
-                TableSource::Program(p) => p.clone(),
-                TableSource::Examples(examples) => {
-                    learn_transformation(examples, &self.synth_config)
-                        .map_err(|error| MigrationError::Synthesis {
-                            table: task.table.clone(),
-                            error,
-                        })?
-                        .program
-                }
-            };
-            let synthesis_time = match &task.source {
-                TableSource::Program(_) => Duration::ZERO,
-                TableSource::Examples(_) => synth_start.elapsed(),
-            };
-            if program.arity() != task.data_columns.len() {
-                return Err(MigrationError::ArityMismatch(task.table.clone()));
-            }
-
             // Execute with the optimized engine, keeping node-level rows so the key
             // generators can see which tree nodes each row came from.
-            let exec_start = Instant::now();
+            let table_exec_start = Instant::now();
             let node_rows = execute_nodes(document, &program);
             let mut out = Table::new(table_schema.column_names());
             for nodes in &node_rows {
@@ -240,21 +283,25 @@ impl MigrationPlan {
             }
             let rows = out.len();
             database.set_table(&task.table, out);
-            let execution_time = exec_start.elapsed();
+            let execution_time = table_exec_start.elapsed();
 
             reports.push(TableReport {
                 table: task.table.clone(),
                 synthesis_time,
                 execution_time,
                 rows,
+                program: pretty::program(&program),
             });
         }
+        let execution_wall = exec_start.elapsed();
 
         let violations = database.check_constraints().len();
         Ok(MigrationReport {
             database,
             tables: reports,
             violations,
+            synthesis_wall,
+            execution_wall,
         })
     }
 }
@@ -452,6 +499,37 @@ mod tests {
         assert_eq!(report.database.row_count("names"), 10);
         assert!(report.total_synthesis_time() > Duration::ZERO);
         assert_eq!(report.violations, 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_migration_results() {
+        let example_doc = social_network(3, 1);
+        let output = Table::from_rows(&["name"], &[&["Alice"], &["Bob"], &["Carol"]]);
+        let schema = Schema::new().with_table(
+            TableSchema::new("names", vec![Column::text("pk"), Column::text("name")])
+                .with_primary_key(&["pk"]),
+        );
+        let base_plan = MigrationPlan::new(schema).with_task(TableTask {
+            table: "names".to_string(),
+            source: TableSource::Examples(vec![Example::new(example_doc, output)]),
+            keys: vec![("pk".to_string(), KeySpec::SyntheticPrimary)],
+            data_columns: vec!["name".to_string()],
+        });
+        let big = social_network(8, 2);
+        let run_at = |threads: usize| {
+            let mut plan = base_plan.clone();
+            plan.synth_config.threads = threads;
+            plan.run(&big).unwrap()
+        };
+        let sequential = run_at(1);
+        let parallel = run_at(4);
+        assert_eq!(sequential.programs(), parallel.programs());
+        assert_eq!(
+            sequential.database.table("names").unwrap().rows,
+            parallel.database.table("names").unwrap().rows
+        );
+        assert!(sequential.synthesis_wall > Duration::ZERO);
+        assert!(!sequential.tables[0].program.is_empty());
     }
 
     #[test]

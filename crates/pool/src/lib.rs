@@ -1,0 +1,232 @@
+//! # mitra-pool — a scoped worker pool for deterministic fan-out
+//!
+//! The synthesizer's hot loops (per-column DFA construction, candidate predicate
+//! learning, per-table migration synthesis) are embarrassingly parallel but must stay
+//! **byte-identical** to the sequential path: the paper's Occam's-razor ranking breaks
+//! ties by enumeration order, so results may never depend on thread scheduling.
+//!
+//! This crate provides exactly one primitive, [`parallel_map`]: apply a function to
+//! every element of a slice on up to `threads` scoped workers and return the results
+//! **in input order**.  Workers pull indices from a shared atomic counter (dynamic
+//! scheduling, so an expensive item does not serialize a whole chunk behind it) and
+//! write each result into its own slot, so the merged output is independent of which
+//! worker computed what.  Callers then reduce in canonical order themselves.
+//!
+//! Thread-count resolution (see [`resolve`]) has three layers:
+//!
+//! 1. an explicit request (`--threads N` on the CLI / bench bins, `SynthConfig::threads`),
+//! 2. the `MITRA_THREADS` environment variable,
+//! 3. the machine's available parallelism.
+//!
+//! `1` always restores the sequential path: `parallel_map` with one thread runs the
+//! closure inline on the calling thread, spawning nothing.
+//!
+//! Nested fan-out (a migration plan fans out across tables, each table's synthesis
+//! fans out across candidates) is bounded by a thread-local depth: past
+//! [`MAX_NESTING`] levels of pool workers, further `parallel_map` calls degrade to
+//! inline execution instead of oversubscribing the machine quadratically.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Fan-out depth past which `parallel_map` stops spawning and runs inline.
+///
+/// Depth 0 is the ordinary caller, depth 1 is a worker of a depth-0 pool, and so on.
+/// Two levels cover the real nesting in this codebase (migration plan → per-table
+/// synthesis → per-candidate work) while capping the worst case at `threads²` live
+/// threads.
+pub const MAX_NESTING: usize = 2;
+
+/// Explicitly configured global thread count; 0 means "not set".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Current pool nesting depth of this thread (0 outside any pool worker).
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The machine's available parallelism (at least 1).
+pub fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sets the process-global thread count (e.g. from a `--threads` CLI flag).
+/// Passing 0 clears the explicit setting, falling back to `MITRA_THREADS` / auto.
+pub fn set_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The process-global thread count: the explicitly set value if any, otherwise the
+/// `MITRA_THREADS` environment variable (ignored when unparsable or 0), otherwise
+/// the available parallelism.
+pub fn threads() -> usize {
+    let set = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if set > 0 {
+        return set;
+    }
+    if let Ok(v) = std::env::var("MITRA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    available()
+}
+
+/// Resolves a per-call request against the global configuration: 0 means "use the
+/// global setting", anything else is taken literally.
+pub fn resolve(requested: usize) -> usize {
+    if requested == 0 {
+        threads()
+    } else {
+        requested
+    }
+}
+
+/// Current pool nesting depth of the calling thread (0 outside any worker).
+pub fn current_depth() -> usize {
+    DEPTH.with(Cell::get)
+}
+
+/// Applies `f` to every item, returning results in input order.
+///
+/// With `threads <= 1`, a single item, or past [`MAX_NESTING`] levels of nesting,
+/// this is a plain sequential loop on the calling thread — exactly the code path a
+/// `--threads 1` run takes.  Otherwise `min(threads, items.len())` scoped workers
+/// pull item indices from a shared counter; each result lands in its input slot, so
+/// the output order (and therefore any canonical reduction over it) is independent
+/// of scheduling.
+///
+/// Worker panics propagate to the caller when the scope joins.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let depth = current_depth();
+    if threads <= 1 || items.len() <= 1 || depth >= MAX_NESTING {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || Mutex::new(None));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                DEPTH.with(|d| d.set(depth + 1));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(r);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree_and_preserve_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let seq = parallel_map(1, &items, |i, x| i * 1000 + x * x);
+        for t in [2, 3, 8] {
+            let par = parallel_map(t, &items, |i, x| i * 1000 + x * x);
+            assert_eq!(seq, par, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(4, &empty, |_, x| *x).is_empty());
+        assert_eq!(parallel_map(4, &[7u8], |_, x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_dynamically() {
+        // Items with wildly different costs must all complete and stay ordered.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(4, &items, |_, &x| {
+            let spin = if x % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn nesting_is_bounded() {
+        let outer: Vec<usize> = (0..4).collect();
+        let depths = parallel_map(4, &outer, |_, _| {
+            let inner: Vec<usize> = (0..4).collect();
+            parallel_map(4, &inner, |_, _| {
+                // Depth 2: this level must run inline.
+                let innermost: Vec<usize> = (0..2).collect();
+                let d_before = current_depth();
+                let ds = parallel_map(4, &innermost, |_, _| current_depth());
+                assert!(ds.iter().all(|&d| d == d_before), "inline past MAX_NESTING");
+                current_depth()
+            })
+        });
+        for level in depths.iter().flatten() {
+            assert_eq!(*level, 2);
+        }
+    }
+
+    #[test]
+    fn resolve_honors_explicit_request() {
+        assert_eq!(resolve(3), 3);
+        assert_eq!(resolve(1), 1);
+        // 0 falls through to the global/env/auto chain, which is at least 1.
+        assert!(resolve(0) >= 1);
+    }
+
+    #[test]
+    fn set_threads_overrides_auto() {
+        set_threads(5);
+        assert_eq!(threads(), 5);
+        assert_eq!(resolve(0), 5);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..8).collect();
+        let _ = parallel_map(4, &items, |_, &x| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

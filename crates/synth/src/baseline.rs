@@ -199,6 +199,10 @@ pub fn learn_transformation_baseline(
             candidates_tried: stats.candidates_evaluated,
             programs_found,
             elapsed: start.elapsed(),
+            // The blind baseline does not track search-space truncation and always
+            // runs sequentially (it exists for the E7 ablation only).
+            truncated: false,
+            threads_used: 1,
         }),
         None => Err(SynthError::NoProgram),
     }

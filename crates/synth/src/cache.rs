@@ -1,0 +1,126 @@
+//! Shared column-evaluation cache for candidate enumeration.
+//!
+//! The top-level synthesis loop tries up to `max_table_candidates` table extractors,
+//! but they are drawn from the cartesian product of small per-column candidate lists:
+//! with 3 columns × 16 candidates, 128 combos reuse only 48 distinct column
+//! extractors.  Evaluating `[[π]]T` once per distinct extractor per example — instead
+//! of once per combo — removes the redundant tree walks, and sharing the cache across
+//! pool workers means concurrent candidates never repeat each other's work either.
+//!
+//! Keys are [`ColumnExtractor`]s, which hash as their interned `TagId` step paths
+//! (`u32` handles, no strings).  Values are `Arc`'d node lists so workers borrow the
+//! cached evaluation without cloning it.  Each example tree gets its own shard with
+//! an independent lock; entries are only ever inserted, never invalidated, because
+//! the trees are immutable for the duration of one synthesis call.
+
+use mitra_dsl::ast::ColumnExtractor;
+use mitra_dsl::eval::eval_column;
+use mitra_hdt::{Hdt, NodeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Concurrent per-example memo table for `[[π]]T` evaluations.
+#[derive(Debug)]
+pub struct ColumnEvalCache {
+    shards: Vec<Mutex<HashMap<ColumnExtractor, Arc<Vec<NodeId>>>>>,
+}
+
+impl ColumnEvalCache {
+    /// Creates a cache with one shard per example.
+    pub fn new(num_examples: usize) -> Self {
+        let mut shards = Vec::with_capacity(num_examples);
+        shards.resize_with(num_examples, || Mutex::new(HashMap::new()));
+        ColumnEvalCache { shards }
+    }
+
+    /// The node set `[[π]]T` for example `ex_idx`, computed on first use.
+    ///
+    /// Two workers racing on the same key may both evaluate the extractor; the
+    /// evaluation is deterministic, so whichever insertion wins stores the same
+    /// value.  The lock is released during evaluation to keep the critical section
+    /// to two hash operations.
+    pub fn column_nodes(
+        &self,
+        ex_idx: usize,
+        tree: &Hdt,
+        pi: &ColumnExtractor,
+    ) -> Arc<Vec<NodeId>> {
+        if let Some(hit) = self.shards[ex_idx]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(pi)
+        {
+            return Arc::clone(hit);
+        }
+        let nodes = Arc::new(eval_column(tree, pi));
+        let mut shard = self.shards[ex_idx].lock().expect("cache shard poisoned");
+        Arc::clone(shard.entry(pi.clone()).or_insert(nodes))
+    }
+
+    /// Total number of cached (example, extractor) evaluations.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitra_hdt::generate::social_network;
+
+    #[test]
+    fn cache_returns_same_nodes_as_direct_evaluation() {
+        let tree = social_network(3, 1);
+        let pi = ColumnExtractor::pchildren(
+            ColumnExtractor::children(ColumnExtractor::Input, "Person"),
+            "name",
+            0,
+        );
+        let cache = ColumnEvalCache::new(1);
+        assert!(cache.is_empty());
+        let cached = cache.column_nodes(0, &tree, &pi);
+        assert_eq!(*cached, eval_column(&tree, &pi));
+        // Second lookup hits the memo (same Arc) and does not grow the cache.
+        let again = cache.column_nodes(0, &tree, &pi);
+        assert!(Arc::ptr_eq(&cached, &again));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shards_are_per_example() {
+        let t1 = social_network(2, 1);
+        let t2 = social_network(3, 1);
+        let pi = ColumnExtractor::children(ColumnExtractor::Input, "Person");
+        let cache = ColumnEvalCache::new(2);
+        let n1 = cache.column_nodes(0, &t1, &pi);
+        let n2 = cache.column_nodes(1, &t2, &pi);
+        assert_eq!(n1.len(), 2);
+        assert_eq!(n2.len(), 3);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let tree = social_network(4, 2);
+        tree.ensure_index();
+        let pi = ColumnExtractor::descendants(ColumnExtractor::Input, "name");
+        let cache = ColumnEvalCache::new(1);
+        let expected = eval_column(&tree, &pi);
+        let lookups: Vec<usize> = (0..16).collect();
+        let results = mitra_pool::parallel_map(4, &lookups, |_, _| {
+            cache.column_nodes(0, &tree, &pi).to_vec()
+        });
+        for r in results {
+            assert_eq!(r, expected);
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

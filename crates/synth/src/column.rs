@@ -28,6 +28,18 @@ impl Default for ColumnLearnConfig {
     }
 }
 
+/// Candidate extractors learned for one output column, with truncation provenance.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnCandidates {
+    /// Candidate extractors, ordered simplest-first.  Empty when no extractor within
+    /// the configured limits covers the column.
+    pub extractors: Vec<ColumnExtractor>,
+    /// True when any per-example DFA hit a construction limit or the enumeration hit
+    /// the candidate cap: the candidate list may then under-approximate the search
+    /// space.
+    pub truncated: bool,
+}
+
 /// Learns the set of column extractors for column `col` that are consistent with all
 /// examples (i.e. whose extracted node set covers the column of every output example).
 ///
@@ -51,8 +63,65 @@ pub fn learn_column_extractors(
         return Vec::new();
     };
     dfa.enumerate(config.limits.max_word_len, config.max_candidates)
-        .into_iter()
-        .map(|word| ColumnExtractor::from_steps(&word))
+        .words
+        .iter()
+        .map(|word| ColumnExtractor::from_steps(word))
+        .collect()
+}
+
+/// Learns candidate extractors for **every** output column `0..arity`, building the
+/// per-example DFAs of all columns concurrently on up to `threads` pool workers.
+///
+/// Each (column, example) pair's automaton is independent, so construction — the
+/// dominant cost for large example documents — fans out freely; the per-column
+/// product automata are then intersected **in example order** and enumerated with the
+/// name-sorted tie-break, so the returned candidates are byte-identical to the
+/// sequential path regardless of scheduling.
+pub fn learn_all_columns(
+    examples: &[Example],
+    arity: usize,
+    config: &ColumnLearnConfig,
+    threads: usize,
+) -> Vec<ColumnCandidates> {
+    // Workers share the example trees read-only: make sure no two of them race to
+    // lazily build the same navigation index.
+    for ex in examples {
+        ex.tree.ensure_index();
+    }
+    let pairs: Vec<(usize, usize)> = (0..arity)
+        .flat_map(|col| (0..examples.len()).map(move |ex| (col, ex)))
+        .collect();
+    let dfas: Vec<Dfa> = mitra_pool::parallel_map(threads, &pairs, |_, &(col, ex_idx)| {
+        let ex = &examples[ex_idx];
+        let column: Vec<Value> = ex.output.column(col);
+        Dfa::construct(&ex.tree, &column, config.limits)
+    });
+
+    let mut per_dfa = dfas.into_iter();
+    (0..arity)
+        .map(|_| {
+            // Canonical merge: intersect this column's automata in example order.
+            let mut combined: Option<Dfa> = None;
+            for _ in 0..examples.len() {
+                let dfa = per_dfa.next().expect("one DFA per (column, example) pair");
+                combined = Some(match combined {
+                    None => dfa,
+                    Some(acc) => acc.intersect(&dfa),
+                });
+            }
+            let Some(dfa) = combined else {
+                return ColumnCandidates::default();
+            };
+            let enumeration = dfa.enumerate(config.limits.max_word_len, config.max_candidates);
+            ColumnCandidates {
+                extractors: enumeration
+                    .words
+                    .iter()
+                    .map(|word| ColumnExtractor::from_steps(word))
+                    .collect(),
+                truncated: dfa.truncated || enumeration.truncated,
+            }
+        })
         .collect()
 }
 
@@ -141,6 +210,57 @@ mod tests {
         let both = learn_column_extractors(&[ex1, ex2], 0, &ColumnLearnConfig::default());
         assert!(!both.is_empty());
         assert!(both.len() <= one.len());
+    }
+
+    #[test]
+    fn learn_all_columns_matches_per_column_learning() {
+        let ex1 = example();
+        let ex2 = Example {
+            tree: social_network(3, 1),
+            output: Table::from_rows(
+                &["Person", "Friend-with", "years"],
+                &[
+                    &["Alice", "Bob", "12"],
+                    &["Bob", "Carol", "23"],
+                    &["Carol", "Alice", "31"],
+                ],
+            ),
+        };
+        let examples = [ex1, ex2];
+        let config = ColumnLearnConfig::default();
+        let sequential = learn_all_columns(&examples, 3, &config, 1);
+        let parallel = learn_all_columns(&examples, 3, &config, 4);
+        for col in 0..3 {
+            assert_eq!(
+                sequential[col].extractors, parallel[col].extractors,
+                "column {col} diverged between thread counts"
+            );
+            assert_eq!(
+                sequential[col].extractors,
+                learn_column_extractors(&examples, col, &config),
+                "column {col} diverged from single-column learner"
+            );
+        }
+    }
+
+    #[test]
+    fn learn_all_columns_reports_truncation() {
+        let ex = example();
+        let tight = ColumnLearnConfig {
+            max_candidates: 1,
+            ..Default::default()
+        };
+        let cands = learn_all_columns(std::slice::from_ref(&ex), 3, &tight, 2);
+        assert!(
+            cands.iter().any(|c| c.truncated),
+            "a 1-candidate cap must report truncation"
+        );
+        let generous = ColumnLearnConfig {
+            max_candidates: 100_000,
+            ..Default::default()
+        };
+        let roomy = learn_all_columns(std::slice::from_ref(&ex), 1, &generous, 2);
+        assert!(!roomy[0].truncated);
     }
 
     #[test]

@@ -194,10 +194,20 @@ impl Dfa {
     ///
     /// The empty word is included when the initial state is accepting (it corresponds
     /// to the identity column extractor `s`).
-    pub fn enumerate(&self, max_len: usize, max_words: usize) -> Vec<Vec<ExtractorStep>> {
+    ///
+    /// The result carries a `truncated` flag: when the `max_words` cap stops the
+    /// search, the word list *may* under-approximate the bounded language (the
+    /// search halts at the cap without checking whether further accepting words
+    /// remained), and benchmark numbers derived from the word count must not be
+    /// read as "the whole search space".  (Truncation during *construction* is
+    /// reported separately via [`Dfa::truncated`].)
+    pub fn enumerate(&self, max_len: usize, max_words: usize) -> Enumeration {
         let mut results = Vec::new();
         if max_words == 0 {
-            return results;
+            return Enumeration {
+                words: results,
+                truncated: self.has_accepting_state(),
+            };
         }
         // BFS over (state, word) pairs.  The automaton is deterministic so the number
         // of distinct words of length L can still be exponential in L; the caller keeps
@@ -205,6 +215,13 @@ impl Dfa {
         let mut frontier: Vec<(usize, Vec<ExtractorStep>)> = vec![(0, Vec::new())];
         if self.accepting[0] {
             results.push(Vec::new());
+            // `max_words` is a hard cap: the empty word counts against it too.
+            if results.len() >= max_words {
+                return Enumeration {
+                    words: results,
+                    truncated: true,
+                };
+            }
         }
         for _ in 0..max_len {
             let mut next = Vec::new();
@@ -218,7 +235,10 @@ impl Dfa {
                     if self.accepting[nq] {
                         results.push(w.clone());
                         if results.len() >= max_words {
-                            return results;
+                            return Enumeration {
+                                words: results,
+                                truncated: true,
+                            };
                         }
                     }
                     next.push((nq, w));
@@ -229,8 +249,23 @@ impl Dfa {
             }
             frontier = next;
         }
-        results
+        Enumeration {
+            words: results,
+            truncated: false,
+        }
     }
+}
+
+/// Result of [`Dfa::enumerate`]: the accepted words plus whether the `max_words`
+/// cap cut the enumeration short.
+#[derive(Debug, Clone)]
+pub struct Enumeration {
+    /// Accepted words, shortest first; never more than the requested `max_words`.
+    pub words: Vec<Vec<ExtractorStep>>,
+    /// True when the word cap stopped the search, in which case the word list may
+    /// under-approximate the bounded language (the search does not look past the
+    /// cap, so a list that happens to be complete is still flagged).
+    pub truncated: bool,
 }
 
 /// The DFA alphabet induced by a tree: one `children`/`descendants` letter per tag and
@@ -341,7 +376,7 @@ mod tests {
         let t = social_network(2, 1);
         let col = name_column();
         let dfa = Dfa::construct(&t, &col, DfaLimits::default());
-        let words = dfa.enumerate(4, 50);
+        let words = dfa.enumerate(4, 50).words;
         assert!(!words.is_empty());
         for w in &words {
             assert!(dfa.accepts(w));
@@ -379,7 +414,7 @@ mod tests {
         let d2 = Dfa::construct(&t2, &col2, DfaLimits::default());
         let both = d1.intersect(&d2);
         assert!(both.has_accepting_state());
-        let words = both.enumerate(4, 100);
+        let words = both.enumerate(4, 100).words;
         for w in &words {
             assert!(d1.accepts(w) && d2.accepts(w));
         }
@@ -392,17 +427,39 @@ mod tests {
         let d2 = Dfa::construct(&t, &[Value::str("does-not-exist")], DfaLimits::default());
         assert!(!d2.has_accepting_state());
         let both = d1.intersect(&d2);
-        assert!(both.enumerate(4, 10).is_empty());
+        assert!(both.enumerate(4, 10).words.is_empty());
     }
 
     #[test]
     fn enumeration_is_shortest_first() {
         let t = social_network(2, 1);
         let dfa = Dfa::construct(&t, &name_column(), DfaLimits::default());
-        let words = dfa.enumerate(4, 100);
+        let words = dfa.enumerate(4, 100).words;
         for pair in words.windows(2) {
             assert!(pair[0].len() <= pair[1].len());
         }
+    }
+
+    #[test]
+    fn enumeration_reports_word_cap_truncation() {
+        let t = social_network(2, 1);
+        let dfa = Dfa::construct(&t, &name_column(), DfaLimits::default());
+        let full = dfa.enumerate(4, 10_000);
+        assert!(!full.truncated, "generous cap must not truncate");
+        assert!(full.words.len() > 1);
+        let capped = dfa.enumerate(4, 1);
+        assert!(capped.truncated, "cap of 1 must report truncation");
+        assert_eq!(capped.words.len(), 1);
+        // The cap is hard even when the initial state is accepting (empty column:
+        // every non-empty node set covers it, including {root}, so the empty word
+        // is accepted and must count against the cap).
+        let trivial = Dfa::construct(&t, &[], DfaLimits::default());
+        for cap in [1usize, 2, 3] {
+            assert!(trivial.enumerate(4, cap).words.len() <= cap);
+        }
+        // A DFA with no accepting states has nothing to truncate.
+        let empty = Dfa::construct(&t, &[Value::str("absent")], DfaLimits::default());
+        assert!(!empty.enumerate(4, 1).truncated);
     }
 
     #[test]

@@ -267,8 +267,7 @@ fn run_plan(tree: &Hdt, program: &Program, p: &Plan) -> (Vec<Vec<NodeId>>, ExecS
     // Remaining join constraints that were not used to drive the join order (e.g. a
     // second constraint between the same pair of columns) plus the residual predicate
     // must still be checked.
-    let mut result: Vec<Vec<NodeId>> = Vec::new();
-    for t in partial {
+    let keep = |t: &[NodeId]| -> bool {
         let joins_ok = p.joins.iter().all(|j| {
             let l = eval_node_extractor(tree, t[j.left_col], &j.left_extractor);
             let r = eval_node_extractor(tree, t[j.right_col], &j.right_extractor);
@@ -278,26 +277,46 @@ fn run_plan(tree: &Hdt, program: &Program, p: &Plan) -> (Vec<Vec<NodeId>>, ExecS
             }
         });
         if !joins_ok {
-            continue;
+            return false;
         }
-        if !eval_predicate(tree, &t, &p.residual) {
-            continue;
+        if !eval_predicate(tree, t, &p.residual) {
+            return false;
         }
         // Column filters were applied with dummy tuples; re-check them on the real
         // tuple for safety (cheap, they are constant comparisons).
-        let filters_ok = p
-            .column_filters
+        p.column_filters
             .iter()
             .flatten()
-            .all(|f| eval_predicate(tree, &t, f));
-        if !filters_ok {
-            continue;
-        }
-        result.push(t);
-    }
+            .all(|f| eval_predicate(tree, t, f))
+    };
+
+    // Tuples are filtered independently; on large intermediates the check fans out
+    // over contiguous chunks whose survivors are re-concatenated in chunk order, so
+    // the emitted rows match the sequential order exactly.
+    let threads = mitra_pool::threads();
+    let result: Vec<Vec<NodeId>> = if threads > 1 && partial.len() >= PARALLEL_FILTER_MIN_TUPLES {
+        let chunk_size = partial.len().div_ceil(threads);
+        let chunks: Vec<&[Vec<NodeId>]> = partial.chunks(chunk_size).collect();
+        mitra_pool::parallel_map(threads, &chunks, |_, chunk| {
+            chunk
+                .iter()
+                .filter(|t| keep(t))
+                .cloned()
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        partial.into_iter().filter(|t| keep(t)).collect()
+    };
     stats.rows_emitted = result.len();
     (result, stats)
 }
+
+/// Below this many intermediate tuples the residual filter runs inline: spawning
+/// workers costs more than the checks themselves.
+const PARALLEL_FILTER_MIN_TUPLES: usize = 8192;
 
 #[cfg(test)]
 mod tests {
@@ -398,6 +417,27 @@ mod tests {
         let fast = execute(&tree, &program);
         assert!(naive.same_bag(&fast));
         assert_eq!(fast.len(), 2);
+    }
+
+    #[test]
+    fn parallel_residual_filter_matches_sequential_order() {
+        // 100 × 100 = 10_000 intermediate tuples, above the parallel-filter
+        // threshold; the emitted rows must match the naive semantics in order.
+        let pi = ColumnExtractor::children(ColumnExtractor::Input, "Person");
+        let pred = Predicate::Compare {
+            extractor: NodeExtractor::child(NodeExtractor::Id, "id", 0),
+            index: 0,
+            op: CompareOp::Ne,
+            rhs: Operand::Column {
+                extractor: NodeExtractor::child(NodeExtractor::Id, "id", 0),
+                index: 1,
+            },
+        };
+        let program = mitra_dsl::Program::new(TableExtractor::new(vec![pi.clone(), pi]), pred);
+        let tree = social_network(100, 1);
+        let naive = eval_program(&tree, &program).unwrap();
+        let fast = execute(&tree, &program);
+        assert_eq!(naive.rows, fast.rows, "row order must be preserved");
     }
 
     #[test]

@@ -16,13 +16,18 @@
 //! * [`predicate`] — `LearnPredicate` (Algorithm 3): positive/negative example
 //!   construction and classifier learning.
 //! * [`synthesize`] — `LearnTransformation` (Algorithm 1): the top-level loop with the
-//!   Occam's-razor ranking of Section 6.
+//!   Occam's-razor ranking of Section 6.  Both phases fan out over a scoped worker
+//!   pool (`mitra-pool`) with canonical-order merges, so results are byte-identical
+//!   at every thread count.
+//! * [`cache`] — the shared, concurrency-safe column-evaluation cache that candidate
+//!   validation workers use to avoid repeating `[[π]]T` tree walks.
 //! * [`optimize`]/[`exec`] — the Appendix C program optimizer and an execution engine
 //!   that replaces the naive cross-product semantics with filters and hash joins.
 //! * [`baseline`] — a deliberately naive enumerative synthesizer used for the ablation
 //!   experiments (E7 in DESIGN.md).
 
 pub mod baseline;
+pub mod cache;
 pub mod column;
 pub mod cover;
 pub mod dfa;
@@ -33,7 +38,8 @@ pub mod qm;
 pub mod synthesize;
 pub mod universe;
 
-pub use column::learn_column_extractors;
+pub use cache::ColumnEvalCache;
+pub use column::{learn_all_columns, learn_column_extractors};
 pub use exec::execute;
 pub use predicate::learn_predicate;
 pub use synthesize::{learn_transformation, Example, SynthConfig, SynthError, Synthesis};

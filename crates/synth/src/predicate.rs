@@ -13,12 +13,13 @@
 //! negative one; `None` is returned when no such predicate exists in the (bounded)
 //! universe.
 
+use crate::cache::ColumnEvalCache;
 use crate::cover::{solve_exact, solve_greedy, CoverInstance};
 use crate::qm::minimize;
 use crate::synthesize::Example;
 use crate::universe::{construct_universe, UniverseConfig};
 use mitra_dsl::ast::{Operand, Predicate, TableExtractor};
-use mitra_dsl::eval::{eval_predicate, eval_table_extractor_with, node_value, EvalLimits};
+use mitra_dsl::eval::{cross_product_slices, eval_predicate, node_value, EvalLimits};
 use mitra_dsl::Value;
 use mitra_hdt::NodeId;
 
@@ -37,6 +38,10 @@ pub struct PredicateLearnConfig {
     pub max_cover_nodes: usize,
     /// Maximum number of distinct predicates kept after behaviour deduplication.
     pub max_universe: usize,
+    /// Worker threads for evaluating the predicate universe over the labelled tuples
+    /// (1 = sequential; 0 = the process-global setting).  Results are identical for
+    /// every value: the truth vectors are merged back in universe order.
+    pub threads: usize,
 }
 
 impl Default for PredicateLearnConfig {
@@ -47,6 +52,7 @@ impl Default for PredicateLearnConfig {
             exact_cover: true,
             max_cover_nodes: 200_000,
             max_universe: 20_000,
+            threads: 1,
         }
     }
 }
@@ -72,12 +78,35 @@ pub fn label_tuples(
     psi: &TableExtractor,
     max_rows: usize,
 ) -> Option<Vec<LabelledTuple>> {
+    label_tuples_cached(
+        examples,
+        psi,
+        max_rows,
+        &ColumnEvalCache::new(examples.len()),
+    )
+}
+
+/// [`label_tuples`] with a shared column-evaluation cache: each distinct column
+/// extractor of ψ is evaluated at most once per example across all candidates (and
+/// all pool workers) sharing the cache.
+pub fn label_tuples_cached(
+    examples: &[Example],
+    psi: &TableExtractor,
+    max_rows: usize,
+    cache: &ColumnEvalCache,
+) -> Option<Vec<LabelledTuple>> {
     let mut out = Vec::new();
     let limits = EvalLimits::with_max_rows(max_rows);
     for (ex_idx, ex) in examples.iter().enumerate() {
         // The row cap doubles as the candidate filter: an oversized intermediate
         // table rejects the candidate without materializing anything.
-        let tuples = eval_table_extractor_with(&ex.tree, psi, &limits).ok()?;
+        let columns: Vec<_> = psi
+            .columns
+            .iter()
+            .map(|pi| cache.column_nodes(ex_idx, &ex.tree, pi))
+            .collect();
+        let slices: Vec<&[NodeId]> = columns.iter().map(|c| c.as_slice()).collect();
+        let tuples = cross_product_slices(&slices, &limits).ok()?;
         let mut covered_rows = vec![false; ex.output.rows.len()];
         for nodes in tuples {
             let values: Vec<Value> = nodes.iter().map(|n| node_value(&ex.tree, *n)).collect();
@@ -112,7 +141,19 @@ pub fn learn_predicate(
     psi: &TableExtractor,
     config: &PredicateLearnConfig,
 ) -> Option<Predicate> {
-    let tuples = label_tuples(examples, psi, config.max_intermediate_rows)?;
+    learn_predicate_cached(examples, psi, config, &ColumnEvalCache::new(examples.len()))
+}
+
+/// [`learn_predicate`] with a shared column-evaluation cache (see
+/// [`label_tuples_cached`]); the top-level synthesis loop passes one cache for all
+/// candidate table extractors of a task.
+pub fn learn_predicate_cached(
+    examples: &[Example],
+    psi: &TableExtractor,
+    config: &PredicateLearnConfig,
+    cache: &ColumnEvalCache,
+) -> Option<Predicate> {
+    let tuples = label_tuples_cached(examples, psi, config.max_intermediate_rows, cache)?;
     let positives: Vec<&LabelledTuple> = tuples.iter().filter(|t| t.positive).collect();
     let negatives: Vec<&LabelledTuple> = tuples.iter().filter(|t| !t.positive).collect();
 
@@ -135,14 +176,33 @@ pub fn learn_predicate(
     // shrinks the ILP and mirrors the paper's observation that only behaviourally
     // distinct predicates matter.
     // Keyed by the truth vector so deduplication stays linear in the universe size.
+    let truth_vector = |p: &Predicate| -> Vec<bool> {
+        tuples
+            .iter()
+            .map(|t| eval_predicate(&examples[t.example].tree, &t.nodes, p))
+            .collect()
+    };
+    let threads = mitra_pool::resolve(config.threads);
+    // The candidates are independent, so the truth vectors fan out across workers;
+    // the dedup fold below runs in universe order either way, so `kept` is identical
+    // for every thread count.  Tiny universes stay inline: spawning costs more than
+    // the evaluation itself.
+    let prepared: Vec<(Predicate, Vec<bool>)> = if threads > 1 && universe.len() >= 64 {
+        let vectors = mitra_pool::parallel_map(threads, &universe, |_, p| truth_vector(p));
+        universe.into_iter().zip(vectors).collect()
+    } else {
+        universe
+            .into_iter()
+            .map(|p| {
+                let v = truth_vector(&p);
+                (p, v)
+            })
+            .collect()
+    };
     let mut kept: Vec<(Predicate, Vec<bool>, usize)> = Vec::new();
     let mut by_vector: std::collections::HashMap<Vec<bool>, usize> =
         std::collections::HashMap::new();
-    for p in universe {
-        let vector: Vec<bool> = tuples
-            .iter()
-            .map(|t| eval_predicate(&examples[t.example].tree, &t.nodes, &p))
-            .collect();
+    for (p, vector) in prepared {
         if vector.iter().all(|b| *b) || vector.iter().all(|b| !*b) {
             continue;
         }
@@ -359,6 +419,44 @@ mod tests {
         let prog = Program::new(psi, phi);
         let out = eval_program(&ex.tree, &prog).unwrap();
         assert!(out.same_bag(&ex.output), "got {out}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_learned_predicate() {
+        let ex = social_example();
+        let psi = social_psi();
+        let sequential = learn_predicate(
+            std::slice::from_ref(&ex),
+            &psi,
+            &PredicateLearnConfig::default(),
+        );
+        for threads in [2, 4] {
+            let config = PredicateLearnConfig {
+                threads,
+                ..Default::default()
+            };
+            let parallel = learn_predicate(std::slice::from_ref(&ex), &psi, &config);
+            assert_eq!(sequential, parallel, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn shared_cache_reuses_column_evaluations_across_candidates() {
+        let ex = social_example();
+        let cache = ColumnEvalCache::new(1);
+        let psi = social_psi();
+        let first = label_tuples_cached(std::slice::from_ref(&ex), &psi, 10_000, &cache).unwrap();
+        let cached_entries = cache.len();
+        // ψ has two identical name columns -> strictly fewer cache entries than
+        // columns; relabelling with the same cache must not grow it.
+        assert!(cached_entries < psi.columns.len() + 1);
+        let second = label_tuples_cached(std::slice::from_ref(&ex), &psi, 10_000, &cache).unwrap();
+        assert_eq!(cache.len(), cached_entries);
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.positive, b.positive);
+        }
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! ([`crate::predicate`]), validates the resulting program against every example, and
 //! finally returns the program minimizing the Occam's-razor cost θ.
 
-use crate::column::{learn_column_extractors, ColumnLearnConfig};
+use crate::cache::ColumnEvalCache;
+use crate::column::{learn_all_columns, ColumnLearnConfig};
 use crate::dfa::DfaLimits;
-use crate::predicate::{learn_predicate, PredicateLearnConfig};
+use crate::predicate::{learn_predicate_cached, PredicateLearnConfig};
 use crate::universe::UniverseConfig;
 use mitra_dsl::ast::{ColumnExtractor, Program, TableExtractor};
 use mitra_dsl::cost::{cost, Cost};
@@ -51,6 +52,13 @@ pub struct SynthConfig {
     pub exact_cover: bool,
     /// Overall wall-clock budget; `None` means unlimited.
     pub timeout: Option<Duration>,
+    /// Worker threads for DFA construction and candidate validation.
+    ///
+    /// `0` resolves to the process-global setting (`--threads` / `MITRA_THREADS` /
+    /// available parallelism), `1` restores the fully sequential path.  The learned
+    /// program is identical for every value: per-worker results are merged in
+    /// canonical candidate order.
+    pub threads: usize,
 }
 
 impl Default for SynthConfig {
@@ -63,6 +71,7 @@ impl Default for SynthConfig {
             max_intermediate_rows: 50_000,
             exact_cover: true,
             timeout: Some(Duration::from_secs(120)),
+            threads: 0,
         }
     }
 }
@@ -114,9 +123,72 @@ pub struct Synthesis {
     pub programs_found: usize,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+    /// True when any column's DFA construction or enumeration hit a configured
+    /// limit: the search space was under-explored and "no better program" claims
+    /// must be read accordingly.
+    pub truncated: bool,
+    /// Worker threads actually used (after resolving `SynthConfig::threads`).
+    pub threads_used: usize,
+}
+
+/// What became of one candidate table extractor.
+enum CandidateOutcome {
+    /// The wall-clock budget was already exhausted when the candidate came up.
+    DeadlineSkipped,
+    /// No predicate was found, or the validated table did not match an example.
+    Rejected,
+    /// A program consistent with every example.
+    Valid(Box<Program>, Cost),
+}
+
+/// Evaluates one candidate table extractor: learn a predicate, build the program,
+/// validate it against every example (Theorem 3 soundness check).
+///
+/// The row cap matches the one `learn_predicate` already enforced on the same trees
+/// and extractor, so a candidate that reached validation can never fail on
+/// resources — `Err` there (impossible by that invariant) conservatively rejects
+/// the candidate rather than panicking.
+fn evaluate_candidate(
+    examples: &[Example],
+    combo: &[ColumnExtractor],
+    pred_config: &PredicateLearnConfig,
+    cache: &ColumnEvalCache,
+    max_intermediate_rows: usize,
+) -> CandidateOutcome {
+    let psi = TableExtractor::new(combo.to_vec());
+    let Some(phi) = learn_predicate_cached(examples, &psi, pred_config, cache) else {
+        return CandidateOutcome::Rejected;
+    };
+    let mut program = Program::new(psi, phi);
+    program.column_names = examples[0].output.columns.clone();
+    let limits = EvalLimits::with_max_rows(max_intermediate_rows);
+    if !examples.iter().all(|ex| {
+        eval_program_with(&ex.tree, &program, &limits)
+            .map(|t| t.same_bag(&ex.output))
+            .unwrap_or(false)
+    }) {
+        return CandidateOutcome::Rejected;
+    }
+    let c = cost(&program);
+    CandidateOutcome::Valid(Box::new(program), c)
 }
 
 /// Learns a DSL program consistent with the given examples (Algorithm 1).
+///
+/// With `config.threads > 1` (or `0` resolving to a parallel global setting) the
+/// two phases fan out across a scoped worker pool: every (column, example) DFA is
+/// constructed concurrently, and the candidate table extractors of phase 2 are
+/// validated concurrently with a shared column-evaluation cache.  Results are
+/// **identical to the sequential path**: per-worker outcomes are merged in
+/// canonical order (candidates by enumeration index, ties between equal-cost
+/// programs broken by that index), never by completion order.
+///
+/// One caveat: a configured `timeout` trades that determinism for bounded wall
+/// clock.  The deadline decides *which candidates get examined* by elapsed time,
+/// so once it fires, results can differ across machine speeds — and therefore
+/// across thread counts, since more workers get further before the budget runs
+/// out.  Callers that need bit-for-bit reproducibility (determinism tests, the
+/// bench harness) must run with `timeout: None`.
 pub fn learn_transformation(
     examples: &[Example],
     config: &SynthConfig,
@@ -132,71 +204,80 @@ pub fn learn_transformation(
     if examples.iter().any(|e| e.output.arity() != arity) {
         return Err(SynthError::InconsistentArity);
     }
+    let threads = mitra_pool::resolve(config.threads);
 
-    // Phase 1: learn candidate column extractors per column.
+    // Build every example tree's navigation index up front: the workers below share
+    // the trees read-only and must not serialize behind a lazy first-touch build.
+    for ex in examples {
+        ex.tree.ensure_index();
+    }
+
+    // Phase 1: learn candidate column extractors, all columns' DFAs in parallel.
     let col_config = ColumnLearnConfig {
         limits: config.dfa_limits,
         max_candidates: config.max_column_candidates,
     };
+    let learned = learn_all_columns(examples, arity, &col_config, threads);
+    let mut truncated = false;
     let mut per_column: Vec<Vec<ColumnExtractor>> = Vec::with_capacity(arity);
-    for col in 0..arity {
-        let cands = learn_column_extractors(examples, col, &col_config);
-        if cands.is_empty() {
+    for (col, cands) in learned.into_iter().enumerate() {
+        if cands.extractors.is_empty() {
             return Err(SynthError::NoColumnExtractor(col));
         }
-        per_column.push(cands);
+        truncated |= cands.truncated;
+        per_column.push(cands.extractors);
     }
 
     // Phase 2: iterate over table extractors (cartesian product of candidates, in
-    // order of increasing total size) and learn a predicate for each.
+    // order of increasing total size) and learn a predicate for each.  Candidates
+    // are independent given the shared read-only cache, so they fan out; the merge
+    // below walks outcomes in candidate order.
     let combos = ordered_combinations(&per_column, config.max_table_candidates);
     let pred_config = PredicateLearnConfig {
         universe: config.universe,
         max_intermediate_rows: config.max_intermediate_rows,
         exact_cover: config.exact_cover,
+        threads,
         ..Default::default()
     };
+    let cache = ColumnEvalCache::new(examples.len());
+
+    let outcomes: Vec<CandidateOutcome> = mitra_pool::parallel_map(threads, &combos, |_, combo| {
+        // The deadline check mirrors the sequential loop: a candidate whose turn
+        // comes up after the budget is spent is skipped, not started.
+        if let Some(limit) = config.timeout {
+            if start.elapsed() > limit {
+                return CandidateOutcome::DeadlineSkipped;
+            }
+        }
+        evaluate_candidate(
+            examples,
+            combo,
+            &pred_config,
+            &cache,
+            config.max_intermediate_rows,
+        )
+    });
 
     let mut best: Option<(Program, Cost)> = None;
     let mut candidates_tried = 0usize;
     let mut programs_found = 0usize;
     let mut timed_out = false;
-
-    for combo in combos {
-        if let Some(limit) = config.timeout {
-            if start.elapsed() > limit {
-                timed_out = true;
-                break;
+    for outcome in outcomes {
+        match outcome {
+            CandidateOutcome::DeadlineSkipped => timed_out = true,
+            CandidateOutcome::Rejected => candidates_tried += 1,
+            CandidateOutcome::Valid(program, c) => {
+                candidates_tried += 1;
+                programs_found += 1;
+                let better = match &best {
+                    None => true,
+                    Some((_, bc)) => c < *bc,
+                };
+                if better {
+                    best = Some((*program, c));
+                }
             }
-        }
-        candidates_tried += 1;
-        let psi = TableExtractor::new(combo);
-        let Some(phi) = learn_predicate(examples, &psi, &pred_config) else {
-            continue;
-        };
-        let mut program = Program::new(psi, phi);
-        program.column_names = examples[0].output.columns.clone();
-        // Validate against every example (Theorem 3 soundness check).  The row cap
-        // matches the one `learn_predicate` already enforced on the same trees and
-        // extractor, so a candidate that reached this point can never fail on
-        // resources — `Err` here (impossible by that invariant) conservatively
-        // rejects the candidate rather than panicking.
-        let limits = EvalLimits::with_max_rows(config.max_intermediate_rows);
-        if !examples.iter().all(|ex| {
-            eval_program_with(&ex.tree, &program, &limits)
-                .map(|t| t.same_bag(&ex.output))
-                .unwrap_or(false)
-        }) {
-            continue;
-        }
-        programs_found += 1;
-        let c = cost(&program);
-        let better = match &best {
-            None => true,
-            Some((_, bc)) => c < *bc,
-        };
-        if better {
-            best = Some((program, c));
         }
     }
 
@@ -207,6 +288,8 @@ pub fn learn_transformation(
             candidates_tried,
             programs_found,
             elapsed: start.elapsed(),
+            truncated,
+            threads_used: threads,
         }),
         None => {
             if timed_out {
