@@ -27,7 +27,7 @@
 use mitra_bench::descend;
 use mitra_bench::json::{int, num, obj, s, JsonValue};
 use mitra_bench::table2::{rows_to_json_value, run_table2_with, MigrationRow};
-use mitra_bench::{mean, median, run_task, table1_config};
+use mitra_bench::{mean, median, profile_to_json, run_task, table1_config};
 use mitra_datagen::generate_corpus;
 
 fn main() {
@@ -65,6 +65,13 @@ fn main() {
             int(results.iter().filter(|r| r.truncated).count()),
         ),
         ("threads", int(parallel_threads)),
+        ("profile", {
+            let mut total = mitra_synth::SynthProfile::default();
+            for r in &results {
+                total.merge(&r.profile);
+            }
+            profile_to_json(&total)
+        }),
     ]);
 
     // Table 2: sequential baseline, then the parallel run of the same plans.

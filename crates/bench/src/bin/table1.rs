@@ -11,7 +11,7 @@
 //!   cores; results are identical at every value, only timings change).
 
 use mitra_bench::json::{int, num, obj, s, JsonValue};
-use mitra_bench::{mean, median, run_task, table1_config, TaskResult};
+use mitra_bench::{mean, median, profile_to_json, run_task, table1_config, TaskResult};
 use mitra_datagen::corpus::{Category, DocFormat};
 use mitra_datagen::generate_corpus;
 
@@ -33,6 +33,7 @@ pub fn results_to_json(results: &[(Category, TaskResult)]) -> String {
                     ("predicates", int(r.predicates)),
                     ("loc", int(r.loc)),
                     ("truncated", JsonValue::Bool(r.truncated)),
+                    ("profile", profile_to_json(&r.profile)),
                 ])
             })
             .collect(),
@@ -58,6 +59,13 @@ pub fn results_to_json(results: &[(Category, TaskResult)]) -> String {
             "threads",
             int(results.iter().map(|(_, r)| r.threads).max().unwrap_or(1)),
         ),
+        ("profile", {
+            let mut total = mitra_synth::SynthProfile::default();
+            for (_, r) in results {
+                total.merge(&r.profile);
+            }
+            profile_to_json(&total)
+        }),
         ("tasks", tasks),
     ])
     .to_string_compact()

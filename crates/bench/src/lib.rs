@@ -20,7 +20,7 @@
 
 use mitra_codegen::{generate, Backend};
 use mitra_datagen::corpus::{DocFormat, Task};
-use mitra_synth::synthesize::{learn_transformation, SynthConfig, Synthesis};
+use mitra_synth::synthesize::{learn_transformation, SynthConfig, SynthProfile, Synthesis};
 use std::time::Duration;
 
 pub mod descend;
@@ -48,11 +48,13 @@ pub struct TaskResult {
     pub predicates: usize,
     /// Lines of code of the emitted artifact (0 when unsolved).
     pub loc: usize,
-    /// True when DFA construction/enumeration hit a limit for this task: its search
-    /// space was silently under-explored and its numbers must be read accordingly.
+    /// True when DFA construction hit a limit for this task: its search space was
+    /// silently under-explored and its numbers must be read accordingly.
     pub truncated: bool,
     /// Worker threads used by the synthesizer.
     pub threads: usize,
+    /// Per-phase synthesis profile (default-zero when unsolved).
+    pub profile: SynthProfile,
 }
 
 /// Runs the synthesizer on one corpus task and gathers the Table 1 statistics.
@@ -80,6 +82,7 @@ pub fn run_task(task: &Task, config: &SynthConfig) -> TaskResult {
                 loc: artifact.loc(),
                 truncated: synthesis.truncated,
                 threads: synthesis.threads_used,
+                profile: synthesis.profile,
             }
         }
         Err(_) => TaskResult {
@@ -94,8 +97,32 @@ pub fn run_task(task: &Task, config: &SynthConfig) -> TaskResult {
             loc: 0,
             truncated: false,
             threads: mitra_pool::resolve(config.threads),
+            profile: SynthProfile::default(),
         },
     }
+}
+
+/// The per-phase synthesis profile as a JSON object (seconds and counts), shared by
+/// every `--json` bench output so profile fields stay byte-compatible across bins.
+pub fn profile_to_json(p: &SynthProfile) -> json::JsonValue {
+    json::obj(vec![
+        ("dfa_build_secs", json::num(p.dfa_build.as_secs_f64())),
+        (
+            "dfa_intersect_secs",
+            json::num(p.dfa_intersect.as_secs_f64()),
+        ),
+        (
+            "dfa_enumerate_secs",
+            json::num(p.dfa_enumerate.as_secs_f64()),
+        ),
+        (
+            "predicate_learn_secs",
+            json::num(p.predicate_learn.as_secs_f64()),
+        ),
+        ("validate_secs", json::num(p.validate.as_secs_f64())),
+        ("candidates_examined", json::int(p.candidates_examined)),
+        ("candidates_pruned", json::int(p.candidates_pruned)),
+    ])
 }
 
 /// Median of a slice of f64 values (0.0 for an empty slice).

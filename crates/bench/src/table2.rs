@@ -3,7 +3,9 @@
 //! `bench_smoke` baseline writer.
 
 use crate::json::{int, num, obj, s, JsonValue};
+use crate::profile_to_json;
 use mitra_datagen::datasets::all_datasets;
+use mitra_synth::synthesize::SynthProfile;
 
 /// One dataset's migration measurement (one row of Table 2).
 #[derive(Debug, Clone)]
@@ -35,6 +37,8 @@ pub struct MigrationRow {
     /// Pretty-printed synthesized programs in table order — not serialized; used by
     /// `bench_smoke` to assert thread-count determinism.
     pub programs: Vec<String>,
+    /// Field-wise sum of the per-table synthesis profiles.
+    pub profile: SynthProfile,
     /// Error message when the migration failed outright.
     pub error: Option<String>,
 }
@@ -75,6 +79,7 @@ pub fn run_table2_with(scale: usize, threads: usize) -> Vec<MigrationRow> {
                     violations: report.violations,
                     threads: resolved,
                     programs: report.programs().into_iter().map(str::to_string).collect(),
+                    profile: report.synthesis_profile(),
                     error: None,
                 },
                 Err(e) => MigrationRow {
@@ -90,6 +95,7 @@ pub fn run_table2_with(scale: usize, threads: usize) -> Vec<MigrationRow> {
                     violations: 0,
                     threads: resolved,
                     programs: Vec::new(),
+                    profile: SynthProfile::default(),
                     error: Some(e.to_string()),
                 },
             }
@@ -114,6 +120,7 @@ pub fn rows_to_json_value(rows: &[MigrationRow]) -> JsonValue {
                     ("exec_total_secs", num(r.exec_total_secs)),
                     ("violations", int(r.violations)),
                     ("threads", int(r.threads)),
+                    ("profile", profile_to_json(&r.profile)),
                 ];
                 if let Some(e) = &r.error {
                     fields.push(("error", s(e)));
@@ -153,6 +160,7 @@ mod tests {
                 violations: 0,
                 threads: 1,
                 programs: vec!["filter(...)".into()],
+                profile: SynthProfile::default(),
                 error: None,
             },
             MigrationRow {
@@ -168,6 +176,7 @@ mod tests {
                 violations: 0,
                 threads: 1,
                 programs: Vec::new(),
+                profile: SynthProfile::default(),
                 error: Some("synthesis failed".into()),
             },
         ];
@@ -177,6 +186,8 @@ mod tests {
         assert!(json.contains("\"rows\":275"));
         assert!(json.contains("\"threads\":1"));
         assert!(json.contains("\"synth_cpu_secs\":3.5"));
+        assert!(json.contains("\"profile\":{\"dfa_build_secs\":0"));
+        assert!(json.contains("\"candidates_pruned\":0"));
         assert!(json.contains("\"error\":\"synthesis failed\""));
         // Programs are an in-process determinism probe, not part of the JSON.
         assert!(!json.contains("filter(...)"));

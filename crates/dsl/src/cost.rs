@@ -27,6 +27,21 @@ impl Cost {
         extractor_constructs: usize::MAX,
         node_extractor_steps: usize::MAX,
     };
+
+    /// An admissible lower bound on the cost of any program whose predicate has at
+    /// least `atoms` atoms and whose table extractor has at least
+    /// `extractor_constructs` constructs: the best-first search compares incumbents
+    /// against these bounds to prune combos and to prove minimality at termination.
+    ///
+    /// Admissibility rests on θ being lexicographic with non-negative components —
+    /// zeroing the `node_extractor_steps` tie-break can only under-estimate.
+    pub const fn lower_bound(atoms: usize, extractor_constructs: usize) -> Cost {
+        Cost {
+            atoms,
+            extractor_constructs,
+            node_extractor_steps: 0,
+        }
+    }
 }
 
 /// Computes θ(P).

@@ -14,7 +14,9 @@ use mitra_dsl::eval::node_value;
 use mitra_dsl::{pretty, Program, Table, Value};
 use mitra_hdt::Hdt;
 use mitra_synth::exec::execute_nodes;
-use mitra_synth::synthesize::{learn_transformation, Example, SynthConfig, SynthError};
+use mitra_synth::synthesize::{
+    learn_transformation, Example, SynthConfig, SynthError, SynthProfile,
+};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -68,6 +70,8 @@ pub struct TableReport {
     /// The program that populated the table, pretty-printed.  Thread-count
     /// determinism checks compare this text across runs.
     pub program: String,
+    /// Per-phase synthesis profile (`None` when a program was supplied directly).
+    pub profile: Option<SynthProfile>,
 }
 
 /// The result of running a migration plan.
@@ -106,6 +110,18 @@ impl MigrationReport {
     /// same plan — at any two thread counts — must produce equal vectors.
     pub fn programs(&self) -> Vec<&str> {
         self.tables.iter().map(|t| t.program.as_str()).collect()
+    }
+
+    /// Field-wise sum of the per-table synthesis profiles (tables whose program was
+    /// supplied directly contribute nothing).
+    pub fn synthesis_profile(&self) -> SynthProfile {
+        let mut total = SynthProfile::default();
+        for t in &self.tables {
+            if let Some(p) = &t.profile {
+                total.merge(p);
+            }
+        }
+        total
     }
 }
 
@@ -221,19 +237,19 @@ impl MigrationPlan {
         // check lives inside the worker so the canonical task-order merge reports
         // the same first error the sequential loop would have.
         let synth_start = Instant::now();
-        type TableProgram = Result<(Program, Duration), MigrationError>;
+        type TableProgram = Result<(Program, Duration, Option<SynthProfile>), MigrationError>;
         let outcomes: Vec<TableProgram> =
             mitra_pool::parallel_map(threads, &self.tasks, |_, task| {
                 let t0 = Instant::now();
-                let program = match &task.source {
-                    TableSource::Program(p) => p.clone(),
+                let (program, profile) = match &task.source {
+                    TableSource::Program(p) => (p.clone(), None),
                     TableSource::Examples(examples) => {
-                        learn_transformation(examples, &self.synth_config)
+                        let synthesis = learn_transformation(examples, &self.synth_config)
                             .map_err(|error| MigrationError::Synthesis {
                                 table: task.table.clone(),
                                 error,
-                            })?
-                            .program
+                            })?;
+                        (synthesis.program, Some(synthesis.profile))
                     }
                 };
                 let synthesis_time = match &task.source {
@@ -243,7 +259,7 @@ impl MigrationPlan {
                 if program.arity() != task.data_columns.len() {
                     return Err(MigrationError::ArityMismatch(task.table.clone()));
                 }
-                Ok((program, synthesis_time))
+                Ok((program, synthesis_time, profile))
             });
         let mut programs = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
@@ -255,7 +271,7 @@ impl MigrationPlan {
         let exec_start = Instant::now();
         let mut database = Database::new(self.schema.clone());
         let mut reports = Vec::with_capacity(self.tasks.len());
-        for (task, (program, synthesis_time)) in self.tasks.iter().zip(programs) {
+        for (task, (program, synthesis_time, profile)) in self.tasks.iter().zip(programs) {
             let table_schema = self
                 .schema
                 .table(&task.table)
@@ -291,6 +307,7 @@ impl MigrationPlan {
                 execution_time,
                 rows,
                 program: pretty::program(&program),
+                profile,
             });
         }
         let execution_wall = exec_start.elapsed();

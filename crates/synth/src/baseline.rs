@@ -203,6 +203,7 @@ pub fn learn_transformation_baseline(
             // runs sequentially (it exists for the E7 ablation only).
             truncated: false,
             threads_used: 1,
+            profile: crate::synthesize::SynthProfile::default(),
         }),
         None => Err(SynthError::NoProgram),
     }

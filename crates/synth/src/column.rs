@@ -83,33 +83,12 @@ pub fn learn_all_columns(
     config: &ColumnLearnConfig,
     threads: usize,
 ) -> Vec<ColumnCandidates> {
-    // Workers share the example trees read-only: make sure no two of them race to
-    // lazily build the same navigation index.
-    for ex in examples {
-        ex.tree.ensure_index();
-    }
-    let pairs: Vec<(usize, usize)> = (0..arity)
-        .flat_map(|col| (0..examples.len()).map(move |ex| (col, ex)))
-        .collect();
-    let dfas: Vec<Dfa> = mitra_pool::parallel_map(threads, &pairs, |_, &(col, ex_idx)| {
-        let ex = &examples[ex_idx];
-        let column: Vec<Value> = ex.output.column(col);
-        Dfa::construct(&ex.tree, &column, config.limits)
-    });
-
-    let mut per_dfa = dfas.into_iter();
-    (0..arity)
-        .map(|_| {
-            // Canonical merge: intersect this column's automata in example order.
-            let mut combined: Option<Dfa> = None;
-            for _ in 0..examples.len() {
-                let dfa = per_dfa.next().expect("one DFA per (column, example) pair");
-                combined = Some(match combined {
-                    None => dfa,
-                    Some(acc) => acc.intersect(&dfa),
-                });
-            }
-            let Some(dfa) = combined else {
+    let automata = learn_column_automata(examples, arity, config.limits, threads);
+    automata
+        .dfas
+        .into_iter()
+        .map(|dfa| {
+            let Some(dfa) = dfa else {
                 return ColumnCandidates::default();
             };
             let enumeration = dfa.enumerate(config.limits.max_word_len, config.max_candidates);
@@ -123,6 +102,79 @@ pub fn learn_all_columns(
             }
         })
         .collect()
+}
+
+/// Per-column product automata plus phase timings for [`learn_column_automata`].
+#[derive(Debug)]
+pub struct ColumnAutomata {
+    /// The intersected automaton of each column (`None` when there are no
+    /// examples, i.e. nothing to intersect).
+    pub dfas: Vec<Option<Dfa>>,
+    /// CPU time spent constructing per-example automata, summed across workers.
+    pub build: std::time::Duration,
+    /// Wall time spent intersecting automata (sequential, in example order).
+    pub intersect: std::time::Duration,
+}
+
+/// Builds the intersected column automaton for **every** output column `0..arity`,
+/// constructing the per-example DFAs concurrently on up to `threads` pool workers.
+///
+/// Each (column, example) pair's automaton is independent, so construction — the
+/// dominant cost for large example documents — fans out freely; the per-column
+/// product automata are then intersected **in example order**, so the resulting
+/// automata (and any enumeration over them) are byte-identical to the sequential
+/// path regardless of scheduling.  The best-first table search streams words from
+/// these automata directly instead of materializing a capped candidate list.
+pub fn learn_column_automata(
+    examples: &[Example],
+    arity: usize,
+    limits: DfaLimits,
+    threads: usize,
+) -> ColumnAutomata {
+    // Workers share the example trees read-only: make sure no two of them race to
+    // lazily build the same navigation index.
+    for ex in examples {
+        ex.tree.ensure_index();
+    }
+    let pairs: Vec<(usize, usize)> = (0..arity)
+        .flat_map(|col| (0..examples.len()).map(move |ex| (col, ex)))
+        .collect();
+    let build_nanos = std::sync::atomic::AtomicU64::new(0);
+    let dfas: Vec<Dfa> = mitra_pool::parallel_map(threads, &pairs, |_, &(col, ex_idx)| {
+        let start = std::time::Instant::now();
+        let ex = &examples[ex_idx];
+        let column: Vec<Value> = ex.output.column(col);
+        let dfa = Dfa::construct(&ex.tree, &column, limits);
+        build_nanos.fetch_add(
+            start.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        dfa
+    });
+
+    let intersect_start = std::time::Instant::now();
+    let mut per_dfa = dfas.into_iter();
+    let combined: Vec<Option<Dfa>> = (0..arity)
+        .map(|_| {
+            // Canonical merge: intersect this column's automata in example order.
+            let mut combined: Option<Dfa> = None;
+            for _ in 0..examples.len() {
+                let dfa = per_dfa.next().expect("one DFA per (column, example) pair");
+                combined = Some(match combined {
+                    None => dfa,
+                    Some(acc) => acc.intersect(&dfa),
+                });
+            }
+            combined
+        })
+        .collect();
+    ColumnAutomata {
+        dfas: combined,
+        build: std::time::Duration::from_nanos(
+            build_nanos.load(std::sync::atomic::Ordering::Relaxed),
+        ),
+        intersect: intersect_start.elapsed(),
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,12 @@
 //!   the Occam's-razor ranking is deterministic).
 //! * [`solve_greedy`] — the classical ln(n)-approximation, used as a fallback for very
 //!   large universes and as the ablation baseline of experiment E7.
+//!
+//! Both solvers return the empty cover for a zero-element instance.  Since the
+//! cost-ordered search landed, predicate learning short-circuits the all-positive
+//! case (`Predicate::True`) before constructing a universe, so the degenerate
+//! no-negative-tuples instance no longer reaches these solvers from the synthesis
+//! path; the early exits remain for direct callers.
 
 /// A set-cover instance: `covers[k]` lists the element indices covered by set `k`.
 #[derive(Debug, Clone)]

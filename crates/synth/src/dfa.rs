@@ -202,20 +202,19 @@ impl Dfa {
     /// read as "the whole search space".  (Truncation during *construction* is
     /// reported separately via [`Dfa::truncated`].)
     pub fn enumerate(&self, max_len: usize, max_words: usize) -> Enumeration {
-        let mut results = Vec::new();
         if max_words == 0 {
             return Enumeration {
-                words: results,
+                words: Vec::new(),
                 truncated: self.has_accepting_state(),
             };
         }
-        // BFS over (state, word) pairs.  The automaton is deterministic so the number
-        // of distinct words of length L can still be exponential in L; the caller keeps
-        // max_len small (programs are short in practice).
-        let mut frontier: Vec<(usize, Vec<ExtractorStep>)> = vec![(0, Vec::new())];
-        if self.accepting[0] {
-            results.push(Vec::new());
-            // `max_words` is a hard cap: the empty word counts against it too.
+        let mut stream = self.stream(max_len);
+        let mut results = Vec::new();
+        while let Some(word) = stream.next_word() {
+            results.push(word);
+            // `max_words` is a hard cap and the search halts at it without checking
+            // whether further accepting words remained, so a list that happens to be
+            // complete is still flagged.
             if results.len() >= max_words {
                 return Enumeration {
                     words: results,
@@ -223,35 +222,80 @@ impl Dfa {
                 };
             }
         }
-        for _ in 0..max_len {
+        Enumeration {
+            words: results,
+            truncated: false,
+        }
+    }
+
+    /// Returns an incremental shortest-word-first generator over the accepted
+    /// language, bounded at `max_len` letters.
+    ///
+    /// Words come out in exactly the order [`Dfa::enumerate`] lists them (length,
+    /// then the letters' kind/tag-name/position at each expanded state), but one at
+    /// a time: the best-first table search pulls per-column candidates on demand
+    /// instead of materializing a capped list up front.
+    pub fn stream(&self, max_len: usize) -> WordStream<'_> {
+        let mut pending = VecDeque::new();
+        if self.accepting[0] {
+            pending.push_back(Vec::new());
+        }
+        WordStream {
+            dfa: self,
+            frontier: vec![(0, Vec::new())],
+            pending,
+            depth: 0,
+            max_len,
+        }
+    }
+}
+
+/// Incremental shortest-word-first enumeration of a DFA's bounded language.
+///
+/// Internally a level-by-level BFS over (state, word) pairs: each call to
+/// [`WordStream::next_word`] drains the queue of accepting words discovered so
+/// far, expanding one more length level only when the queue runs dry.  The
+/// automaton is deterministic but the number of distinct words of length L can
+/// still be exponential in L; the caller keeps `max_len` small (programs are
+/// short in practice) and pulls only as many words as the table search examines.
+pub struct WordStream<'a> {
+    dfa: &'a Dfa,
+    /// All (state, word) pairs of length `depth`; the next level is expanded from
+    /// these in order, with each state's outgoing steps sorted by name key.
+    frontier: Vec<(usize, Vec<ExtractorStep>)>,
+    /// Accepting words of lengths ≤ `depth` not yet handed out.
+    pending: VecDeque<Vec<ExtractorStep>>,
+    depth: usize,
+    max_len: usize,
+}
+
+impl WordStream<'_> {
+    /// Returns the next accepted word in canonical order, or `None` once every
+    /// word of length ≤ `max_len` has been produced.
+    pub fn next_word(&mut self) -> Option<Vec<ExtractorStep>> {
+        loop {
+            if let Some(word) = self.pending.pop_front() {
+                return Some(word);
+            }
+            if self.depth >= self.max_len || self.frontier.is_empty() {
+                return None;
+            }
+            self.depth += 1;
             let mut next = Vec::new();
-            for (q, word) in &frontier {
+            for (q, word) in &self.frontier {
                 let mut steps: Vec<(&ExtractorStep, &usize)> =
-                    self.transitions[*q].iter().collect();
+                    self.dfa.transitions[*q].iter().collect();
                 steps.sort_by_key(|(s, _)| step_name_key(s));
                 for (step, &nq) in steps {
                     let mut w = word.clone();
                     w.push(*step);
-                    if self.accepting[nq] {
-                        results.push(w.clone());
-                        if results.len() >= max_words {
-                            return Enumeration {
-                                words: results,
-                                truncated: true,
-                            };
-                        }
+                    if self.dfa.accepting[nq] {
+                        self.pending.push_back(w.clone());
                     }
                     next.push((nq, w));
                 }
             }
-            if next.is_empty() {
-                break;
-            }
-            frontier = next;
-        }
-        Enumeration {
-            words: results,
-            truncated: false,
+            self.frontier = next;
         }
     }
 }

@@ -38,8 +38,11 @@ pub mod qm;
 pub mod synthesize;
 pub mod universe;
 
-pub use cache::ColumnEvalCache;
-pub use column::{learn_all_columns, learn_column_extractors};
+pub use cache::{ColumnEvalCache, ColumnPhiData};
+pub use column::{learn_all_columns, learn_column_automata, learn_column_extractors};
 pub use exec::execute;
-pub use predicate::learn_predicate;
-pub use synthesize::{learn_transformation, Example, SynthConfig, SynthError, Synthesis};
+pub use predicate::{learn_predicate, learn_predicate_reference};
+pub use synthesize::{
+    learn_transformation, learn_transformation_exhaustive, Example, SynthConfig, SynthError,
+    SynthProfile, Synthesis,
+};

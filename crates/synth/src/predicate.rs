@@ -12,16 +12,46 @@
 //! The result is a [`Predicate`] that keeps every positive tuple and removes every
 //! negative one; `None` is returned when no such predicate exists in the (bounded)
 //! universe.
+//!
+//! ## The fast truth-vector path
+//!
+//! Evaluating every universe predicate on every intermediate tuple with
+//! [`eval_predicate`] dominated synthesis cost (on MONDIAL: ~97 % of the wall
+//! time), because the universe re-walks the tree per tuple and because most of the
+//! universe is behaviourally redundant — node extractors that map every column
+//! node to the same node yield byte-identical truth vectors in every predicate.
+//! [`learn_predicate_cached`] therefore:
+//!
+//! * evaluates each valid node extractor **once per column node** (cached in
+//!   [`ColumnPhiData`]) instead of once per tuple, and tiles the per-node results
+//!   across the cross-product layout of the intermediate table;
+//! * enumerates only the behaviour-class **representatives** of each column's
+//!   extractors.  Equivalent extractors produce equal truth vectors, the
+//!   representative is the earliest (hence smallest) member of its class, and the
+//!   downstream dedup fold keeps the earliest minimum-weight member of every truth
+//!   class — which is always a representative pair — so the surviving predicate
+//!   set is byte-identical to the exhaustive enumeration;
+//! * compares tuple components (rule 5) through **interned value ids** once per
+//!   node pair instead of once per tuple: the Eq/Ne truth values of a pair
+//!   predicate factor through a per-block node-pair matrix (the diagonal when both
+//!   sides index the same column), both ops share one pass over it, and matrices
+//!   that come out constant — most cross-column comparisons — are skipped before
+//!   any tuple-length vector is materialized.
+//!
+//! [`learn_predicate_reference`] retains the direct per-tuple evaluation over the
+//! full universe; `tests/search_equivalence.rs` and the unit tests below assert
+//! the two paths agree, and it serves as the oracle for differential testing.
 
-use crate::cache::ColumnEvalCache;
+use crate::cache::{ColumnEvalCache, ColumnPhiData};
 use crate::cover::{solve_exact, solve_greedy, CoverInstance};
 use crate::qm::minimize;
 use crate::synthesize::Example;
 use crate::universe::{construct_universe, UniverseConfig};
-use mitra_dsl::ast::{Operand, Predicate, TableExtractor};
+use mitra_dsl::ast::{CompareOp, Operand, Predicate, TableExtractor};
 use mitra_dsl::eval::{cross_product_slices, eval_predicate, node_value, EvalLimits};
 use mitra_dsl::Value;
 use mitra_hdt::NodeId;
+use std::sync::Arc;
 
 /// Configuration for predicate learning.
 #[derive(Debug, Clone, Copy)]
@@ -38,9 +68,10 @@ pub struct PredicateLearnConfig {
     pub max_cover_nodes: usize,
     /// Maximum number of distinct predicates kept after behaviour deduplication.
     pub max_universe: usize,
-    /// Worker threads for evaluating the predicate universe over the labelled tuples
-    /// (1 = sequential; 0 = the process-global setting).  Results are identical for
-    /// every value: the truth vectors are merged back in universe order.
+    /// Worker threads for the reference path's universe evaluation (1 = sequential;
+    /// 0 = the process-global setting).  The fast path's truth vectors are cheap
+    /// enough to always compute inline, so this only affects
+    /// [`learn_predicate_reference`]; results are identical for every value.
     pub threads: usize,
 }
 
@@ -146,8 +177,331 @@ pub fn learn_predicate(
 
 /// [`learn_predicate`] with a shared column-evaluation cache (see
 /// [`label_tuples_cached`]); the top-level synthesis loop passes one cache for all
-/// candidate table extractors of a task.
+/// candidate table extractors of a task, which also shares the per-column
+/// [`ColumnPhiData`] across every combo touching the same column extractor.
 pub fn learn_predicate_cached(
+    examples: &[Example],
+    psi: &TableExtractor,
+    config: &PredicateLearnConfig,
+    cache: &ColumnEvalCache,
+) -> Option<Predicate> {
+    let tuples = label_tuples_cached(examples, psi, config.max_intermediate_rows, cache)?;
+    let has_positive = tuples.iter().any(|t| t.positive);
+    if !has_positive {
+        return None;
+    }
+    if tuples.iter().all(|t| t.positive) {
+        // The filter-free program already matches the example exactly: skip the
+        // whole truth-vector universe (tentpole (d) — on exact extractors this is
+        // the only predicate-learning work the search does).
+        return Some(Predicate::True);
+    }
+
+    // Cross-product layout of the intermediate table: example blocks in order, and
+    // within a block the *last* column varies fastest (the mixed-radix order of
+    // `cross_product_slices`), so tuple `t` of a block uses node
+    // `(t / stride[c]) % count[c]` of column `c`.
+    let arity = psi.columns.len();
+    struct Block {
+        base: usize,
+        len: usize,
+        counts: Vec<usize>,
+        strides: Vec<usize>,
+    }
+    let mut layout: Vec<Block> = Vec::with_capacity(examples.len());
+    let mut base = 0usize;
+    for (ex_idx, ex) in examples.iter().enumerate() {
+        let counts: Vec<usize> = psi
+            .columns
+            .iter()
+            .map(|pi| cache.column_nodes(ex_idx, &ex.tree, pi).len())
+            .collect();
+        let len = counts.iter().product::<usize>();
+        let mut strides = vec![1usize; arity];
+        for c in (0..arity.saturating_sub(1)).rev() {
+            strides[c] = strides[c + 1] * counts[c + 1];
+        }
+        layout.push(Block {
+            base,
+            len,
+            counts,
+            strides,
+        });
+        base += len;
+    }
+    debug_assert_eq!(base, tuples.len(), "layout must match the labelled tuples");
+
+    let per_column: Vec<Arc<ColumnPhiData>> = psi
+        .columns
+        .iter()
+        .map(|pi| cache.phi_data(examples, pi, &config.universe))
+        .collect();
+    let constants = cache.constants(examples, config.universe.max_constants);
+
+    // Tiles per-node truth bits across a block: bit `k` of column `c` covers every
+    // tuple whose `c`-th digit is `k`.
+    let tile_const = |vector: &mut [bool], block: &Block, col: usize, bits: &[bool]| {
+        for t in 0..block.len {
+            vector[block.base + t] = bits[(t / block.strides[col]) % block.counts[col]];
+        }
+    };
+
+    // The reduced universe enumeration: identical loop structure and order as
+    // `construct_universe`, but over behaviour-class representatives only, feeding
+    // truth vectors straight into the dedup fold below.
+    let const_ops: &[CompareOp] = if config.universe.with_ordering {
+        &[
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ]
+    } else {
+        &[CompareOp::Eq, CompareOp::Ne]
+    };
+
+    let mut kept: Vec<(Predicate, Vec<bool>, usize)> = Vec::new();
+    let mut by_vector: std::collections::HashMap<Vec<bool>, usize> =
+        std::collections::HashMap::new();
+    let mut capped = false;
+    // Folds one (predicate, truth vector) into the behaviour dedup, mirroring the
+    // reference path exactly: constant vectors are dropped, the earliest member of
+    // each truth class wins, later strictly-lighter members replace it.
+    let fold = |p: Predicate,
+                vector: Vec<bool>,
+                kept: &mut Vec<(Predicate, Vec<bool>, usize)>,
+                by_vector: &mut std::collections::HashMap<Vec<bool>, usize>|
+     -> bool {
+        if vector.iter().all(|b| *b) || vector.iter().all(|b| !*b) {
+            return true;
+        }
+        let size = predicate_weight(&p);
+        match by_vector.get(&vector) {
+            Some(&idx) => {
+                // Keep the simpler representative.
+                if size < kept[idx].2 {
+                    kept[idx].0 = p;
+                    kept[idx].2 = size;
+                }
+            }
+            None => {
+                by_vector.insert(vector.clone(), kept.len());
+                kept.push((p, vector, size));
+                if kept.len() >= config.max_universe {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+
+    // Rule 4: comparisons against constants.
+    'outer4: for (i, data) in per_column.iter().enumerate() {
+        for &p in &data.reps {
+            for c in constants.iter() {
+                for op in const_ops {
+                    if matches!(
+                        op,
+                        CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge
+                    ) && c.as_number().is_none()
+                    {
+                        continue;
+                    }
+                    let mut vector = vec![false; tuples.len()];
+                    for (ex_idx, block) in layout.iter().enumerate() {
+                        if block.len == 0 {
+                            continue;
+                        }
+                        let tree = &examples[ex_idx].tree;
+                        let bits: Vec<bool> = data.nodes[p][ex_idx]
+                            .iter()
+                            .map(|n| match node_value(tree, *n).compare(c) {
+                                Some(ord) => op.test(ord),
+                                None => false,
+                            })
+                            .collect();
+                        tile_const(&mut vector, block, i, &bits);
+                    }
+                    let pred = Predicate::Compare {
+                        extractor: data.phis[p].clone(),
+                        index: i,
+                        op: *op,
+                        rhs: Operand::Const(c.clone()),
+                    };
+                    if !fold(pred, vector, &mut kept, &mut by_vector) {
+                        capped = true;
+                        break 'outer4;
+                    }
+                }
+            }
+        }
+    }
+
+    // Rule 5: comparisons between two tuple components.  A tuple's truth value
+    // depends only on its (node_i, node_j) pair, so each representative pair is
+    // compared once per *node* pair — through the interned ids of
+    // [`ColumnPhiData::info`] — and both ops share that comparison.  Vectors whose
+    // node-pair cells come out constant (most cross-column comparisons: unrelated
+    // fields are never equal) are recognised before tiling and skipped outright,
+    // exactly as the fold below would have dropped them.
+    if !capped {
+        // Mixed-radix digit of every tuple per column, so non-diagonal tiling is a
+        // pair of table lookups instead of two divisions.
+        let digits: Vec<Vec<Vec<u32>>> = layout
+            .iter()
+            .map(|block| {
+                (0..arity)
+                    .map(|c| {
+                        (0..block.len)
+                            .map(|t| ((t / block.strides[c]) % block.counts[c]) as u32)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        // Eq/Ne truth values for one node pair, matching `Value::compare`
+        // semantics: leaf pairs compare by value (Ne additionally requires
+        // comparability), internal pairs by node identity, mixed pairs are false
+        // under both ops.
+        let cell = |l: &crate::cache::NodeInfo,
+                    r: &crate::cache::NodeInfo,
+                    ln: NodeId,
+                    rn: NodeId|
+         -> (bool, bool) {
+            if l.leaf && r.leaf {
+                let eq = l.value == r.value;
+                (
+                    eq,
+                    !eq && crate::cache::classes_comparable(l.class, r.class),
+                )
+            } else if !l.leaf && !r.leaf {
+                let same = ln == rn;
+                (same, !same)
+            } else {
+                (false, false)
+            }
+        };
+        'outer5: for (i, data_i) in per_column.iter().enumerate() {
+            for (j, data_j) in per_column.iter().enumerate() {
+                for &p1 in &data_i.reps {
+                    for &p2 in &data_j.reps {
+                        if i == j && data_i.phis[p1] == data_j.phis[p2] {
+                            continue; // trivially true under Eq
+                        }
+                        // Per-block cell tables for both ops: the diagonal only
+                        // when i == j (both digits coincide), the full node-pair
+                        // matrix otherwise.
+                        let mut eq_blocks: Vec<Vec<bool>> = Vec::with_capacity(layout.len());
+                        let mut ne_blocks: Vec<Vec<bool>> = Vec::with_capacity(layout.len());
+                        let (mut eq_any_t, mut eq_any_f) = (false, false);
+                        let (mut ne_any_t, mut ne_any_f) = (false, false);
+                        for (ex_idx, block) in layout.iter().enumerate() {
+                            if block.len == 0 {
+                                eq_blocks.push(Vec::new());
+                                ne_blocks.push(Vec::new());
+                                continue;
+                            }
+                            let linfo = &data_i.info[p1][ex_idx];
+                            let rinfo = &data_j.info[p2][ex_idx];
+                            let lnodes = &data_i.nodes[p1][ex_idx];
+                            let rnodes = &data_j.nodes[p2][ex_idx];
+                            let mut eq;
+                            let mut ne;
+                            if i == j {
+                                eq = Vec::with_capacity(linfo.len());
+                                ne = Vec::with_capacity(linfo.len());
+                                for k in 0..linfo.len() {
+                                    let (e, n) = cell(&linfo[k], &rinfo[k], lnodes[k], rnodes[k]);
+                                    eq.push(e);
+                                    ne.push(n);
+                                }
+                            } else {
+                                eq = Vec::with_capacity(linfo.len() * rinfo.len());
+                                ne = Vec::with_capacity(linfo.len() * rinfo.len());
+                                for (ki, li) in linfo.iter().enumerate() {
+                                    for (kj, rj) in rinfo.iter().enumerate() {
+                                        let (e, n) = cell(li, rj, lnodes[ki], rnodes[kj]);
+                                        eq.push(e);
+                                        ne.push(n);
+                                    }
+                                }
+                            }
+                            for &b in &eq {
+                                eq_any_t |= b;
+                                eq_any_f |= !b;
+                            }
+                            for &b in &ne {
+                                ne_any_t |= b;
+                                ne_any_f |= !b;
+                            }
+                            eq_blocks.push(eq);
+                            ne_blocks.push(ne);
+                        }
+                        // The blocks are full cross products, so every cell is hit
+                        // by some tuple: the vector is constant iff the cells are.
+                        for (op, cells, any_t, any_f) in [
+                            (CompareOp::Eq, &eq_blocks, eq_any_t, eq_any_f),
+                            (CompareOp::Ne, &ne_blocks, ne_any_t, ne_any_f),
+                        ] {
+                            if !(any_t && any_f) {
+                                continue; // constant vector: the fold would drop it
+                            }
+                            let mut vector = vec![false; tuples.len()];
+                            for (ex_idx, block) in layout.iter().enumerate() {
+                                if block.len == 0 {
+                                    continue;
+                                }
+                                let bits = &cells[ex_idx];
+                                if i == j {
+                                    tile_const(&mut vector, block, i, bits);
+                                } else {
+                                    let di = &digits[ex_idx][i];
+                                    let dj = &digits[ex_idx][j];
+                                    let cj = block.counts[j];
+                                    for t in 0..block.len {
+                                        vector[block.base + t] =
+                                            bits[di[t] as usize * cj + dj[t] as usize];
+                                    }
+                                }
+                            }
+                            let pred = Predicate::Compare {
+                                extractor: data_i.phis[p1].clone(),
+                                index: i,
+                                op,
+                                rhs: Operand::Column {
+                                    extractor: data_j.phis[p2].clone(),
+                                    index: j,
+                                },
+                            };
+                            if !fold(pred, vector, &mut kept, &mut by_vector) {
+                                break 'outer5;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    classifier_from_kept(&tuples, kept, config)
+}
+
+/// Reference implementation of [`learn_predicate`]: full universe construction and
+/// direct per-tuple [`eval_predicate`] evaluation.  Kept as the oracle for the
+/// differential suite (`tests/search_equivalence.rs`) — the fast path must produce
+/// byte-identical predicates.
+pub fn learn_predicate_reference(
+    examples: &[Example],
+    psi: &TableExtractor,
+    config: &PredicateLearnConfig,
+) -> Option<Predicate> {
+    learn_predicate_reference_cached(examples, psi, config, &ColumnEvalCache::new(examples.len()))
+}
+
+/// [`learn_predicate_reference`] with a shared column-evaluation cache.
+pub fn learn_predicate_reference_cached(
     examples: &[Example],
     psi: &TableExtractor,
     config: &PredicateLearnConfig,
@@ -224,6 +578,18 @@ pub fn learn_predicate_cached(
             }
         }
     }
+    classifier_from_kept(&tuples, kept, config)
+}
+
+/// Algorithm 3 steps 3–4 over the deduplicated predicate set: minimum set cover of
+/// the positive/negative pairs, then Quine–McCluskey DNF minimization.  Shared
+/// verbatim by the fast and reference paths so any divergence is confined to the
+/// truth-vector construction.
+fn classifier_from_kept(
+    tuples: &[LabelledTuple],
+    kept: Vec<(Predicate, Vec<bool>, usize)>,
+    config: &PredicateLearnConfig,
+) -> Option<Predicate> {
     if kept.is_empty() {
         return None;
     }
@@ -422,10 +788,46 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_matches_reference_on_motivating_example() {
+        let ex = social_example();
+        let psi = social_psi();
+        let config = PredicateLearnConfig::default();
+        let fast = learn_predicate(std::slice::from_ref(&ex), &psi, &config);
+        let reference = learn_predicate_reference(std::slice::from_ref(&ex), &psi, &config);
+        assert_eq!(fast, reference);
+        assert!(fast.is_some());
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_figure8() {
+        let tree = nested_objects();
+        let output = Table::from_rows(&["outer", "inner"], &[&["outer-a", "inner-a"]]);
+        let ex = Example { tree, output };
+        let pi = ColumnExtractor::pchildren(
+            ColumnExtractor::descendants(ColumnExtractor::Input, "object"),
+            "text",
+            0,
+        );
+        let psi = TableExtractor::new(vec![pi.clone(), pi]);
+        for with_ordering in [false, true] {
+            let config = PredicateLearnConfig {
+                universe: UniverseConfig {
+                    with_ordering,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let fast = learn_predicate(std::slice::from_ref(&ex), &psi, &config);
+            let reference = learn_predicate_reference(std::slice::from_ref(&ex), &psi, &config);
+            assert_eq!(fast, reference, "with_ordering={with_ordering} diverged");
+        }
+    }
+
+    #[test]
     fn thread_count_does_not_change_the_learned_predicate() {
         let ex = social_example();
         let psi = social_psi();
-        let sequential = learn_predicate(
+        let sequential = learn_predicate_reference(
             std::slice::from_ref(&ex),
             &psi,
             &PredicateLearnConfig::default(),
@@ -435,7 +837,7 @@ mod tests {
                 threads,
                 ..Default::default()
             };
-            let parallel = learn_predicate(std::slice::from_ref(&ex), &psi, &config);
+            let parallel = learn_predicate_reference(std::slice::from_ref(&ex), &psi, &config);
             assert_eq!(sequential, parallel, "threads={threads} diverged");
         }
     }

@@ -1,22 +1,36 @@
-//! Top-level synthesis (`LearnTransformation`, Algorithm 1).
+//! Top-level synthesis (`LearnTransformation`, Algorithm 1), as a lazy cost-ordered
+//! best-first search.
 //!
-//! The algorithm learns, for each output column, a set of candidate column extractors
-//! (via the DFA machinery of [`crate::column`]), forms candidate table extractors from
-//! their cartesian product, learns a filtering predicate for each candidate
-//! ([`crate::predicate`]), validates the resulting program against every example, and
-//! finally returns the program minimizing the Occam's-razor cost θ.
+//! The algorithm learns, for each output column, the intersected DFA of candidate
+//! column extractors (via [`crate::column`]), then explores the cartesian product of
+//! the columns' accepted words through a binary-heap frontier keyed by the admissible
+//! θ-cost lower bound `(0, Σ column-extractor sizes, 0)`.  Combos pop in true cost
+//! order — per-column candidates *stream* out of the automata on demand instead of
+//! being capped and materialized up front — and each popped combo learns a filtering
+//! predicate ([`crate::predicate`]) and validates against every example.  The search
+//! stops at the first point where the best validated program provably beats every
+//! unexplored combo (see DESIGN.md §8), or after `max_table_candidates` pops.
+//!
+//! The returned program is identical at every thread count: batches of combos are
+//! popped on a deterministic schedule, evaluated concurrently, and merged in pop
+//! order with strict-improvement ties (cost, then enumeration index).
 
 use crate::cache::ColumnEvalCache;
-use crate::column::{learn_all_columns, ColumnLearnConfig};
-use crate::dfa::DfaLimits;
-use crate::predicate::{learn_predicate_cached, PredicateLearnConfig};
+use crate::column::{learn_all_columns, learn_column_automata, ColumnLearnConfig};
+use crate::dfa::{DfaLimits, WordStream};
+use crate::predicate::{
+    learn_predicate_cached, learn_predicate_reference_cached, PredicateLearnConfig,
+};
 use crate::universe::UniverseConfig;
 use mitra_dsl::ast::{ColumnExtractor, Program, TableExtractor};
 use mitra_dsl::cost::{cost, Cost};
 use mitra_dsl::eval::{eval_program_with, EvalLimits};
 use mitra_dsl::Table;
 use mitra_hdt::Hdt;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::{Duration, Instant};
 
 /// One input–output example: an HDT and the relational table it should map to.
@@ -41,8 +55,12 @@ pub struct SynthConfig {
     /// Limits for DFA construction and enumeration.
     pub dfa_limits: DfaLimits,
     /// Maximum candidate column extractors per column.
+    ///
+    /// Only the exhaustive reference path materializes per-column candidate lists;
+    /// the best-first search streams candidates from the column automata and is
+    /// bounded by `max_table_candidates` alone.
     pub max_column_candidates: usize,
-    /// Maximum candidate table extractors (combinations) tried.
+    /// Maximum candidate table extractors (combinations) examined.
     pub max_table_candidates: usize,
     /// Predicate-universe knobs.
     pub universe: UniverseConfig,
@@ -110,6 +128,44 @@ impl fmt::Display for SynthError {
 
 impl std::error::Error for SynthError {}
 
+/// Wall-time and work breakdown of one synthesis call, threaded into
+/// [`Synthesis`], migration reports and the `--json` benchmark outputs so perf
+/// work can attribute wins per phase.
+///
+/// The duration fields are *summed across pool workers* where a phase fans out
+/// (DFA build, predicate learning, validation), so on multi-threaded runs they
+/// can exceed the elapsed wall clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynthProfile {
+    /// Constructing the per-(column, example) automata.
+    pub dfa_build: Duration,
+    /// Intersecting them into per-column product automata.
+    pub dfa_intersect: Duration,
+    /// Streaming words out of the product automata.
+    pub dfa_enumerate: Duration,
+    /// Learning filtering predicates for popped combos.
+    pub predicate_learn: Duration,
+    /// Validating candidate programs against the examples.
+    pub validate: Duration,
+    /// Combos that ran candidate evaluation (rejected or valid).
+    pub candidates_examined: usize,
+    /// Combos discarded by the admissible lower bound before any evaluation.
+    pub candidates_pruned: usize,
+}
+
+impl SynthProfile {
+    /// Field-wise sum, for aggregating per-table profiles into a migration total.
+    pub fn merge(&mut self, other: &SynthProfile) {
+        self.dfa_build += other.dfa_build;
+        self.dfa_intersect += other.dfa_intersect;
+        self.dfa_enumerate += other.dfa_enumerate;
+        self.predicate_learn += other.predicate_learn;
+        self.validate += other.validate;
+        self.candidates_examined += other.candidates_examined;
+        self.candidates_pruned += other.candidates_pruned;
+    }
+}
+
 /// Result of a successful synthesis, with statistics used by the benchmark harness.
 #[derive(Debug, Clone)]
 pub struct Synthesis {
@@ -123,65 +179,188 @@ pub struct Synthesis {
     pub programs_found: usize,
     /// Wall-clock time spent.
     pub elapsed: Duration,
-    /// True when any column's DFA construction or enumeration hit a configured
-    /// limit: the search space was under-explored and "no better program" claims
-    /// must be read accordingly.
+    /// True when any column's DFA *construction* hit a configured limit: the
+    /// search space was under-explored and "no better program" claims must be
+    /// read accordingly.  (Enumeration no longer truncates — candidates stream
+    /// from the automata on demand.)
     pub truncated: bool,
     /// Worker threads actually used (after resolving `SynthConfig::threads`).
     pub threads_used: usize,
+    /// Per-phase wall times and candidate counts.
+    pub profile: SynthProfile,
 }
 
 /// What became of one candidate table extractor.
 enum CandidateOutcome {
     /// The wall-clock budget was already exhausted when the candidate came up.
     DeadlineSkipped,
+    /// The admissible lower bound proved the combo cannot beat the incumbent
+    /// program; no predicate was learned.
+    Pruned,
     /// No predicate was found, or the validated table did not match an example.
     Rejected,
     /// A program consistent with every example.
     Valid(Box<Program>, Cost),
 }
 
-/// Evaluates one candidate table extractor: learn a predicate, build the program,
-/// validate it against every example (Theorem 3 soundness check).
+/// Evaluates one candidate table extractor: cheap incremental pruning first (row
+/// coverage, product bounds, the admissible cost floor), then learn a predicate,
+/// build the program, and validate it against every example (Theorem 3 soundness
+/// check).
 ///
 /// The row cap matches the one `learn_predicate` already enforced on the same trees
 /// and extractor, so a candidate that reached validation can never fail on
 /// resources — `Err` there (impossible by that invariant) conservatively rejects
 /// the candidate rather than panicking.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_candidate(
     examples: &[Example],
     combo: &[ColumnExtractor],
+    combo_size: usize,
+    floor: Option<Cost>,
     pred_config: &PredicateLearnConfig,
     cache: &ColumnEvalCache,
     max_intermediate_rows: usize,
+    predicate_nanos: &AtomicU64,
+    validate_nanos: &AtomicU64,
 ) -> CandidateOutcome {
+    // Tentpole (c): a combo dies the moment one column's evaluated value-set can no
+    // longer cover the example rows — no tuple labelling, no universe.
+    for (ex_idx, ex) in examples.iter().enumerate() {
+        for (col, pi) in combo.iter().enumerate() {
+            if !cache.row_coverage(ex_idx, &ex.tree, pi, &ex.output)[col] {
+                return CandidateOutcome::Rejected;
+            }
+        }
+    }
+
+    // Row-product guard (checked multiplication, mirroring `cross_product_slices`)
+    // plus the admissible atom bound: an intermediate table bigger or smaller than
+    // the output needs at least one predicate atom to filter or fail.
+    let mut atoms_lower_bound = 0usize;
+    for (ex_idx, ex) in examples.iter().enumerate() {
+        let mut product: Option<usize> = Some(1);
+        for pi in combo {
+            let n = cache.column_nodes(ex_idx, &ex.tree, pi).len();
+            product = product.and_then(|p| p.checked_mul(n));
+        }
+        match product {
+            // Overflow: `cross_product_slices` would reject the candidate too.
+            None => return CandidateOutcome::Rejected,
+            Some(p) if p > max_intermediate_rows => return CandidateOutcome::Rejected,
+            Some(p) => {
+                if p != ex.output.rows.len() {
+                    atoms_lower_bound = 1;
+                }
+            }
+        }
+    }
+    if let Some(floor) = floor {
+        // Any program this combo can produce costs at least the bound, and on an
+        // exact tie the earlier-popped incumbent wins — so `<=` prunes.
+        if floor <= Cost::lower_bound(atoms_lower_bound, combo_size) {
+            return CandidateOutcome::Pruned;
+        }
+    }
+
     let psi = TableExtractor::new(combo.to_vec());
-    let Some(phi) = learn_predicate_cached(examples, &psi, pred_config, cache) else {
+    let t = Instant::now();
+    let phi = learn_predicate_cached(examples, &psi, pred_config, cache);
+    predicate_nanos.fetch_add(t.elapsed().as_nanos() as u64, Relaxed);
+    let Some(phi) = phi else {
         return CandidateOutcome::Rejected;
     };
     let mut program = Program::new(psi, phi);
     program.column_names = examples[0].output.columns.clone();
     let limits = EvalLimits::with_max_rows(max_intermediate_rows);
-    if !examples.iter().all(|ex| {
+    let t = Instant::now();
+    let valid = examples.iter().all(|ex| {
         eval_program_with(&ex.tree, &program, &limits)
             .map(|t| t.same_bag(&ex.output))
             .unwrap_or(false)
-    }) {
+    });
+    validate_nanos.fetch_add(t.elapsed().as_nanos() as u64, Relaxed);
+    if !valid {
         return CandidateOutcome::Rejected;
     }
     let c = cost(&program);
     CandidateOutcome::Valid(Box::new(program), c)
 }
 
-/// Learns a DSL program consistent with the given examples (Algorithm 1).
+/// Lazily materialized per-column candidate stream over a column automaton.
 ///
-/// With `config.threads > 1` (or `0` resolving to a parallel global setting) the
-/// two phases fan out across a scoped worker pool: every (column, example) DFA is
-/// constructed concurrently, and the candidate table extractors of phase 2 are
-/// validated concurrently with a shared column-evaluation cache.  Results are
-/// **identical to the sequential path**: per-worker outcomes are merged in
-/// canonical order (candidates by enumeration index, ties between equal-cost
-/// programs broken by that index), never by completion order.
+/// Words arrive shortest-first from [`WordStream`], and a word's extractor size
+/// equals its length, so `words[i].1` is nondecreasing in `i` — the monotonicity
+/// the heap keys rely on.
+struct ColumnStream<'a> {
+    words: Vec<(ColumnExtractor, usize)>,
+    stream: WordStream<'a>,
+    exhausted: bool,
+}
+
+impl<'a> ColumnStream<'a> {
+    fn new(stream: WordStream<'a>) -> Self {
+        ColumnStream {
+            words: Vec::new(),
+            stream,
+            exhausted: false,
+        }
+    }
+
+    /// Pulls words until index `idx` exists; false when the bounded language is
+    /// exhausted first.  Pull time is accounted to the enumerate phase.
+    fn ensure(&mut self, idx: usize, enumerate_nanos: &mut u64) -> bool {
+        while !self.exhausted && self.words.len() <= idx {
+            let t = Instant::now();
+            match self.stream.next_word() {
+                Some(word) => {
+                    let extractor = ColumnExtractor::from_steps(&word);
+                    let size = extractor.size();
+                    self.words.push((extractor, size));
+                }
+                None => self.exhausted = true,
+            }
+            *enumerate_nanos += t.elapsed().as_nanos() as u64;
+        }
+        self.words.len() > idx
+    }
+
+    fn size(&self, idx: usize) -> usize {
+        self.words[idx].1
+    }
+
+    fn extractor(&self, idx: usize) -> &ColumnExtractor {
+        &self.words[idx].0
+    }
+}
+
+/// The heap key of a combo: the sum of its column extractors' sizes (saturating —
+/// the sum, not a product, but wide candidate sets must degrade gracefully rather
+/// than wrap).  Equals the `extractor_constructs` component of any program built
+/// from the combo, which makes `(0, key, 0)` an admissible θ lower bound.
+fn combo_key(streams: &[ColumnStream<'_>], idxs: &[usize]) -> usize {
+    idxs.iter().enumerate().fold(0usize, |acc, (col, &i)| {
+        acc.saturating_add(streams[col].size(i))
+    })
+}
+
+/// Learns a DSL program consistent with the given examples (Algorithm 1), by
+/// lazy cost-ordered best-first search over candidate table extractors.
+///
+/// Combos (one streamed word per column) pop off a binary-heap frontier in
+/// `(Σ sizes, enumeration index)` order; each popped combo is first subjected to
+/// cheap incremental pruning (per-column row-coverage bitmaps, checked row
+/// products, the admissible cost floor against the incumbent best program) and
+/// only then runs predicate learning.  The search ends when the incumbent
+/// provably beats every unexplored combo, when `max_table_candidates` combos have
+/// been popped, or when the frontier empties.
+///
+/// With `config.threads > 1` (or `0` resolving to a parallel global setting)
+/// combos are evaluated concurrently in deterministically-scheduled batches;
+/// outcomes merge in pop order with strict-improvement ties, and workers prune
+/// against the incumbent from *before* their batch, so the result — program,
+/// cost, and all candidate counts — is **identical to the sequential path** at
+/// every thread count.
 ///
 /// One caveat: a configured `timeout` trades that determinism for bounded wall
 /// clock.  The deadline decides *which candidates get examined* by elapsed time,
@@ -212,7 +391,221 @@ pub fn learn_transformation(
         ex.tree.ensure_index();
     }
 
-    // Phase 1: learn candidate column extractors, all columns' DFAs in parallel.
+    // Phase 1: the per-column product automata, all (column, example) DFAs built in
+    // parallel.
+    let automata = learn_column_automata(examples, arity, config.dfa_limits, threads);
+    let mut truncated = false;
+    let mut dfas = Vec::with_capacity(arity);
+    for (col, dfa) in automata.dfas.into_iter().enumerate() {
+        let Some(dfa) = dfa else {
+            return Err(SynthError::NoColumnExtractor(col));
+        };
+        truncated |= dfa.truncated;
+        dfas.push(dfa);
+    }
+
+    // Phase 2: best-first search over streamed combos.
+    let mut enumerate_nanos = 0u64;
+    let mut streams: Vec<ColumnStream<'_>> = dfas
+        .iter()
+        .map(|dfa| ColumnStream::new(dfa.stream(config.dfa_limits.max_word_len)))
+        .collect();
+    for (col, stream) in streams.iter_mut().enumerate() {
+        if !stream.ensure(0, &mut enumerate_nanos) {
+            return Err(SynthError::NoColumnExtractor(col));
+        }
+    }
+
+    let pred_config = PredicateLearnConfig {
+        universe: config.universe,
+        max_intermediate_rows: config.max_intermediate_rows,
+        exact_cover: config.exact_cover,
+        threads,
+        ..Default::default()
+    };
+    let cache = ColumnEvalCache::new(examples.len());
+    let predicate_nanos = AtomicU64::new(0);
+    let validate_nanos = AtomicU64::new(0);
+
+    // The frontier: combos keyed by (Σ sizes, index vector).  Every index vector is
+    // generated exactly once — combo `v` is pushed only by its canonical
+    // predecessor `v - e_p` where `p` is `v`'s last nonzero position — and keys are
+    // monotone along successor edges because per-column sizes are nondecreasing, so
+    // pops happen in true (cost bound, enumeration index) order.
+    let mut heap: BinaryHeap<Reverse<(usize, Vec<usize>)>> = BinaryHeap::new();
+    let seed = vec![0usize; arity];
+    heap.push(Reverse((combo_key(&streams, &seed), seed)));
+
+    let mut best: Option<(Program, Cost)> = None;
+    let mut candidates_tried = 0usize;
+    let mut programs_found = 0usize;
+    let mut pruned = 0usize;
+    let mut timed_out = false;
+    let mut popped_total = 0usize;
+    // Deterministic batch schedule, independent of the thread count: batches grow
+    // geometrically so the incumbent (and with it the pruning floor and the
+    // termination bound) refreshes quickly early on, while later batches are wide
+    // enough to keep a pool busy.
+    let mut batch_size = 1usize;
+
+    while popped_total < config.max_table_candidates {
+        // Provably-minimal stop (DESIGN.md §8): every unexplored combo — frontier
+        // entry or descendant thereof — has Σ sizes ≥ the frontier's minimum key,
+        // hence program cost ≥ (0, min_key, 0).  An incumbent at or below that
+        // bound cannot be beaten, and on ties the incumbent's earlier enumeration
+        // index wins.
+        let Some(Reverse((min_key, _))) = heap.peek() else {
+            break;
+        };
+        if let Some((_, best_cost)) = &best {
+            if *best_cost <= Cost::lower_bound(0, *min_key) {
+                break;
+            }
+        }
+
+        // Pop a deterministic batch, expanding successors as we go (a successor can
+        // be popped within the same batch).
+        let take = batch_size.min(config.max_table_candidates - popped_total);
+        let mut batch: Vec<(usize, Vec<usize>)> = Vec::new();
+        while batch.len() < take {
+            let Some(Reverse((key, idxs))) = heap.pop() else {
+                break;
+            };
+            let last_nonzero = idxs.iter().rposition(|&i| i != 0).unwrap_or(0);
+            for col in last_nonzero..arity {
+                let mut succ = idxs.clone();
+                succ[col] += 1;
+                if streams[col].ensure(succ[col], &mut enumerate_nanos) {
+                    let succ_key = combo_key(&streams, &succ);
+                    heap.push(Reverse((succ_key, succ)));
+                }
+            }
+            batch.push((key, idxs));
+        }
+        if batch.is_empty() {
+            break;
+        }
+        popped_total += batch.len();
+
+        let jobs: Vec<(usize, Vec<ColumnExtractor>)> = batch
+            .iter()
+            .map(|(key, idxs)| {
+                let combo: Vec<ColumnExtractor> = idxs
+                    .iter()
+                    .enumerate()
+                    .map(|(col, &i)| streams[col].extractor(i).clone())
+                    .collect();
+                (*key, combo)
+            })
+            .collect();
+        // Workers prune against the incumbent from before the batch: in-batch
+        // improvements must not influence later jobs, or the outcome (and the
+        // candidate counts) would depend on scheduling.
+        let floor = best.as_ref().map(|(_, c)| *c);
+        let outcomes: Vec<CandidateOutcome> =
+            mitra_pool::parallel_map(threads, &jobs, |_, (key, combo)| {
+                // The deadline check mirrors the sequential loop: a candidate whose
+                // turn comes up after the budget is spent is skipped, not started.
+                if let Some(limit) = config.timeout {
+                    if start.elapsed() > limit {
+                        return CandidateOutcome::DeadlineSkipped;
+                    }
+                }
+                evaluate_candidate(
+                    examples,
+                    combo,
+                    *key,
+                    floor,
+                    &pred_config,
+                    &cache,
+                    config.max_intermediate_rows,
+                    &predicate_nanos,
+                    &validate_nanos,
+                )
+            });
+
+        // Canonical merge, in pop order with strict improvement: ties between
+        // equal-cost programs go to the earlier enumeration index.
+        for outcome in outcomes {
+            match outcome {
+                CandidateOutcome::DeadlineSkipped => timed_out = true,
+                CandidateOutcome::Pruned => pruned += 1,
+                CandidateOutcome::Rejected => candidates_tried += 1,
+                CandidateOutcome::Valid(program, c) => {
+                    candidates_tried += 1;
+                    programs_found += 1;
+                    let better = match &best {
+                        None => true,
+                        Some((_, bc)) => c < *bc,
+                    };
+                    if better {
+                        best = Some((*program, c));
+                    }
+                }
+            }
+        }
+        if timed_out {
+            break;
+        }
+        batch_size = (batch_size * 2).min(16);
+    }
+
+    let profile = SynthProfile {
+        dfa_build: automata.build,
+        dfa_intersect: automata.intersect,
+        dfa_enumerate: Duration::from_nanos(enumerate_nanos),
+        predicate_learn: Duration::from_nanos(predicate_nanos.load(Relaxed)),
+        validate: Duration::from_nanos(validate_nanos.load(Relaxed)),
+        candidates_examined: candidates_tried,
+        candidates_pruned: pruned,
+    };
+    match best {
+        Some((program, c)) => Ok(Synthesis {
+            program,
+            cost: c,
+            candidates_tried,
+            programs_found,
+            elapsed: start.elapsed(),
+            truncated,
+            threads_used: threads,
+            profile,
+        }),
+        None => {
+            if timed_out {
+                Err(SynthError::Timeout)
+            } else {
+                Err(SynthError::NoProgram)
+            }
+        }
+    }
+}
+
+/// The pre-refactor materialize-then-sweep pipeline, kept as the oracle for the
+/// differential suite (`tests/search_equivalence.rs`): capped per-column candidate
+/// lists, every combination evaluated with the reference predicate learner, no
+/// early termination and no pruning.  When neither the per-column cap nor the
+/// combination cap binds, the best-first search must return a byte-identical
+/// program and cost.
+pub fn learn_transformation_exhaustive(
+    examples: &[Example],
+    config: &SynthConfig,
+) -> Result<Synthesis, SynthError> {
+    let start = Instant::now();
+    if examples.is_empty() {
+        return Err(SynthError::EmptySpecification);
+    }
+    let arity = examples[0].output.arity();
+    if arity == 0 {
+        return Err(SynthError::EmptySpecification);
+    }
+    if examples.iter().any(|e| e.output.arity() != arity) {
+        return Err(SynthError::InconsistentArity);
+    }
+    let threads = mitra_pool::resolve(config.threads);
+    for ex in examples {
+        ex.tree.ensure_index();
+    }
+
     let col_config = ColumnLearnConfig {
         limits: config.dfa_limits,
         max_candidates: config.max_column_candidates,
@@ -228,10 +621,6 @@ pub fn learn_transformation(
         per_column.push(cands.extractors);
     }
 
-    // Phase 2: iterate over table extractors (cartesian product of candidates, in
-    // order of increasing total size) and learn a predicate for each.  Candidates
-    // are independent given the shared read-only cache, so they fan out; the merge
-    // below walks outcomes in candidate order.
     let combos = ordered_combinations(&per_column, config.max_table_candidates);
     let pred_config = PredicateLearnConfig {
         universe: config.universe,
@@ -241,43 +630,42 @@ pub fn learn_transformation(
         ..Default::default()
     };
     let cache = ColumnEvalCache::new(examples.len());
-
-    let outcomes: Vec<CandidateOutcome> = mitra_pool::parallel_map(threads, &combos, |_, combo| {
-        // The deadline check mirrors the sequential loop: a candidate whose turn
-        // comes up after the budget is spent is skipped, not started.
-        if let Some(limit) = config.timeout {
-            if start.elapsed() > limit {
-                return CandidateOutcome::DeadlineSkipped;
-            }
-        }
-        evaluate_candidate(
-            examples,
-            combo,
-            &pred_config,
-            &cache,
-            config.max_intermediate_rows,
-        )
-    });
+    let limits = EvalLimits::with_max_rows(config.max_intermediate_rows);
 
     let mut best: Option<(Program, Cost)> = None;
     let mut candidates_tried = 0usize;
     let mut programs_found = 0usize;
     let mut timed_out = false;
-    for outcome in outcomes {
-        match outcome {
-            CandidateOutcome::DeadlineSkipped => timed_out = true,
-            CandidateOutcome::Rejected => candidates_tried += 1,
-            CandidateOutcome::Valid(program, c) => {
-                candidates_tried += 1;
-                programs_found += 1;
-                let better = match &best {
-                    None => true,
-                    Some((_, bc)) => c < *bc,
-                };
-                if better {
-                    best = Some((*program, c));
-                }
+    for combo in &combos {
+        if let Some(limit) = config.timeout {
+            if start.elapsed() > limit {
+                timed_out = true;
+                continue;
             }
+        }
+        candidates_tried += 1;
+        let psi = TableExtractor::new(combo.clone());
+        let Some(phi) = learn_predicate_reference_cached(examples, &psi, &pred_config, &cache)
+        else {
+            continue;
+        };
+        let mut program = Program::new(psi, phi);
+        program.column_names = examples[0].output.columns.clone();
+        if !examples.iter().all(|ex| {
+            eval_program_with(&ex.tree, &program, &limits)
+                .map(|t| t.same_bag(&ex.output))
+                .unwrap_or(false)
+        }) {
+            continue;
+        }
+        let c = cost(&program);
+        programs_found += 1;
+        let better = match &best {
+            None => true,
+            Some((_, bc)) => c < *bc,
+        };
+        if better {
+            best = Some((program, c));
         }
     }
 
@@ -290,6 +678,10 @@ pub fn learn_transformation(
             elapsed: start.elapsed(),
             truncated,
             threads_used: threads,
+            profile: SynthProfile {
+                candidates_examined: candidates_tried,
+                ..Default::default()
+            },
         }),
         None => {
             if timed_out {
@@ -304,6 +696,9 @@ pub fn learn_transformation(
 /// Enumerates combinations (one candidate per column), ordered by the total size of
 /// the chosen extractors so that simpler table extractors are tried first, capped at
 /// `max` combinations.
+///
+/// Only the exhaustive reference path uses this; the best-first search generates
+/// the same (size, index) order lazily through its heap frontier.
 fn ordered_combinations(
     per_column: &[Vec<ColumnExtractor>],
     max: usize,
@@ -338,12 +733,13 @@ fn ordered_combinations(
         .collect()
 }
 
+/// Total extractor size of a (partial) combination.  Saturating: on pathologically
+/// wide candidate sets the sum must degrade to "effectively infinite", not wrap
+/// around and sort a gigantic combo ahead of everything else.
 fn partial_size(per_column: &[Vec<ColumnExtractor>], combo: &[usize]) -> usize {
-    combo
-        .iter()
-        .enumerate()
-        .map(|(col, &i)| per_column[col][i].size())
-        .sum()
+    combo.iter().enumerate().fold(0usize, |acc, (col, &i)| {
+        acc.saturating_add(per_column[col][i].size())
+    })
 }
 
 #[cfg(test)]
@@ -483,5 +879,50 @@ mod tests {
         for w in sizes.windows(2) {
             assert!(w[0] <= w[1]);
         }
+    }
+
+    #[test]
+    fn best_first_matches_exhaustive_on_motivating_example() {
+        let ex = social_example(3, 1);
+        // Caps wide enough that neither path's bound binds: the searches explore
+        // the same space and must agree byte-for-byte.
+        let config = SynthConfig {
+            timeout: None,
+            max_column_candidates: 1_000,
+            max_table_candidates: 2_000,
+            threads: 1,
+            ..Default::default()
+        };
+        let fast = learn_transformation(std::slice::from_ref(&ex), &config).unwrap();
+        let slow = learn_transformation_exhaustive(std::slice::from_ref(&ex), &config).unwrap();
+        assert_eq!(
+            pretty::program(&fast.program),
+            pretty::program(&slow.program)
+        );
+        assert_eq!(fast.cost, slow.cost);
+    }
+
+    #[test]
+    fn prunes_and_terminates_early_on_projection() {
+        // A 0-atom winner lets the search stop as soon as the frontier bound
+        // catches up — far fewer candidates than the cap.
+        let ex = Example::new(
+            social_network(3, 1),
+            Table::from_rows(&["name"], &[&["Alice"], &["Bob"], &["Carol"]]),
+        );
+        let config = SynthConfig {
+            timeout: None,
+            max_table_candidates: 10_000,
+            threads: 1,
+            ..Default::default()
+        };
+        let result = learn_transformation(&[ex], &config).unwrap();
+        assert_eq!(result.cost.atoms, 0);
+        assert!(
+            result.candidates_tried + result.profile.candidates_pruned < 10_000,
+            "search did not terminate early: {} tried, {} pruned",
+            result.candidates_tried,
+            result.profile.candidates_pruned
+        );
     }
 }

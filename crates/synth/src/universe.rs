@@ -57,6 +57,22 @@ pub fn valid_node_extractors(
     pi: &ColumnExtractor,
     config: &UniverseConfig,
 ) -> Vec<NodeExtractor> {
+    valid_node_extractors_with_nodes(examples, pi, config)
+        .into_iter()
+        .map(|(phi, _)| phi)
+        .collect()
+}
+
+/// Like [`valid_node_extractors`], but also returns, for each valid extractor, the
+/// node it maps every column node to: `nodes[e][k]` is `ϕ` applied to the `k`-th
+/// node of `[[π]]T_e`.  Validity is exactly the never-⊥ judgement, so every entry
+/// is a real node.  The fast predicate-learning path uses these to evaluate whole
+/// truth vectors without re-walking the trees per tuple.
+pub fn valid_node_extractors_with_nodes(
+    examples: &[Example],
+    pi: &ColumnExtractor,
+    config: &UniverseConfig,
+) -> Vec<(NodeExtractor, Vec<Vec<NodeId>>)> {
     // Pre-compute the nodes each example extracts for this column.
     let per_example_nodes: Vec<(&Hdt, Vec<NodeId>)> = examples
         .iter()
@@ -80,27 +96,36 @@ pub fn valid_node_extractors(
     }
     tag_pos.sort_by_key(|(t, p)| (t.as_str(), *p));
 
-    let mut result: Vec<NodeExtractor> = Vec::new();
+    let identity_nodes: Vec<Vec<NodeId>> = per_example_nodes
+        .iter()
+        .map(|(_, nodes)| nodes.clone())
+        .collect();
+    let mut result: Vec<(NodeExtractor, Vec<Vec<NodeId>>)> = Vec::new();
     let mut frontier: Vec<NodeExtractor> = vec![NodeExtractor::Id];
-    result.push(NodeExtractor::Id);
+    result.push((NodeExtractor::Id, identity_nodes));
 
     for _ in 0..config.max_node_extractor_depth {
         let mut next: Vec<NodeExtractor> = Vec::new();
         for base in &frontier {
             // parent(base)
             let cand = NodeExtractor::parent(base.clone());
-            if is_valid(&per_example_nodes, &cand) && !result.contains(&cand) {
-                result.push(cand.clone());
-                next.push(cand);
-                if result.len() >= config.max_extractors_per_column {
-                    return result;
+            if !result.iter().any(|(phi, _)| *phi == cand) {
+                if let Some(extracted) = extract_all(&per_example_nodes, &cand) {
+                    result.push((cand.clone(), extracted));
+                    next.push(cand);
+                    if result.len() >= config.max_extractors_per_column {
+                        return result;
+                    }
                 }
             }
             // child(base, tag, pos)
             for (tag, pos) in &tag_pos {
                 let cand = NodeExtractor::child(base.clone(), *tag, *pos);
-                if is_valid(&per_example_nodes, &cand) && !result.contains(&cand) {
-                    result.push(cand.clone());
+                if result.iter().any(|(phi, _)| *phi == cand) {
+                    continue;
+                }
+                if let Some(extracted) = extract_all(&per_example_nodes, &cand) {
+                    result.push((cand.clone(), extracted));
                     next.push(cand);
                     if result.len() >= config.max_extractors_per_column {
                         return result;
@@ -116,12 +141,21 @@ pub fn valid_node_extractors(
     result
 }
 
-fn is_valid(per_example_nodes: &[(&Hdt, Vec<NodeId>)], phi: &NodeExtractor) -> bool {
-    per_example_nodes.iter().all(|(tree, nodes)| {
-        nodes
-            .iter()
-            .all(|n| eval_node_extractor(tree, *n, phi).is_some())
-    })
+/// Evaluates `phi` on every column node of every example; `None` as soon as any
+/// evaluation is ⊥ (i.e. the extractor is not valid, rules 2–3 of Figure 10).
+fn extract_all(
+    per_example_nodes: &[(&Hdt, Vec<NodeId>)],
+    phi: &NodeExtractor,
+) -> Option<Vec<Vec<NodeId>>> {
+    per_example_nodes
+        .iter()
+        .map(|(tree, nodes)| {
+            nodes
+                .iter()
+                .map(|n| eval_node_extractor(tree, *n, phi))
+                .collect::<Option<Vec<NodeId>>>()
+        })
+        .collect()
 }
 
 /// Mines the constants appearing as leaf data in the example trees (rule 4's
