@@ -26,9 +26,10 @@
 
 use mitra_bench::descend;
 use mitra_bench::json::{int, num, obj, s, JsonValue};
-use mitra_bench::table2::{rows_to_json_value, run_table2_with, MigrationRow};
+use mitra_bench::table2::{rows_to_json_value, run_single_dataset, run_table2_with, MigrationRow};
 use mitra_bench::{mean, median, profile_to_json, run_task, table1_config};
 use mitra_datagen::generate_corpus;
+use mitra_trace::TraceMode;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,7 +42,11 @@ fn main() {
     let limit: usize = get("--limit").and_then(|v| v.parse().ok()).unwrap_or(12);
     let scale: usize = get("--scale").and_then(|v| v.parse().ok()).unwrap_or(25);
     let threads: usize = get("--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let trace_out = get("--trace-out");
     let parallel_threads = mitra_pool::resolve(threads);
+    // Pin the trace mode so the measured runs carry metrics regardless of the
+    // environment's MITRA_TRACE; the overhead block below flips it deliberately.
+    mitra_trace::set_mode(TraceMode::Summary);
 
     // Table 1 smoke slice, at the parallel thread count.
     eprintln!("bench_smoke: table1 slice ({limit} tasks, {parallel_threads} threads)...");
@@ -88,6 +93,45 @@ fn main() {
         (None, true, None)
     };
 
+    // Tracing-overhead check: MONDIAL sequential with the metrics layer off vs on
+    // (summary mode).  The CI gate asserts the summary-mode run stays within 5% of
+    // the untraced wall time — the "cheap enough to leave on" claim, measured.
+    eprintln!("bench_smoke: MONDIAL tracing-overhead check (off vs summary)...");
+    mitra_trace::set_mode(TraceMode::Off);
+    let mondial_off = run_single_dataset("MONDIAL", scale, 1).expect("MONDIAL spec exists");
+    mitra_trace::set_mode(TraceMode::Summary);
+    let mondial_summary = run_single_dataset("MONDIAL", scale, 1).expect("MONDIAL spec exists");
+    let overhead_ratio = if mondial_off.synth_total_secs > 0.0 {
+        mondial_summary.synth_total_secs / mondial_off.synth_total_secs
+    } else {
+        1.0
+    };
+    let trace_overhead = obj(vec![
+        ("off_secs", num(mondial_off.synth_total_secs)),
+        ("summary_secs", num(mondial_summary.synth_total_secs)),
+        ("overhead_ratio", num(overhead_ratio)),
+    ]);
+    eprintln!(
+        "bench_smoke: MONDIAL synthesis off {:.2}s vs summary {:.2}s ({:+.1}% overhead)",
+        mondial_off.synth_total_secs,
+        mondial_summary.synth_total_secs,
+        (overhead_ratio - 1.0) * 100.0
+    );
+
+    // Optional Perfetto artifact: re-run MONDIAL in full mode and export the span
+    // buffer as Chrome trace-event JSON.
+    if let Some(path) = &trace_out {
+        eprintln!("bench_smoke: recording MONDIAL full-mode trace -> {path}...");
+        mitra_trace::set_mode(TraceMode::Full);
+        mitra_trace::clear_events();
+        let _ = run_single_dataset("MONDIAL", scale, parallel_threads);
+        let events = mitra_trace::take_events();
+        mitra_trace::set_mode(TraceMode::Summary);
+        std::fs::write(path, mitra_trace::export::chrome_trace(&events))
+            .expect("write trace artifact");
+        eprintln!("bench_smoke: wrote {path} ({} events)", events.len());
+    }
+
     // The descendants-index headline comparison.
     eprintln!("bench_smoke: descendants index workload...");
     let m = descend::measure(400, 400, 5);
@@ -128,6 +172,7 @@ fn main() {
         ),
         ("table1", table1),
         ("table2", table2),
+        ("trace_overhead", trace_overhead),
         ("descendants_index", descendants),
     ]);
 

@@ -15,8 +15,12 @@ use mitra_bench::{mean, median, profile_to_json, run_task, table1_config, TaskRe
 use mitra_datagen::corpus::{Category, DocFormat};
 use mitra_datagen::generate_corpus;
 
-/// Renders per-task results plus aggregates as a JSON object.
-pub fn results_to_json(results: &[(Category, TaskResult)]) -> String {
+/// Renders per-task results plus aggregates (and the metrics recorded during the
+/// run) as a JSON object.
+pub fn results_to_json(
+    results: &[(Category, TaskResult)],
+    metrics: &mitra_trace::MetricsSnapshot,
+) -> String {
     let tasks = JsonValue::Array(
         results
             .iter()
@@ -66,6 +70,7 @@ pub fn results_to_json(results: &[(Category, TaskResult)]) -> String {
             }
             profile_to_json(&total)
         }),
+        ("metrics", mitra_bench::metrics_to_json(metrics)),
         ("tasks", tasks),
     ])
     .to_string_compact()
@@ -93,6 +98,9 @@ fn main() {
     }
     let mut config = table1_config();
     config.threads = threads;
+    // Metrics are process-global and cumulative; the delta below attributes them to
+    // this run alone.
+    let metrics_before = mitra_trace::snapshot();
     eprintln!(
         "Running synthesis on {} corpus tasks ({} worker threads)...",
         tasks.len(),
@@ -118,7 +126,8 @@ fn main() {
         .collect();
 
     if as_json {
-        println!("{}", results_to_json(&results));
+        let metrics = mitra_trace::snapshot().delta(&metrics_before);
+        println!("{}", results_to_json(&results, &metrics));
         return;
     }
 

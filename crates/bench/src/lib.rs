@@ -125,6 +125,91 @@ pub fn profile_to_json(p: &SynthProfile) -> json::JsonValue {
     ])
 }
 
+/// A [`mitra_trace::MetricsSnapshot`] (usually a [`delta`] isolating one measured
+/// region) as a JSON object: counters by name, histogram summaries by name, and
+/// per-worker pool utilization.  Embedded in every `--json` bench output so cache
+/// hit rates, frontier depth and worker busy/idle time are attributable per run.
+///
+/// [`delta`]: mitra_trace::MetricsSnapshot::delta
+pub fn metrics_to_json(m: &mitra_trace::MetricsSnapshot) -> json::JsonValue {
+    let counters = json::JsonValue::Object(
+        m.counters
+            .iter()
+            .map(|&(name, v)| (name.to_string(), json::int(v as usize)))
+            .collect(),
+    );
+    let histograms = json::JsonValue::Object(
+        m.histograms
+            .iter()
+            .map(|&(name, h)| {
+                (
+                    name.to_string(),
+                    json::obj(vec![
+                        ("count", json::int(h.count as usize)),
+                        ("sum", json::int(h.sum as usize)),
+                        ("min", json::int(h.min as usize)),
+                        ("max", json::int(h.max as usize)),
+                        ("mean", json::num(h.mean())),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let workers = json::JsonValue::Array(
+        m.workers
+            .iter()
+            .map(|w| {
+                let busy = w.busy_ns as f64 / 1e9;
+                let idle = w.idle_ns as f64 / 1e9;
+                json::obj(vec![
+                    ("slot", json::int(w.slot)),
+                    ("busy_secs", json::num(busy)),
+                    ("idle_secs", json::num(idle)),
+                    ("pulls", json::int(w.pulls as usize)),
+                    (
+                        "utilization",
+                        json::num(if busy + idle > 0.0 {
+                            busy / (busy + idle)
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    json::obj(vec![
+        ("counters", counters),
+        ("histograms", histograms),
+        ("pool_workers", workers),
+    ])
+}
+
+/// The per-table execution profile as a JSON object — the execution-side sibling of
+/// [`profile_to_json`].
+pub fn execution_profile_to_json(p: &mitra_migrate::ExecutionProfile) -> json::JsonValue {
+    json::obj(vec![
+        ("wall_secs", json::num(p.wall.as_secs_f64())),
+        (
+            "tables",
+            json::JsonValue::Array(
+                p.tables
+                    .iter()
+                    .map(|t| {
+                        json::obj(vec![
+                            ("table", json::s(&t.table)),
+                            ("wall_secs", json::num(t.wall.as_secs_f64())),
+                            ("chunks", json::int(t.chunks)),
+                            ("tuples_considered", json::int(t.tuples_considered)),
+                            ("rows_emitted", json::int(t.rows_emitted)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Median of a slice of f64 values (0.0 for an empty slice).
 pub fn median(values: &[f64]) -> f64 {
     if values.is_empty() {

@@ -3,9 +3,11 @@
 //! `bench_smoke` baseline writer.
 
 use crate::json::{int, num, obj, s, JsonValue};
-use crate::profile_to_json;
-use mitra_datagen::datasets::all_datasets;
+use crate::{execution_profile_to_json, metrics_to_json, profile_to_json};
+use mitra_datagen::datasets::{all_datasets, DatasetSpec};
+use mitra_migrate::ExecutionProfile;
 use mitra_synth::synthesize::SynthProfile;
+use mitra_trace::MetricsSnapshot;
 
 /// One dataset's migration measurement (one row of Table 2).
 #[derive(Debug, Clone)]
@@ -39,6 +41,13 @@ pub struct MigrationRow {
     pub programs: Vec<String>,
     /// Field-wise sum of the per-table synthesis profiles.
     pub profile: SynthProfile,
+    /// Per-table execution breakdown (wall, chunk fan-out, tuple counts).
+    pub execution: ExecutionProfile,
+    /// Metrics recorded during this dataset's run (a [`MetricsSnapshot::delta`]
+    /// against the registry state just before it): cache hit/miss/insert counters,
+    /// frontier-depth histograms, per-worker pool utilization.  Empty when the
+    /// trace mode is `off`.
+    pub metrics: MetricsSnapshot,
     /// Error message when the migration failed outright.
     pub error: Option<String>,
 }
@@ -55,52 +64,72 @@ pub fn run_table2_with(scale: usize, threads: usize) -> Vec<MigrationRow> {
     let resolved = mitra_pool::resolve(threads);
     all_datasets()
         .into_iter()
-        .map(|spec| {
-            let mut plan = spec.migration_plan();
-            plan.synth_config.threads = resolved;
-            // Measure complete synthesis: a wall-clock timeout firing mid-search
-            // would change *which candidates get examined* depending on machine
-            // speed and thread count, making both the timing columns and the
-            // cross-thread-count determinism check meaningless on slow runners.
-            plan.synth_config.timeout = None;
-            let (document, _expected) = spec.generate(scale);
-            let elements = document.ids().filter(|id| !document.is_leaf(*id)).count();
-            match plan.run(&document) {
-                Ok(report) => MigrationRow {
-                    name: spec.name.to_string(),
-                    format: spec.format.to_string(),
-                    elements,
-                    tables: spec.table_count(),
-                    columns: spec.schema().total_columns(),
-                    synth_total_secs: report.synthesis_wall.as_secs_f64(),
-                    synth_cpu_secs: report.total_synthesis_time().as_secs_f64(),
-                    rows: report.total_rows(),
-                    exec_total_secs: report.total_execution_time().as_secs_f64(),
-                    violations: report.violations,
-                    threads: resolved,
-                    programs: report.programs().into_iter().map(str::to_string).collect(),
-                    profile: report.synthesis_profile(),
-                    error: None,
-                },
-                Err(e) => MigrationRow {
-                    name: spec.name.to_string(),
-                    format: spec.format.to_string(),
-                    elements,
-                    tables: spec.table_count(),
-                    columns: spec.schema().total_columns(),
-                    synth_total_secs: 0.0,
-                    synth_cpu_secs: 0.0,
-                    rows: 0,
-                    exec_total_secs: 0.0,
-                    violations: 0,
-                    threads: resolved,
-                    programs: Vec::new(),
-                    profile: SynthProfile::default(),
-                    error: Some(e.to_string()),
-                },
-            }
-        })
+        .map(|spec| run_dataset_row(&spec, scale, resolved))
         .collect()
+}
+
+/// Runs a single dataset's migration plan by (case-insensitive) name — the
+/// overhead-measurement and trace-artifact paths of `bench_smoke` use this to
+/// re-run MONDIAL alone instead of the whole suite.
+pub fn run_single_dataset(name: &str, scale: usize, threads: usize) -> Option<MigrationRow> {
+    let resolved = mitra_pool::resolve(threads);
+    all_datasets()
+        .into_iter()
+        .find(|spec| spec.name.eq_ignore_ascii_case(name))
+        .map(|spec| run_dataset_row(&spec, scale, resolved))
+}
+
+fn run_dataset_row(spec: &DatasetSpec, scale: usize, resolved: usize) -> MigrationRow {
+    let mut plan = spec.migration_plan();
+    plan.synth_config.threads = resolved;
+    // Measure complete synthesis: a wall-clock timeout firing mid-search
+    // would change *which candidates get examined* depending on machine
+    // speed and thread count, making both the timing columns and the
+    // cross-thread-count determinism check meaningless on slow runners.
+    plan.synth_config.timeout = None;
+    let (document, _expected) = spec.generate(scale);
+    let elements = document.ids().filter(|id| !document.is_leaf(*id)).count();
+    // The registry is process-global and cumulative; the delta against this
+    // snapshot attributes metrics to this dataset's run alone.
+    let metrics_before = mitra_trace::snapshot();
+    match plan.run(&document) {
+        Ok(report) => MigrationRow {
+            name: spec.name.to_string(),
+            format: spec.format.to_string(),
+            elements,
+            tables: spec.table_count(),
+            columns: spec.schema().total_columns(),
+            synth_total_secs: report.synthesis_wall.as_secs_f64(),
+            synth_cpu_secs: report.total_synthesis_time().as_secs_f64(),
+            rows: report.total_rows(),
+            exec_total_secs: report.total_execution_time().as_secs_f64(),
+            violations: report.violations,
+            threads: resolved,
+            programs: report.programs().into_iter().map(str::to_string).collect(),
+            profile: report.synthesis_profile(),
+            execution: report.execution_profile(),
+            metrics: mitra_trace::snapshot().delta(&metrics_before),
+            error: None,
+        },
+        Err(e) => MigrationRow {
+            name: spec.name.to_string(),
+            format: spec.format.to_string(),
+            elements,
+            tables: spec.table_count(),
+            columns: spec.schema().total_columns(),
+            synth_total_secs: 0.0,
+            synth_cpu_secs: 0.0,
+            rows: 0,
+            exec_total_secs: 0.0,
+            violations: 0,
+            threads: resolved,
+            programs: Vec::new(),
+            profile: SynthProfile::default(),
+            execution: ExecutionProfile::default(),
+            metrics: mitra_trace::snapshot().delta(&metrics_before),
+            error: Some(e.to_string()),
+        },
+    }
 }
 
 /// The rows as a JSON array value (insertion-ordered fields).
@@ -121,6 +150,8 @@ pub fn rows_to_json_value(rows: &[MigrationRow]) -> JsonValue {
                     ("violations", int(r.violations)),
                     ("threads", int(r.threads)),
                     ("profile", profile_to_json(&r.profile)),
+                    ("execution", execution_profile_to_json(&r.execution)),
+                    ("metrics", metrics_to_json(&r.metrics)),
                 ];
                 if let Some(e) = &r.error {
                     fields.push(("error", s(e)));
@@ -161,6 +192,17 @@ mod tests {
                 threads: 1,
                 programs: vec!["filter(...)".into()],
                 profile: SynthProfile::default(),
+                execution: ExecutionProfile {
+                    tables: vec![mitra_migrate::TableExecProfile {
+                        table: "person".into(),
+                        wall: std::time::Duration::from_millis(1),
+                        chunks: 1,
+                        tuples_considered: 300,
+                        rows_emitted: 275,
+                    }],
+                    wall: std::time::Duration::from_millis(1),
+                },
+                metrics: MetricsSnapshot::default(),
                 error: None,
             },
             MigrationRow {
@@ -177,6 +219,8 @@ mod tests {
                 threads: 1,
                 programs: Vec::new(),
                 profile: SynthProfile::default(),
+                execution: ExecutionProfile::default(),
+                metrics: MetricsSnapshot::default(),
                 error: Some("synthesis failed".into()),
             },
         ];
@@ -188,6 +232,12 @@ mod tests {
         assert!(json.contains("\"synth_cpu_secs\":3.5"));
         assert!(json.contains("\"profile\":{\"dfa_build_secs\":0"));
         assert!(json.contains("\"candidates_pruned\":0"));
+        // The execution profile and metrics block ride along in every row.
+        assert!(json.contains("\"execution\":{\"wall_secs\":0.001"));
+        assert!(json.contains("\"table\":\"person\""));
+        assert!(json.contains("\"chunks\":1"));
+        assert!(json.contains("\"tuples_considered\":300"));
+        assert!(json.contains("\"metrics\":{\"counters\":{}"));
         assert!(json.contains("\"error\":\"synthesis failed\""));
         // Programs are an in-process determinism probe, not part of the JSON.
         assert!(!json.contains("filter(...)"));

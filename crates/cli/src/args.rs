@@ -20,8 +20,19 @@ pub struct ParsedArgs {
 }
 
 /// Option keys that take a value; everything else starting with `--` is a switch.
-const VALUE_OPTIONS: [&str; 10] = [
-    "input", "output", "program", "format", "emit", "out", "limit", "scale", "query", "threads",
+const VALUE_OPTIONS: [&str; 12] = [
+    "input",
+    "output",
+    "program",
+    "format",
+    "emit",
+    "out",
+    "limit",
+    "scale",
+    "query",
+    "threads",
+    "trace-out",
+    "trace-folded",
 ];
 
 impl ParsedArgs {

@@ -84,6 +84,13 @@ Every command accepts --threads <n>: the number of worker threads for synthesis 
 execution (default: the MITRA_THREADS environment variable, else all available
 cores; 1 forces the sequential path).  Results are identical at every thread count.
 
+Every command also accepts --trace-out <file> and/or --trace-folded <file>: record a
+full trace of the run (spans across ingest, synthesis, execution and the worker
+pool) and write Chrome trace-event JSON — load it in Perfetto (ui.perfetto.dev) or
+chrome://tracing — or folded stacks for flamegraph tooling.  Tracing never changes
+results; without these flags the MITRA_TRACE environment variable (off|summary|full,
+default summary) picks how much the always-on metrics layer records.
+
 The synthesize command learns a transformation program from a single input document and
 the relational table it should produce (given as CSV with a header line).  The run
 command executes a previously saved program (in the textual DSL syntax) over a new,
@@ -110,7 +117,33 @@ where
         return Ok(USAGE.to_string());
     };
 
-    match command.as_str() {
+    // `--trace-out` / `--trace-folded` record a full trace of the command and write
+    // the Chrome trace-event JSON (Perfetto / chrome://tracing) or folded stacks
+    // (flamegraph input) after it completes.  Tracing never changes results — only
+    // what gets recorded (DESIGN.md §9).
+    let tracing = args.option("trace-out").is_some() || args.option("trace-folded").is_some();
+    if tracing {
+        mitra_trace::set_mode(mitra_trace::TraceMode::Full);
+        mitra_trace::clear_events();
+    }
+    let result = dispatch(&args, &command);
+    if tracing {
+        let events = mitra_trace::take_events();
+        if let Some(path) = args.option("trace-out") {
+            fs::write(path, mitra_trace::export::chrome_trace(&events))
+                .map_err(|e| CliError::Output(format!("cannot write `{path}`: {e}")))?;
+        }
+        if let Some(path) = args.option("trace-folded") {
+            fs::write(path, mitra_trace::export::folded_stacks(&events))
+                .map_err(|e| CliError::Output(format!("cannot write `{path}`: {e}")))?;
+        }
+    }
+    result
+}
+
+/// Dispatches one parsed command line to its [`commands`] implementation.
+fn dispatch(args: &ParsedArgs, command: &str) -> Result<String, CliError> {
+    match command {
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         "synthesize" => {
             let input_path = args.require("input").map_err(CliError::Usage)?;
@@ -118,20 +151,20 @@ where
             let document = read_file(input_path)?;
             let example = read_file(output_path)?;
             commands::check_output_example(&example)?;
-            let format = resolve_format(&args, input_path)?;
+            let format = resolve_format(args, input_path)?;
             let emit = match args.option("emit") {
                 Some(kind) => EmitKind::from_option(kind)?,
                 None => EmitKind::Dsl,
             };
             let rendered = commands::synthesize(&document, &example, format, emit)?;
-            write_or_return(&args, rendered)
+            write_or_return(args, rendered)
         }
         "run" => {
             let program_path = args.require("program").map_err(CliError::Usage)?;
             let input_path = args.require("input").map_err(CliError::Usage)?;
             let program_text = read_file(program_path)?;
             let document = read_file(input_path)?;
-            let format = resolve_format(&args, input_path)?;
+            let format = resolve_format(args, input_path)?;
             // Strip report/comment lines so `synthesize --out p.dsl` output can be fed
             // back directly.
             let program_text: String = program_text
@@ -140,7 +173,7 @@ where
                 .collect::<Vec<_>>()
                 .join("\n");
             let rendered = commands::run_program(&document, &program_text, format)?;
-            write_or_return(&args, rendered)
+            write_or_return(args, rendered)
         }
         "corpus" => {
             let limit = args.numeric_option("limit", 98).map_err(CliError::Usage)?;
@@ -162,7 +195,7 @@ where
                 .ok_or_else(|| CliError::Usage("migrate expects a dataset name".to_string()))?;
             let scale = args.numeric_option("scale", 25).map_err(CliError::Usage)?;
             let rendered = commands::migrate_dataset(&dataset, scale, args.option("query"))?;
-            write_or_return(&args, rendered)
+            write_or_return(args, rendered)
         }
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
@@ -246,6 +279,37 @@ mod tests {
         .unwrap();
         assert!(csv.contains("Ada,engineer"));
         for path in [doc, example, program_file] {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn trace_out_writes_a_chrome_trace_document() {
+        let doc = temp_file("trace-doc.xml", XML);
+        let example = temp_file("trace-example.csv", OUT);
+        let trace_path = temp_file("trace.json", "");
+        let out = run_cli([
+            "synthesize",
+            "--input",
+            doc.to_str().unwrap(),
+            "--output",
+            example.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("filter"), "synthesis still succeeds: {out}");
+        let trace = fs::read_to_string(&trace_path).unwrap();
+        // The file is valid JSON in the Chrome trace-event format with real events.
+        let parsed = mitra_hdt::parse_json(&trace).expect("trace file must be valid JSON");
+        let rendered = parsed.to_string_compact();
+        assert!(rendered.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"B\""), "no begin events recorded");
+        assert!(trace.contains("\"ph\":\"E\""), "no end events recorded");
+        assert!(trace.contains("learn_transformation"), "synth span missing");
+        // Restore the default mode for the other tests in this process.
+        mitra_trace::set_mode(mitra_trace::TraceMode::Summary);
+        for path in [doc, example, trace_path] {
             let _ = fs::remove_file(path);
         }
     }

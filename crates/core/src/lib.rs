@@ -39,6 +39,7 @@ pub use mitra_hdt::intern;
 pub use mitra_hdt::{Interner, Symbol, TagId};
 pub use mitra_migrate as migrate;
 pub use mitra_synth as synth;
+pub use mitra_trace as trace;
 
 /// The high-level Mitra engine: a synthesis configuration plus convenience entry
 /// points for the XML and JSON plug-ins.

@@ -122,7 +122,11 @@ pub fn parse_html(input: &str) -> Result<HtmlDocument> {
 
 /// Parses an HTML document and immediately converts it to an HDT.
 pub fn html_to_hdt(input: &str) -> Result<Hdt> {
-    Ok(parse_html(input)?.to_hdt())
+    let _span = mitra_trace::span("ingest", "html_to_hdt");
+    let tree = parse_html(input)?.to_hdt();
+    mitra_trace::counter_add!("ingest.html.docs", 1);
+    mitra_trace::counter_add!("ingest.html.nodes", tree.len() as u64);
+    Ok(tree)
 }
 
 /// Elements that never have content or a closing tag.

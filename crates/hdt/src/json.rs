@@ -150,7 +150,11 @@ pub fn parse_json(input: &str) -> Result<JsonValue> {
 
 /// Parses a JSON document and converts it to an HDT rooted at `root`.
 pub fn json_to_hdt(input: &str) -> Result<Hdt> {
-    Ok(parse_json(input)?.to_hdt("root"))
+    let _span = mitra_trace::span("ingest", "json_to_hdt");
+    let tree = parse_json(input)?.to_hdt("root");
+    mitra_trace::counter_add!("ingest.json.docs", 1);
+    mitra_trace::counter_add!("ingest.json.nodes", tree.len() as u64);
+    Ok(tree)
 }
 
 /// Formats an f64 the way JSON integers are usually written (no trailing `.0`).

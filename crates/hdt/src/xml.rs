@@ -111,7 +111,11 @@ pub fn parse_xml(input: &str) -> Result<XmlDocument> {
 
 /// Parses an XML document and immediately converts it to an HDT.
 pub fn xml_to_hdt(input: &str) -> Result<Hdt> {
-    Ok(parse_xml(input)?.to_hdt())
+    let _span = mitra_trace::span("ingest", "xml_to_hdt");
+    let tree = parse_xml(input)?.to_hdt();
+    mitra_trace::counter_add!("ingest.xml.docs", 1);
+    mitra_trace::counter_add!("ingest.xml.nodes", tree.len() as u64);
+    Ok(tree)
 }
 
 fn write_element(e: &XmlNode, indent: usize, out: &mut String) {

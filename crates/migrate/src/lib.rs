@@ -30,7 +30,9 @@ pub mod sql;
 
 pub use database::Database;
 pub use keys::KeySpec;
-pub use migrate::{MigrationError, MigrationPlan, MigrationReport, TableTask};
+pub use migrate::{
+    ExecutionProfile, MigrationError, MigrationPlan, MigrationReport, TableExecProfile, TableTask,
+};
 pub use query::{run_query, QueryError};
 pub use schema::{Column, ColumnType, ForeignKey, Schema, TableSchema};
 pub use sql::dump_sql;

@@ -13,7 +13,7 @@ use crate::schema::Schema;
 use mitra_dsl::eval::node_value;
 use mitra_dsl::{pretty, Program, Table, Value};
 use mitra_hdt::Hdt;
-use mitra_synth::exec::execute_nodes;
+use mitra_synth::exec::{execute_nodes_with_stats, ExecStats};
 use mitra_synth::synthesize::{
     learn_transformation, Example, SynthConfig, SynthError, SynthProfile,
 };
@@ -72,6 +72,34 @@ pub struct TableReport {
     pub program: String,
     /// Per-phase synthesis profile (`None` when a program was supplied directly).
     pub profile: Option<SynthProfile>,
+    /// Execution-engine statistics for this table (tuples considered before the
+    /// residual filter, rows emitted, chunk fan-out).
+    pub exec_stats: ExecStats,
+}
+
+/// Per-table execution breakdown — the execution-side sibling of [`SynthProfile`].
+#[derive(Debug, Clone, Default)]
+pub struct TableExecProfile {
+    /// Table name.
+    pub table: String,
+    /// Wall-clock time executing the program and generating keys for this table.
+    pub wall: Duration,
+    /// Chunks the residual filter fanned out over (1 = it ran inline).
+    pub chunks: usize,
+    /// Tuples produced before the residual predicate.
+    pub tuples_considered: usize,
+    /// Rows the program emitted (before key columns are attached).
+    pub rows_emitted: usize,
+}
+
+/// The execution-phase profile of a whole migration: one entry per table, in task
+/// order, plus the phase wall clock.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionProfile {
+    /// Per-table breakdowns, in task order.
+    pub tables: Vec<TableExecProfile>,
+    /// Wall-clock time of the whole execution phase.
+    pub wall: Duration,
 }
 
 /// The result of running a migration plan.
@@ -122,6 +150,25 @@ impl MigrationReport {
             }
         }
         total
+    }
+
+    /// Per-table execution breakdown (wall time, chunk fan-out, tuple counts) — the
+    /// execution-side counterpart of [`MigrationReport::synthesis_profile`].
+    pub fn execution_profile(&self) -> ExecutionProfile {
+        ExecutionProfile {
+            tables: self
+                .tables
+                .iter()
+                .map(|t| TableExecProfile {
+                    table: t.table.clone(),
+                    wall: t.execution_time,
+                    chunks: t.exec_stats.chunks,
+                    tuples_considered: t.exec_stats.tuples_considered,
+                    rows_emitted: t.exec_stats.rows_emitted,
+                })
+                .collect(),
+            wall: self.execution_wall,
+        }
     }
 }
 
@@ -227,6 +274,9 @@ impl MigrationPlan {
     /// order, so the populated database, the reported error (if any) and the
     /// synthesized programs are identical at every thread count.
     pub fn run(&self, document: &Hdt) -> Result<MigrationReport, MigrationError> {
+        let _run_span = mitra_trace::span_detail("migrate", "run_plan", || {
+            format!("tasks={}", self.tasks.len())
+        });
         self.validate()?;
         // Shared read-only across workers (synthesis examples carry their own trees,
         // but execution below reuses this document): build its index exactly once.
@@ -236,10 +286,13 @@ impl MigrationPlan {
         // Phase 1 — synthesis fan-out: obtain every table's program.  The arity
         // check lives inside the worker so the canonical task-order merge reports
         // the same first error the sequential loop would have.
+        let _synth_span = mitra_trace::span("migrate", "synthesis_phase");
         let synth_start = Instant::now();
         type TableProgram = Result<(Program, Duration, Option<SynthProfile>), MigrationError>;
         let outcomes: Vec<TableProgram> =
             mitra_pool::parallel_map(threads, &self.tasks, |_, task| {
+                let _span =
+                    mitra_trace::span_detail("migrate", "synthesize_table", || task.table.clone());
                 let t0 = Instant::now();
                 let (program, profile) = match &task.source {
                     TableSource::Program(p) => (p.clone(), None),
@@ -266,8 +319,10 @@ impl MigrationPlan {
             programs.push(outcome?);
         }
         let synthesis_wall = synth_start.elapsed();
+        drop(_synth_span);
 
         // Phase 2 — execution, in task order.
+        let _exec_span = mitra_trace::span("migrate", "execution_phase");
         let exec_start = Instant::now();
         let mut database = Database::new(self.schema.clone());
         let mut reports = Vec::with_capacity(self.tasks.len());
@@ -280,8 +335,10 @@ impl MigrationPlan {
 
             // Execute with the optimized engine, keeping node-level rows so the key
             // generators can see which tree nodes each row came from.
+            let _table_span =
+                mitra_trace::span_detail("migrate", "execute_table", || task.table.clone());
             let table_exec_start = Instant::now();
-            let node_rows = execute_nodes(document, &program);
+            let (node_rows, exec_stats) = execute_nodes_with_stats(document, &program);
             let mut out = Table::new(table_schema.column_names());
             for nodes in &node_rows {
                 let data_values: Vec<Value> =
@@ -308,9 +365,11 @@ impl MigrationPlan {
                 rows,
                 program: pretty::program(&program),
                 profile,
+                exec_stats,
             });
         }
         let execution_wall = exec_start.elapsed();
+        drop(_exec_span);
 
         let violations = database.check_constraints().len();
         Ok(MigrationReport {
@@ -465,6 +524,23 @@ mod tests {
         assert_eq!(report.database.row_count("friendship"), 8);
         assert_eq!(report.total_rows(), 12);
         assert_eq!(report.tables.len(), 2);
+    }
+
+    #[test]
+    fn execution_profile_reports_every_table() {
+        let doc = social_network(4, 2);
+        let report = plan().run(&doc).unwrap();
+        let profile = report.execution_profile();
+        assert_eq!(profile.tables.len(), 2);
+        assert_eq!(profile.tables[0].table, "person");
+        assert_eq!(profile.tables[1].table, "friendship");
+        for t in &profile.tables {
+            assert!(t.chunks >= 1, "chunk count missing for {}", t.table);
+            assert!(t.tuples_considered >= t.rows_emitted);
+        }
+        assert_eq!(profile.tables[0].rows_emitted, 4);
+        assert_eq!(profile.tables[1].rows_emitted, 8);
+        assert!(profile.wall >= profile.tables.iter().map(|t| t.wall).sum());
     }
 
     #[test]

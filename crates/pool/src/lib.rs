@@ -110,6 +110,20 @@ where
 {
     let depth = current_depth();
     if threads <= 1 || items.len() <= 1 || depth >= MAX_NESTING {
+        // Inline path: report under worker slot 0 so sequential runs still show
+        // pool utilization (one timing pair for the whole loop, not per item).
+        if mitra_trace::enabled() && !items.is_empty() {
+            let start = std::time::Instant::now();
+            let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            mitra_trace::record_worker(
+                0,
+                mitra_trace::duration_to_ns(start.elapsed()),
+                0,
+                items.len() as u64,
+            );
+            mitra_trace::counter_add!("pool.parallel_map.inline", 1);
+            return out;
+        }
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
@@ -118,17 +132,34 @@ where
     let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || Mutex::new(None));
 
+    mitra_trace::counter_add!("pool.parallel_map.spawned", 1);
+    let trace_on = mitra_trace::enabled();
+    let (next, slots_ref, f) = (&next, &slots, &f);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            scope.spawn(move || {
                 DEPTH.with(|d| d.set(depth + 1));
+                let span_start = trace_on.then(std::time::Instant::now);
+                let mut busy_ns: u64 = 0;
+                let mut pulls: u64 = 0;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
+                    let item_start = trace_on.then(std::time::Instant::now);
                     let r = f(i, &items[i]);
-                    *slots[i].lock().expect("slot lock poisoned") = Some(r);
+                    *slots_ref[i].lock().expect("slot lock poisoned") = Some(r);
+                    if let Some(s) = item_start {
+                        busy_ns += mitra_trace::duration_to_ns(s.elapsed());
+                        pulls += 1;
+                    }
+                }
+                if let Some(s) = span_start {
+                    // Anything not spent computing items is time the worker spent
+                    // claiming indices or waiting for the scope — report as idle.
+                    let total_ns = mitra_trace::duration_to_ns(s.elapsed());
+                    mitra_trace::record_worker(w, busy_ns, total_ns.saturating_sub(busy_ns), pulls);
                 }
             });
         }

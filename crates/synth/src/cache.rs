@@ -165,11 +165,19 @@ impl ColumnEvalCache {
             .expect("cache shard poisoned")
             .get(pi)
         {
+            mitra_trace::counter_add!("cache.column_nodes.hit", 1);
             return Arc::clone(hit);
         }
+        mitra_trace::counter_add!("cache.column_nodes.miss", 1);
         let nodes = Arc::new(eval_column(tree, pi));
         let mut shard = self.shards[ex_idx].lock().expect("cache shard poisoned");
-        Arc::clone(shard.entry(pi.clone()).or_insert(nodes))
+        match shard.entry(pi.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                mitra_trace::counter_add!("cache.column_nodes.insert", 1);
+                Arc::clone(e.insert(nodes))
+            }
+        }
     }
 
     /// The row-coverage bitmap of extractor `pi` on example `ex_idx`: bit `c` is
@@ -193,8 +201,10 @@ impl ColumnEvalCache {
             .expect("cache shard poisoned")
             .get(pi)
         {
+            mitra_trace::counter_add!("cache.row_coverage.hit", 1);
             return Arc::clone(hit);
         }
+        mitra_trace::counter_add!("cache.row_coverage.miss", 1);
         let nodes = self.column_nodes(ex_idx, tree, pi);
         let values: Vec<Value> = nodes.iter().map(|n| node_value(tree, *n)).collect();
         let bitmap: Vec<bool> = (0..output.arity())
@@ -202,7 +212,13 @@ impl ColumnEvalCache {
             .collect();
         let bitmap = Arc::new(bitmap);
         let mut shard = self.coverage[ex_idx].lock().expect("cache shard poisoned");
-        Arc::clone(shard.entry(pi.clone()).or_insert(bitmap))
+        match shard.entry(pi.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                mitra_trace::counter_add!("cache.row_coverage.insert", 1);
+                Arc::clone(e.insert(bitmap))
+            }
+        }
     }
 
     /// The valid node extractors of `pi` with their evaluations and behaviour
@@ -214,8 +230,10 @@ impl ColumnEvalCache {
         config: &UniverseConfig,
     ) -> Arc<ColumnPhiData> {
         if let Some(hit) = self.phi_data.lock().expect("cache shard poisoned").get(pi) {
+            mitra_trace::counter_add!("cache.phi_data.hit", 1);
             return Arc::clone(hit);
         }
+        mitra_trace::counter_add!("cache.phi_data.miss", 1);
         let with_nodes = valid_node_extractors_with_nodes(examples, pi, config);
         let mut phis = Vec::with_capacity(with_nodes.len());
         let mut nodes = Vec::with_capacity(with_nodes.len());
@@ -272,7 +290,13 @@ impl ColumnEvalCache {
             info,
         });
         let mut map = self.phi_data.lock().expect("cache shard poisoned");
-        Arc::clone(map.entry(pi.clone()).or_insert(data))
+        match map.entry(pi.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                mitra_trace::counter_add!("cache.phi_data.insert", 1);
+                Arc::clone(e.insert(data))
+            }
+        }
     }
 
     /// The constants mined from the example trees (rule 4's `c ∈ data(T)` side
@@ -281,8 +305,12 @@ impl ColumnEvalCache {
     pub fn constants(&self, examples: &[Example], max: usize) -> Arc<Vec<Value>> {
         let mut slot = self.constants.lock().expect("cache shard poisoned");
         match &*slot {
-            Some(hit) => Arc::clone(hit),
+            Some(hit) => {
+                mitra_trace::counter_add!("cache.constants.hit", 1);
+                Arc::clone(hit)
+            }
             None => {
+                mitra_trace::counter_add!("cache.constants.miss", 1);
                 let mined = Arc::new(mine_constants(examples, max));
                 *slot = Some(Arc::clone(&mined));
                 mined

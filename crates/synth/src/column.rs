@@ -141,39 +141,41 @@ pub fn learn_column_automata(
         .collect();
     let build_nanos = std::sync::atomic::AtomicU64::new(0);
     let dfas: Vec<Dfa> = mitra_pool::parallel_map(threads, &pairs, |_, &(col, ex_idx)| {
-        let start = std::time::Instant::now();
+        // The span feeds `build_nanos` on drop: summed across workers this is the
+        // CPU-time view the `SynthProfile` reports.
+        let _span = mitra_trace::span_acc("synth", "dfa_build", &build_nanos);
         let ex = &examples[ex_idx];
         let column: Vec<Value> = ex.output.column(col);
-        let dfa = Dfa::construct(&ex.tree, &column, limits);
-        build_nanos.fetch_add(
-            start.elapsed().as_nanos() as u64,
-            std::sync::atomic::Ordering::Relaxed,
-        );
-        dfa
+        Dfa::construct(&ex.tree, &column, limits)
     });
 
-    let intersect_start = std::time::Instant::now();
-    let mut per_dfa = dfas.into_iter();
-    let combined: Vec<Option<Dfa>> = (0..arity)
-        .map(|_| {
-            // Canonical merge: intersect this column's automata in example order.
-            let mut combined: Option<Dfa> = None;
-            for _ in 0..examples.len() {
-                let dfa = per_dfa.next().expect("one DFA per (column, example) pair");
-                combined = Some(match combined {
-                    None => dfa,
-                    Some(acc) => acc.intersect(&dfa),
-                });
-            }
-            combined
-        })
-        .collect();
+    let intersect_nanos = std::sync::atomic::AtomicU64::new(0);
+    let combined: Vec<Option<Dfa>> = {
+        let _span = mitra_trace::span_acc("synth", "dfa_intersect", &intersect_nanos);
+        let mut per_dfa = dfas.into_iter();
+        (0..arity)
+            .map(|_| {
+                // Canonical merge: intersect this column's automata in example order.
+                let mut combined: Option<Dfa> = None;
+                for _ in 0..examples.len() {
+                    let dfa = per_dfa.next().expect("one DFA per (column, example) pair");
+                    combined = Some(match combined {
+                        None => dfa,
+                        Some(acc) => acc.intersect(&dfa),
+                    });
+                }
+                combined
+            })
+            .collect()
+    };
     ColumnAutomata {
         dfas: combined,
         build: std::time::Duration::from_nanos(
             build_nanos.load(std::sync::atomic::Ordering::Relaxed),
         ),
-        intersect: intersect_start.elapsed(),
+        intersect: std::time::Duration::from_nanos(
+            intersect_nanos.load(std::sync::atomic::Ordering::Relaxed),
+        ),
     }
 }
 

@@ -136,7 +136,8 @@ pub fn plan(program: &Program) -> Plan {
     }
 }
 
-/// Statistics gathered during execution (useful for the ablation benchmarks).
+/// Statistics gathered during execution (useful for the ablation benchmarks and
+/// the migration execution profile).
 #[derive(Debug, Clone, Default)]
 pub struct ExecStats {
     /// Tuples produced before the residual predicate.
@@ -145,6 +146,8 @@ pub struct ExecStats {
     pub rows_emitted: usize,
     /// Whether any cross-product (non-join) extension step was needed.
     pub used_cross_product: bool,
+    /// Number of chunks the residual filter fanned out over (1 when it ran inline).
+    pub chunks: usize,
 }
 
 /// Executes a program with the optimized plan, returning the output table.
@@ -154,8 +157,14 @@ pub fn execute(tree: &Hdt, program: &Program) -> Table {
 
 /// Executes a program and also returns node-level rows (for key generation) and stats.
 pub fn execute_nodes(tree: &Hdt, program: &Program) -> Vec<Vec<NodeId>> {
+    execute_nodes_with_stats(tree, program).0
+}
+
+/// Like [`execute_nodes`], additionally returning the execution statistics — the
+/// migration layer uses these to build its per-table execution profile.
+pub fn execute_nodes_with_stats(tree: &Hdt, program: &Program) -> (Vec<Vec<NodeId>>, ExecStats) {
     let p = plan(program);
-    run_plan(tree, program, &p).0
+    run_plan(tree, program, &p)
 }
 
 /// Executes a program with the optimized plan, returning the table and statistics.
@@ -174,6 +183,7 @@ pub fn execute_with_stats(tree: &Hdt, program: &Program) -> (Table, ExecStats) {
 }
 
 fn run_plan(tree: &Hdt, program: &Program, p: &Plan) -> (Vec<Vec<NodeId>>, ExecStats) {
+    let _span = mitra_trace::span("exec", "run_plan");
     let arity = program.arity();
     let mut stats = ExecStats::default();
     if arity == 0 {
@@ -297,6 +307,7 @@ fn run_plan(tree: &Hdt, program: &Program, p: &Plan) -> (Vec<Vec<NodeId>>, ExecS
     let result: Vec<Vec<NodeId>> = if threads > 1 && partial.len() >= PARALLEL_FILTER_MIN_TUPLES {
         let chunk_size = partial.len().div_ceil(threads);
         let chunks: Vec<&[Vec<NodeId>]> = partial.chunks(chunk_size).collect();
+        stats.chunks = chunks.len();
         mitra_pool::parallel_map(threads, &chunks, |_, chunk| {
             chunk
                 .iter()
@@ -308,9 +319,13 @@ fn run_plan(tree: &Hdt, program: &Program, p: &Plan) -> (Vec<Vec<NodeId>>, ExecS
         .flatten()
         .collect()
     } else {
+        stats.chunks = 1;
         partial.into_iter().filter(|t| keep(t)).collect()
     };
     stats.rows_emitted = result.len();
+    mitra_trace::counter_add!("exec.tuples_considered", stats.tuples_considered as u64);
+    mitra_trace::counter_add!("exec.rows_emitted", stats.rows_emitted as u64);
+    mitra_trace::hist_observe!("exec.chunks", stats.chunks as u64);
     (result, stats)
 }
 

@@ -264,22 +264,24 @@ fn evaluate_candidate(
     }
 
     let psi = TableExtractor::new(combo.to_vec());
-    let t = Instant::now();
-    let phi = learn_predicate_cached(examples, &psi, pred_config, cache);
-    predicate_nanos.fetch_add(t.elapsed().as_nanos() as u64, Relaxed);
+    let phi = {
+        let _span = mitra_trace::span_acc("synth", "predicate_learn", predicate_nanos);
+        learn_predicate_cached(examples, &psi, pred_config, cache)
+    };
     let Some(phi) = phi else {
         return CandidateOutcome::Rejected;
     };
     let mut program = Program::new(psi, phi);
     program.column_names = examples[0].output.columns.clone();
     let limits = EvalLimits::with_max_rows(max_intermediate_rows);
-    let t = Instant::now();
-    let valid = examples.iter().all(|ex| {
-        eval_program_with(&ex.tree, &program, &limits)
-            .map(|t| t.same_bag(&ex.output))
-            .unwrap_or(false)
-    });
-    validate_nanos.fetch_add(t.elapsed().as_nanos() as u64, Relaxed);
+    let valid = {
+        let _span = mitra_trace::span_acc("synth", "validate", validate_nanos);
+        examples.iter().all(|ex| {
+            eval_program_with(&ex.tree, &program, &limits)
+                .map(|t| t.same_bag(&ex.output))
+                .unwrap_or(false)
+        })
+    };
     if !valid {
         return CandidateOutcome::Rejected;
     }
@@ -309,18 +311,21 @@ impl<'a> ColumnStream<'a> {
 
     /// Pulls words until index `idx` exists; false when the bounded language is
     /// exhausted first.  Pull time is accounted to the enumerate phase.
-    fn ensure(&mut self, idx: usize, enumerate_nanos: &mut u64) -> bool {
+    fn ensure(&mut self, idx: usize, enumerate_nanos: &AtomicU64) -> bool {
+        if self.exhausted || self.words.len() > idx {
+            return self.words.len() > idx;
+        }
+        let _span = mitra_trace::span_acc("synth", "dfa_enumerate", enumerate_nanos);
         while !self.exhausted && self.words.len() <= idx {
-            let t = Instant::now();
             match self.stream.next_word() {
                 Some(word) => {
                     let extractor = ColumnExtractor::from_steps(&word);
                     let size = extractor.size();
                     self.words.push((extractor, size));
+                    mitra_trace::counter_add!("synth.words_streamed", 1);
                 }
                 None => self.exhausted = true,
             }
-            *enumerate_nanos += t.elapsed().as_nanos() as u64;
         }
         self.words.len() > idx
     }
@@ -383,6 +388,9 @@ pub fn learn_transformation(
     if examples.iter().any(|e| e.output.arity() != arity) {
         return Err(SynthError::InconsistentArity);
     }
+    let _span = mitra_trace::span_detail("synth", "learn_transformation", || {
+        format!("arity={arity} examples={}", examples.len())
+    });
     let threads = mitra_pool::resolve(config.threads);
 
     // Build every example tree's navigation index up front: the workers below share
@@ -405,13 +413,14 @@ pub fn learn_transformation(
     }
 
     // Phase 2: best-first search over streamed combos.
-    let mut enumerate_nanos = 0u64;
+    let _search_span = mitra_trace::span("synth", "best_first_search");
+    let enumerate_nanos = AtomicU64::new(0);
     let mut streams: Vec<ColumnStream<'_>> = dfas
         .iter()
         .map(|dfa| ColumnStream::new(dfa.stream(config.dfa_limits.max_word_len)))
         .collect();
     for (col, stream) in streams.iter_mut().enumerate() {
-        if !stream.ensure(0, &mut enumerate_nanos) {
+        if !stream.ensure(0, &enumerate_nanos) {
             return Err(SynthError::NoColumnExtractor(col));
         }
     }
@@ -449,6 +458,7 @@ pub fn learn_transformation(
     let mut batch_size = 1usize;
 
     while popped_total < config.max_table_candidates {
+        mitra_trace::hist_observe!("synth.frontier_depth", heap.len() as u64);
         // Provably-minimal stop (DESIGN.md §8): every unexplored combo — frontier
         // entry or descendant thereof — has Σ sizes ≥ the frontier's minimum key,
         // hence program cost ≥ (0, min_key, 0).  An incumbent at or below that
@@ -475,7 +485,7 @@ pub fn learn_transformation(
             for col in last_nonzero..arity {
                 let mut succ = idxs.clone();
                 succ[col] += 1;
-                if streams[col].ensure(succ[col], &mut enumerate_nanos) {
+                if streams[col].ensure(succ[col], &enumerate_nanos) {
                     let succ_key = combo_key(&streams, &succ);
                     heap.push(Reverse((succ_key, succ)));
                 }
@@ -550,10 +560,12 @@ pub fn learn_transformation(
         batch_size = (batch_size * 2).min(16);
     }
 
+    mitra_trace::counter_add!("synth.candidates.examined", candidates_tried as u64);
+    mitra_trace::counter_add!("synth.candidates.pruned", pruned as u64);
     let profile = SynthProfile {
         dfa_build: automata.build,
         dfa_intersect: automata.intersect,
-        dfa_enumerate: Duration::from_nanos(enumerate_nanos),
+        dfa_enumerate: Duration::from_nanos(enumerate_nanos.load(Relaxed)),
         predicate_learn: Duration::from_nanos(predicate_nanos.load(Relaxed)),
         validate: Duration::from_nanos(validate_nanos.load(Relaxed)),
         candidates_examined: candidates_tried,

@@ -1,0 +1,236 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`) and
+//! folded stacks for flamegraph tooling.
+//!
+//! Both exporters work from a slice of [`Event`]s (usually [`crate::take_events`])
+//! so callers control when the buffers drain, and both emit plain strings — the
+//! crate stays dependency-free and does not touch the filesystem.
+
+use crate::span::{Event, Phase};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders events as a Chrome trace-event JSON document (the `traceEvents` array
+/// format), loadable in Perfetto and `chrome://tracing`.
+///
+/// Span begins/ends become `"B"`/`"E"` phase events with microsecond timestamps;
+/// each thread ordinal additionally gets an `"M"` (metadata) `thread_name` event
+/// so the timeline rows are labelled.  Span ids and parents ride along in `args`
+/// for flow queries.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            if tid == 0 {
+                "main".to_string()
+            } else {
+                format!("worker-{tid}")
+            }
+        );
+    }
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ph = match ev.phase {
+            Phase::Begin => 'B',
+            Phase::End => 'E',
+        };
+        // ts is fractional microseconds; emit ns/1000 with 3 decimals to keep
+        // full precision without floating-point formatting surprises.
+        let _ = write!(
+            out,
+            "{{\"ph\":\"{ph}\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\
+             \"ts\":{}.{:03}",
+            escape_json(ev.name),
+            escape_json(ev.cat),
+            ev.tid,
+            ev.ts_ns / 1000,
+            ev.ts_ns % 1000,
+        );
+        if ev.phase == Phase::Begin {
+            let _ = write!(out, ",\"args\":{{\"id\":{},\"parent\":{}", ev.id, ev.parent);
+            if let Some(detail) = &ev.detail {
+                let _ = write!(out, ",\"detail\":\"{}\"", escape_json(detail));
+            }
+            out.push_str("}}");
+        } else {
+            out.push('}');
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders events as folded stacks (`root;child;leaf <self-microseconds>`), the
+/// input format of flamegraph tooling.
+///
+/// Each thread's B/E sequence is replayed with an explicit stack; a frame's
+/// *self* time is its wall time minus time spent in enclosed child spans, so the
+/// folded counts sum to total traced wall time without double counting.
+/// Unbalanced tails (spans still open when the buffer was drained) are dropped.
+pub fn folded_stacks(events: &[Event]) -> String {
+    // Replay per thread: Chrome-style B/E streams are only nested per tid.
+    let mut per_tid: BTreeMap<u32, Vec<&Event>> = BTreeMap::new();
+    for ev in events {
+        per_tid.entry(ev.tid).or_default().push(ev);
+    }
+
+    struct Frame {
+        name: String,
+        start_ns: u64,
+        child_ns: u64,
+    }
+
+    // Aggregate identical stacks across threads: stack path → self-time ns.
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for evs in per_tid.values() {
+        let mut stack: Vec<Frame> = Vec::new();
+        for ev in evs {
+            match ev.phase {
+                Phase::Begin => stack.push(Frame {
+                    name: format!("{}::{}", ev.cat, ev.name),
+                    start_ns: ev.ts_ns,
+                    child_ns: 0,
+                }),
+                Phase::End => {
+                    let Some(frame) = stack.pop() else { continue };
+                    let total = ev.ts_ns.saturating_sub(frame.start_ns);
+                    let self_ns = total.saturating_sub(frame.child_ns);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child_ns += total;
+                    }
+                    let mut path = String::new();
+                    for f in &stack {
+                        path.push_str(&f.name);
+                        path.push(';');
+                    }
+                    path.push_str(&frame.name);
+                    *folded.entry(path).or_insert(0) += self_ns;
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (path, self_ns) in folded {
+        // Flamegraph counts are integers; microseconds keep short spans visible.
+        let _ = writeln!(out, "{path} {}", self_ns / 1000);
+    }
+    out
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts_ns: u64, tid: u32, phase: Phase, name: &'static str, id: u64, parent: u64) -> Event {
+        Event {
+            ts_ns,
+            tid,
+            phase,
+            cat: "test",
+            name,
+            id,
+            parent,
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_emits_balanced_events_and_metadata() {
+        let events = vec![
+            ev(1_000, 0, Phase::Begin, "outer", 1, 0),
+            ev(2_000, 0, Phase::Begin, "inner", 2, 1),
+            ev(3_500, 0, Phase::End, "inner", 2, 0),
+            ev(4_000, 0, Phase::End, "outer", 1, 0),
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+        assert!(
+            json.contains("\"ts\":3.500"),
+            "sub-µs precision kept: {json}"
+        );
+        assert!(json.contains("\"parent\":1"));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_detail() {
+        let mut e = ev(0, 0, Phase::Begin, "span", 1, 0);
+        e.detail = Some("a\"b\\c\nd".into());
+        let json = chrome_trace(&[e]);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn folded_stacks_compute_self_time() {
+        let events = vec![
+            ev(0, 0, Phase::Begin, "outer", 1, 0),
+            ev(10_000, 0, Phase::Begin, "inner", 2, 1),
+            ev(40_000, 0, Phase::End, "inner", 2, 0),
+            ev(100_000, 0, Phase::End, "outer", 1, 0),
+        ];
+        let folded = folded_stacks(&events);
+        // inner: 30 µs self; outer: 100 − 30 = 70 µs self.
+        assert!(folded.contains("test::outer 70"), "{folded}");
+        assert!(folded.contains("test::outer;test::inner 30"), "{folded}");
+    }
+
+    #[test]
+    fn folded_stacks_aggregate_across_threads() {
+        let events = vec![
+            ev(0, 0, Phase::Begin, "work", 1, 0),
+            ev(5_000, 0, Phase::End, "work", 1, 0),
+            ev(0, 1, Phase::Begin, "work", 1 << 32, 0),
+            ev(7_000, 1, Phase::End, "work", 1 << 32, 0),
+        ];
+        let folded = folded_stacks(&events);
+        assert!(folded.contains("test::work 12"), "{folded}");
+    }
+
+    #[test]
+    fn folded_stacks_drop_unbalanced_tail() {
+        let events = vec![
+            ev(0, 0, Phase::Begin, "closed", 1, 0),
+            ev(2_000, 0, Phase::End, "closed", 1, 0),
+            ev(3_000, 0, Phase::Begin, "open", 2, 0),
+        ];
+        let folded = folded_stacks(&events);
+        assert!(folded.contains("test::closed 2"), "{folded}");
+        assert!(!folded.contains("open"), "{folded}");
+    }
+}

@@ -1,0 +1,237 @@
+//! No-op mirror of the tracing API, compiled when the `trace` cargo feature is
+//! disabled.
+//!
+//! Every public item keeps its signature so instrumented crates build unchanged;
+//! metrics and events vanish, the exporters return empty documents.  Span guards
+//! still measure elapsed wall time and feed their accumulator — phase profiles
+//! ([`SynthProfile`]-style) are functional outputs, not telemetry, and must stay
+//! populated even in a trace-less build.
+//!
+//! [`SynthProfile`]: https://docs.rs/mitra-synth
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+/// Whether an event opens or closes a span (never constructed without `trace`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin.
+    Begin,
+    /// Span end.
+    End,
+}
+
+/// One buffered span event (never constructed without `trace`).
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Nanoseconds since the process-wide trace epoch.
+    pub ts_ns: u64,
+    /// Ordinal of the recording thread.
+    pub tid: u32,
+    /// Begin or end.
+    pub phase: Phase,
+    /// Span category.
+    pub cat: &'static str,
+    /// Span name.
+    pub name: &'static str,
+    /// Hierarchical span id.
+    pub id: u64,
+    /// Enclosing span id (0 for roots).
+    pub parent: u64,
+    /// Optional free-form detail.
+    pub detail: Option<Box<str>>,
+}
+
+/// RAII guard for one span: measures elapsed time, records nothing.
+pub struct SpanGuard<'a> {
+    start: Instant,
+    sink: Option<&'a AtomicU64>,
+}
+
+impl SpanGuard<'_> {
+    /// Wall time since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink {
+            sink.fetch_add(crate::duration_to_ns(self.start.elapsed()), Relaxed);
+        }
+    }
+}
+
+/// Opens a (non-recording) span.
+pub fn span(_cat: &'static str, _name: &'static str) -> SpanGuard<'static> {
+    SpanGuard {
+        start: Instant::now(),
+        sink: None,
+    }
+}
+
+/// Opens a span that adds its elapsed nanoseconds to `sink` on drop.
+pub fn span_acc<'a>(_cat: &'static str, _name: &'static str, sink: &'a AtomicU64) -> SpanGuard<'a> {
+    SpanGuard {
+        start: Instant::now(),
+        sink: Some(sink),
+    }
+}
+
+/// Opens a (non-recording) span; the detail closure is never evaluated.
+pub fn span_detail<F>(_cat: &'static str, _name: &'static str, _detail: F) -> SpanGuard<'static>
+where
+    F: FnOnce() -> String,
+{
+    SpanGuard {
+        start: Instant::now(),
+        sink: None,
+    }
+}
+
+/// Always empty.
+pub fn take_events() -> Vec<Event> {
+    Vec::new()
+}
+
+/// Always empty.
+pub fn events_snapshot() -> Vec<Event> {
+    Vec::new()
+}
+
+/// No-op.
+pub fn clear_events() {}
+
+/// A counter whose increments vanish.
+#[derive(Debug, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always 0.
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// A histogram whose observations vanish.
+#[derive(Debug, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline]
+    pub fn observe(&self, _v: u64) {}
+
+    /// Always empty.
+    pub fn get(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Returns the shared no-op counter.
+pub fn counter(_name: &'static str) -> &'static Counter {
+    static NOOP: Counter = Counter;
+    &NOOP
+}
+
+/// Returns the shared no-op histogram.
+pub fn histogram(_name: &'static str) -> &'static Histogram {
+    static NOOP: Histogram = Histogram;
+    &NOOP
+}
+
+/// Upper bound on tracked pool worker slots (mirrors the real value).
+pub const MAX_WORKER_SLOTS: usize = 64;
+
+/// No-op.
+pub fn record_worker(_slot: usize, _busy_ns: u64, _idle_ns: u64, _pulls: u64) {}
+
+/// Point-in-time view of one pool worker slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Worker slot index.
+    pub slot: usize,
+    /// Cumulative busy nanoseconds.
+    pub busy_ns: u64,
+    /// Cumulative idle nanoseconds.
+    pub idle_ns: u64,
+    /// Number of queue pulls.
+    pub pulls: u64,
+}
+
+/// Point-in-time view of the (always empty) metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Histogram name → state.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+    /// Pool worker slots.
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Always empty.
+    pub fn delta(&self, _earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Always 0.
+    pub fn counter(&self, _name: &str) -> u64 {
+        0
+    }
+
+    /// Always `None`.
+    pub fn histogram(&self, _name: &str) -> Option<HistogramSnapshot> {
+        None
+    }
+}
+
+/// Always empty.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot::default()
+}
+
+/// Exporters over the (always empty) event buffer.
+pub mod export {
+    use super::Event;
+
+    /// An empty but valid Chrome trace document.
+    pub fn chrome_trace(_events: &[Event]) -> String {
+        String::from("{\"traceEvents\":[]}")
+    }
+
+    /// An empty folded-stack document.
+    pub fn folded_stacks(_events: &[Event]) -> String {
+        String::new()
+    }
+}

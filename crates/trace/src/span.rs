@@ -1,0 +1,356 @@
+//! Span guards and the lock-sharded event buffer.
+//!
+//! Every thread owns one event buffer behind its own mutex; a thread only ever
+//! locks *its own* buffer (uncontended except while an exporter drains), so span
+//! recording scales with the worker count instead of serializing on one global
+//! lock.  Buffers are registered in a global list so the exporters can collect
+//! events from threads that have since exited (scoped pool workers are short-lived;
+//! the `Arc` keeps their history alive).
+//!
+//! Span ids are thread-aware and hierarchical: each thread keeps a stack of live
+//! spans, a new span's id is `(thread ordinal << 32) | per-thread sequence`, and its
+//! parent id is the top of the stack (0 for a root span).  Begin/end events carry
+//! the id and parent so exporters — and Perfetto's flow queries — can rebuild the
+//! tree without guessing from nesting.
+
+use crate::{duration_to_ns, events_enabled, now_ns};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Whether an event opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin (`ph: "B"` in the Chrome trace format).
+    Begin,
+    /// Span end (`ph: "E"`).
+    End,
+}
+
+/// One buffered span event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Nanoseconds since the process-wide trace epoch.
+    pub ts_ns: u64,
+    /// Ordinal of the recording thread (dense, assigned on first span).
+    pub tid: u32,
+    /// Begin or end.
+    pub phase: Phase,
+    /// Span category (pipeline layer: `ingest`, `synth`, `exec`, `migrate`, …).
+    pub cat: &'static str,
+    /// Span name within the category.
+    pub name: &'static str,
+    /// Hierarchical span id: `(tid << 32) | per-thread sequence`.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread; 0 for a root span.
+    pub parent: u64,
+    /// Optional free-form detail (e.g. a table name), only on begin events.
+    pub detail: Option<Box<str>>,
+}
+
+/// One thread's shared event buffer (the registry holds a second `Arc` so the
+/// events survive the thread's exit).
+type EventBuffer = Arc<Mutex<Vec<Event>>>;
+
+/// The per-thread event shard: its dense thread ordinal plus the buffer.
+struct Shard {
+    tid: u32,
+    events: EventBuffer,
+}
+
+/// Global registry of every thread's buffer (alive or exited).
+static SHARDS: OnceLock<Mutex<Vec<EventBuffer>>> = OnceLock::new();
+/// Dense thread-ordinal allocator.
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+fn shards() -> &'static Mutex<Vec<EventBuffer>> {
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static SHARD: Shard = {
+        let tid = NEXT_TID.fetch_add(1, Relaxed);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        shards().lock().expect("trace shard registry poisoned").push(Arc::clone(&events));
+        Shard { tid, events }
+    };
+    /// Stack of live span ids on this thread (the hierarchy source).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread span sequence for id assignment.
+    static SPAN_SEQ: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+fn push_event(ev: Event) {
+    SHARD.with(|s| {
+        s.events
+            .lock()
+            .expect("trace event shard poisoned")
+            .push(ev)
+    });
+}
+
+fn current_tid() -> u32 {
+    SHARD.with(|s| s.tid)
+}
+
+/// RAII guard for one span.
+///
+/// The guard always measures elapsed wall time (via [`SpanGuard::elapsed`] or an
+/// attached accumulator); begin/end events are recorded only when the mode is
+/// [`crate::TraceMode::Full`] *at span creation* — the end event pairs with the
+/// begin even if the mode flips mid-span, so per-thread event streams stay
+/// balanced.
+pub struct SpanGuard<'a> {
+    start: Instant,
+    cat: &'static str,
+    name: &'static str,
+    /// Set when a begin event was recorded (mode was Full at creation).
+    recorded: Option<RecordedSpan>,
+    /// Optional accumulator receiving the elapsed nanoseconds on drop.
+    sink: Option<&'a AtomicU64>,
+}
+
+struct RecordedSpan {
+    id: u64,
+    tid: u32,
+}
+
+fn open_span(cat: &'static str, name: &'static str, detail: Option<Box<str>>) -> RecordedSpan {
+    let tid = current_tid();
+    let seq = SPAN_SEQ.with(|s| {
+        let v = s.get().wrapping_add(1);
+        s.set(v);
+        v
+    });
+    let id = (u64::from(tid) << 32) | u64::from(seq);
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        parent
+    });
+    push_event(Event {
+        ts_ns: now_ns(),
+        tid,
+        phase: Phase::Begin,
+        cat,
+        name,
+        id,
+        parent,
+        detail,
+    });
+    RecordedSpan { id, tid }
+}
+
+impl<'a> SpanGuard<'a> {
+    fn new(
+        cat: &'static str,
+        name: &'static str,
+        detail: Option<Box<str>>,
+        sink: Option<&'a AtomicU64>,
+    ) -> SpanGuard<'a> {
+        let recorded = events_enabled().then(|| open_span(cat, name, detail));
+        SpanGuard {
+            start: Instant::now(),
+            cat,
+            name,
+            recorded,
+            sink,
+        }
+    }
+
+    /// Wall time since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink {
+            sink.fetch_add(duration_to_ns(self.start.elapsed()), Relaxed);
+        }
+        if let Some(rec) = self.recorded.take() {
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                // Guards are strictly nested per thread (RAII), so the top is ours.
+                if stack.last() == Some(&rec.id) {
+                    stack.pop();
+                } else {
+                    // Out-of-order drop (e.g. mem::forget games): drop the id
+                    // wherever it is rather than corrupting the stack.
+                    stack.retain(|&id| id != rec.id);
+                }
+            });
+            push_event(Event {
+                ts_ns: now_ns(),
+                tid: rec.tid,
+                phase: Phase::End,
+                cat: self.cat,
+                name: self.name,
+                id: rec.id,
+                parent: 0,
+                detail: None,
+            });
+        }
+    }
+}
+
+/// Opens a span; close it by dropping the guard.
+pub fn span(cat: &'static str, name: &'static str) -> SpanGuard<'static> {
+    SpanGuard::new(cat, name, None, None)
+}
+
+/// Opens a span that additionally adds its elapsed nanoseconds to `sink` on drop —
+/// the bridge between spans and the derived phase profiles ([`SynthProfile`]-style
+/// accumulators are plain `AtomicU64` nanosecond cells).
+///
+/// [`SynthProfile`]: https://docs.rs/mitra-synth
+pub fn span_acc<'a>(cat: &'static str, name: &'static str, sink: &'a AtomicU64) -> SpanGuard<'a> {
+    SpanGuard::new(cat, name, None, Some(sink))
+}
+
+/// Opens a span with a lazily computed detail string (evaluated only when events
+/// are being recorded, so the allocation never lands on the summary/off paths).
+pub fn span_detail<F>(cat: &'static str, name: &'static str, detail: F) -> SpanGuard<'static>
+where
+    F: FnOnce() -> String,
+{
+    let detail = events_enabled().then(|| detail().into_boxed_str());
+    SpanGuard::new(cat, name, detail, None)
+}
+
+/// Takes every buffered event out of all thread shards, ordered by timestamp
+/// (stable, so each thread's own order is preserved).
+pub fn take_events() -> Vec<Event> {
+    collect_events(true)
+}
+
+/// Copies every buffered event without clearing the buffers.
+pub fn events_snapshot() -> Vec<Event> {
+    collect_events(false)
+}
+
+/// Clears all buffered events.
+pub fn clear_events() {
+    let _ = collect_events(true);
+}
+
+fn collect_events(drain: bool) -> Vec<Event> {
+    let shards = shards().lock().expect("trace shard registry poisoned");
+    let mut all = Vec::new();
+    for shard in shards.iter() {
+        let mut buf = shard.lock().expect("trace event shard poisoned");
+        if drain {
+            all.append(&mut buf);
+        } else {
+            all.extend(buf.iter().cloned());
+        }
+    }
+    drop(shards);
+    all.sort_by_key(|e| e.ts_ns);
+    all
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::{set_mode, TraceMode};
+
+    /// The crate's tests share one process-global mode; serialize the ones that
+    /// flip it.
+    pub(crate) fn mode_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_record_balanced_events_in_full_mode() {
+        let _guard = mode_lock();
+        set_mode(TraceMode::Full);
+        clear_events();
+        {
+            let _outer = span("test", "outer");
+            let _inner = span("test", "inner");
+        }
+        let events = take_events();
+        set_mode(TraceMode::Summary);
+        let ours: Vec<&Event> = events.iter().filter(|e| e.cat == "test").collect();
+        assert_eq!(ours.len(), 4);
+        assert_eq!(ours[0].phase, Phase::Begin);
+        assert_eq!(ours[0].name, "outer");
+        assert_eq!(ours[1].name, "inner");
+        // inner's parent is outer; outer is a root span.
+        assert_eq!(ours[1].parent, ours[0].id);
+        assert_eq!(ours[0].parent, 0);
+        // Ends close in reverse order with matching ids.
+        assert_eq!(ours[2].phase, Phase::End);
+        assert_eq!(ours[2].id, ours[1].id);
+        assert_eq!(ours[3].id, ours[0].id);
+        // Timestamps are monotone within the thread.
+        for w in ours.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn off_and_summary_modes_record_no_events() {
+        let _guard = mode_lock();
+        for m in [TraceMode::Off, TraceMode::Summary] {
+            set_mode(m);
+            clear_events();
+            let g = span("quiet", "nothing");
+            drop(g);
+            assert!(
+                take_events().iter().all(|e| e.cat != "quiet"),
+                "events recorded in mode {m:?}"
+            );
+        }
+        set_mode(TraceMode::Summary);
+    }
+
+    #[test]
+    fn span_acc_accumulates_regardless_of_mode() {
+        let _guard = mode_lock();
+        set_mode(TraceMode::Off);
+        let sink = AtomicU64::new(0);
+        {
+            let _s = span_acc("test", "timed", &sink);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        set_mode(TraceMode::Summary);
+        assert!(sink.load(Relaxed) >= 1_000_000, "sink not fed in Off mode");
+    }
+
+    #[test]
+    fn detail_is_lazy() {
+        let _guard = mode_lock();
+        set_mode(TraceMode::Summary);
+        let mut called = false;
+        {
+            let _s = span_detail("test", "lazy", || {
+                called = true;
+                String::from("never")
+            });
+        }
+        assert!(!called, "detail closure ran outside Full mode");
+    }
+
+    #[test]
+    fn worker_thread_events_are_collected() {
+        let _guard = mode_lock();
+        set_mode(TraceMode::Full);
+        clear_events();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _s = span("test-worker", "on-worker");
+            });
+        });
+        let events = take_events();
+        set_mode(TraceMode::Summary);
+        let ours: Vec<&Event> = events.iter().filter(|e| e.cat == "test-worker").collect();
+        assert_eq!(ours.len(), 2, "worker events lost after thread exit");
+        assert_eq!(ours[0].tid, ours[1].tid);
+    }
+}

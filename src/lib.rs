@@ -12,12 +12,14 @@
 //!   optimizer, execution engine);
 //! * [`codegen`] — the XSLT and JavaScript back-ends;
 //! * [`migrate`] — relational schemas, key generation and full-database migration;
-//! * [`datagen`] — synthetic workloads used by the evaluation harness.
+//! * [`datagen`] — synthetic workloads used by the evaluation harness;
+//! * [`trace`] — structured spans, the metrics registry and the Chrome-trace /
+//!   folded-stack exporters (`MITRA_TRACE=off|summary|full`, DESIGN.md §9).
 //!
 //! See `examples/quickstart.rs` for a two-minute tour and DESIGN.md / EXPERIMENTS.md
 //! for the mapping from the paper's evaluation to the benchmark harness.
 
-pub use mitra_core::{codegen, dsl, hdt, migrate, synth};
+pub use mitra_core::{codegen, dsl, hdt, migrate, synth, trace};
 pub use mitra_core::{intern, Interner, Symbol, TagId};
 pub use mitra_core::{parse_csv_table, Mitra, MitraError};
 pub use mitra_datagen as datagen;

@@ -1,0 +1,164 @@
+//! Observability must be free of observer effects.
+//!
+//! The trace layer records spans and metrics into process-global state, so these
+//! tests drive two end-to-end properties through the facade:
+//!
+//! * **determinism** — synthesis returns byte-identical programs and costs with
+//!   tracing fully on (`full`) and fully off, at 1 and at 4 worker threads.  The
+//!   instrumentation may cost time but must never change results;
+//! * **export round-trip** — the Chrome trace-event document produced from a real
+//!   migration run is valid JSON with balanced B/E span pairs and per-thread
+//!   monotone timestamps, i.e. something Perfetto will actually load.
+//!
+//! The trace mode is a process-global `AtomicU8`, so every test that flips it
+//! holds `MODE_LOCK` and restores the summary default before releasing it.
+
+use mitra::dsl::{pretty, Table, Value};
+use mitra::hdt::generate::{social_network, social_network_rows};
+use mitra::hdt::JsonValue;
+use mitra::synth::synthesize::{learn_transformation, Example, SynthConfig};
+use mitra::trace::{self, export, Phase, TraceMode};
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global trace mode.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn config(threads: usize) -> SynthConfig {
+    SynthConfig {
+        timeout: None,
+        max_column_candidates: 8,
+        max_table_candidates: 16,
+        threads,
+        ..Default::default()
+    }
+}
+
+/// The motivating example as a synthesis task (tree + expected output table).
+fn motivating_example() -> Example {
+    let tree = social_network(3, 1);
+    let rows = social_network_rows(3, 1);
+    let mut output = Table::new(vec![
+        "Person".to_string(),
+        "Friend-with".to_string(),
+        "years".to_string(),
+    ]);
+    for r in rows {
+        output.push(r.iter().map(|s| Value::from_data(s)).collect());
+    }
+    Example::new(tree, output)
+}
+
+#[test]
+fn trace_mode_never_changes_synthesis_results() {
+    let _guard = MODE_LOCK.lock().unwrap();
+    let example = motivating_example();
+    let examples = std::slice::from_ref(&example);
+
+    let mut baselines: Vec<(usize, String, String)> = Vec::new();
+    for threads in [1usize, 4] {
+        trace::set_mode(TraceMode::Off);
+        let off = learn_transformation(examples, &config(threads)).expect("synthesis (off)");
+        trace::set_mode(TraceMode::Full);
+        trace::clear_events();
+        let full = learn_transformation(examples, &config(threads)).expect("synthesis (full)");
+        let events = trace::take_events();
+        trace::set_mode(TraceMode::Summary);
+
+        assert_eq!(
+            pretty::program(&off.program),
+            pretty::program(&full.program),
+            "tracing changed the synthesized program at {threads} threads"
+        );
+        assert_eq!(off.cost, full.cost);
+        assert_eq!(off.candidates_tried, full.candidates_tried);
+        assert_eq!(off.programs_found, full.programs_found);
+        // Full mode actually recorded the search; off mode stays silent by design.
+        assert!(
+            events.iter().any(|e| e.name == "learn_transformation"),
+            "full mode recorded no learn_transformation span"
+        );
+        baselines.push((
+            threads,
+            pretty::program(&off.program),
+            format!("{:?}", off.cost),
+        ));
+    }
+    // And the thread counts agree with each other, traced or not.
+    assert_eq!(baselines[0].1, baselines[1].1);
+    assert_eq!(baselines[0].2, baselines[1].2);
+}
+
+#[test]
+fn chrome_trace_export_round_trips_through_the_json_parser() {
+    let _guard = MODE_LOCK.lock().unwrap();
+    trace::set_mode(TraceMode::Full);
+    trace::clear_events();
+    let example = motivating_example();
+    learn_transformation(std::slice::from_ref(&example), &config(4)).expect("synthesis");
+    let events = trace::take_events();
+    trace::set_mode(TraceMode::Summary);
+    assert!(!events.is_empty(), "full mode produced no events");
+
+    let doc = export::chrome_trace(&events);
+    // Valid JSON: the exporter's output must parse with the repo's own parser.
+    let parsed = mitra::hdt::parse_json(&doc).expect("chrome trace is valid JSON");
+    let JsonValue::Object(fields) = &parsed else {
+        panic!("chrome trace root is not an object");
+    };
+    let trace_events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("traceEvents field");
+    let JsonValue::Array(items) = trace_events else {
+        panic!("traceEvents is not an array");
+    };
+    assert!(!items.is_empty());
+
+    // Balanced B/E and monotone timestamps, checked per thread lane straight on
+    // the event buffer the document was generated from.
+    let mut stacks: std::collections::HashMap<u32, Vec<&'static str>> = Default::default();
+    let mut last_ts: std::collections::HashMap<u32, u64> = Default::default();
+    for e in &events {
+        let prev = last_ts.entry(e.tid).or_insert(0);
+        assert!(
+            e.ts_ns >= *prev,
+            "timestamps regressed on tid {}: {} after {}",
+            e.tid,
+            e.ts_ns,
+            prev
+        );
+        *prev = e.ts_ns;
+        match e.phase {
+            Phase::Begin => stacks.entry(e.tid).or_default().push(e.name),
+            Phase::End => {
+                let open = stacks.entry(e.tid).or_default().pop();
+                assert_eq!(open, Some(e.name), "unbalanced span end on tid {}", e.tid);
+            }
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+    }
+
+    // The serialized document mirrors the buffer: every non-metadata JSON event
+    // carries the Chrome phase letters and microsecond timestamps.
+    let span_items = items
+        .iter()
+        .filter_map(|item| {
+            let JsonValue::Object(ev) = item else {
+                return None;
+            };
+            let get = |k: &str| ev.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+            match get("ph") {
+                Some(JsonValue::String(ph)) if ph == "B" || ph == "E" => Some(()),
+                _ => None,
+            }
+        })
+        .count();
+    let buffer_spans = events
+        .iter()
+        .filter(|e| matches!(e.phase, Phase::Begin | Phase::End))
+        .count();
+    assert_eq!(span_items, buffer_spans);
+}
