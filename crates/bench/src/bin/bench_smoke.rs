@@ -26,9 +26,15 @@
 
 use mitra_bench::descend;
 use mitra_bench::json::{int, num, obj, s, JsonValue};
-use mitra_bench::table2::{rows_to_json_value, run_single_dataset, run_table2_with, MigrationRow};
+use mitra_bench::table2::{
+    rows_to_json_value, run_single_dataset, run_single_dataset_budgeted, run_table2_with,
+    MigrationRow,
+};
 use mitra_bench::{mean, median, profile_to_json, run_task, table1_config};
+use mitra_datagen::fuzz::migration_scenario;
 use mitra_datagen::generate_corpus;
+use mitra_synth::budget::Budget;
+use mitra_trace::fault::{set_fault, FaultSpec};
 use mitra_trace::TraceMode;
 
 fn main() {
@@ -118,6 +124,71 @@ fn main() {
         (overhead_ratio - 1.0) * 100.0
     );
 
+    // Budget-overhead check: MONDIAL sequential with the default unlimited budget
+    // vs a generous *finite* budget that never binds (the checks run, exhaustion
+    // never fires).  The CI gate asserts the budgeted run stays within 2% of the
+    // unlimited wall time — fuel accounting must be cheap enough to leave on.
+    eprintln!("bench_smoke: MONDIAL budget-overhead check (unlimited vs finite)...");
+    let mondial_unbudgeted = run_single_dataset("MONDIAL", scale, 1).expect("MONDIAL spec exists");
+    let generous = Budget {
+        max_candidates: Some(u64::MAX / 2),
+        max_dfa_states: Some(u64::MAX / 2),
+        max_rows: Some(u64::MAX / 2),
+    };
+    let mondial_budgeted =
+        run_single_dataset_budgeted("MONDIAL", scale, 1, generous).expect("MONDIAL spec exists");
+    let budget_ratio = if mondial_unbudgeted.synth_total_secs > 0.0 {
+        mondial_budgeted.synth_total_secs / mondial_unbudgeted.synth_total_secs
+    } else {
+        1.0
+    };
+    let budget_overhead = obj(vec![
+        ("unbudgeted_secs", num(mondial_unbudgeted.synth_total_secs)),
+        ("budgeted_secs", num(mondial_budgeted.synth_total_secs)),
+        ("overhead_ratio", num(budget_ratio)),
+    ]);
+    eprintln!(
+        "bench_smoke: MONDIAL synthesis unlimited {:.2}s vs budgeted {:.2}s ({:+.1}% overhead)",
+        mondial_unbudgeted.synth_total_secs,
+        mondial_budgeted.synth_total_secs,
+        (budget_ratio - 1.0) * 100.0
+    );
+
+    // Degradation snapshot: a 4-table fuzz migration degraded two ways — one
+    // injected worker panic, then a zero-candidate fuel budget — with the
+    // summary JSON embedded verbatim.  Everything here is deterministic (seeded
+    // scenario, work-counting budgets, no wall-clock in any outcome), so the
+    // block is diff-stable across machines; byte-identity across thread counts
+    // is asserted by the fuzz_smoke gate.
+    eprintln!("bench_smoke: degradation snapshot (injected panic + exhausted budget)...");
+    const DEGRADATION_SEED: u64 = 0x004D_177A;
+    set_fault(FaultSpec::parse("panic:migrate.table:2"));
+    let (fuzz_doc, mut fault_plan) = migration_scenario(DEGRADATION_SEED, 4);
+    fault_plan.synth_config.threads = 1;
+    let fault_report = fault_plan.run(&fuzz_doc).expect("non-strict runs degrade");
+    set_fault(None);
+    let (fuzz_doc, mut budget_plan) = migration_scenario(DEGRADATION_SEED, 4);
+    budget_plan.synth_config.threads = 1;
+    budget_plan.synth_config.budget = Budget {
+        max_candidates: Some(0),
+        ..Budget::UNLIMITED
+    };
+    let budget_report = budget_plan.run(&fuzz_doc).expect("non-strict runs degrade");
+    let summary_value =
+        |json: &str| mitra_hdt::parse_json(json).expect("degradation summaries are valid JSON");
+    let degradation = obj(vec![
+        ("seed", int(DEGRADATION_SEED as usize)),
+        ("fault", s("panic:migrate.table:2")),
+        (
+            "fault_injection",
+            summary_value(&fault_report.summary_json()),
+        ),
+        (
+            "budget_exhaustion",
+            summary_value(&budget_report.summary_json()),
+        ),
+    ]);
+
     // Optional Perfetto artifact: re-run MONDIAL in full mode and export the span
     // buffer as Chrome trace-event JSON.
     if let Some(path) = &trace_out {
@@ -173,6 +244,8 @@ fn main() {
         ("table1", table1),
         ("table2", table2),
         ("trace_overhead", trace_overhead),
+        ("budget_overhead", budget_overhead),
+        ("degradation", degradation),
         ("descendants_index", descendants),
     ]);
 

@@ -1,0 +1,161 @@
+//! Fuzz-smoke gate: the seeded adversarial suite plus fault-injection and
+//! budget-exhaustion determinism checks, exiting nonzero on any failure.
+//!
+//! Run with: `cargo run -p mitra-bench --release --bin fuzz_smoke
+//! [-- --scenarios N] [-- --seed S]`
+//!
+//! Three gates, all deterministic (no wall-clock anywhere in a verdict):
+//!
+//! 1. **Differential suite** — `--scenarios` seeded scenarios (default 200)
+//!    from `mitra_datagen::fuzz`, each run at 1 and 4 synthesis threads.
+//!    Fails on any [`Verdict::is_failure`] (search divergence, engine
+//!    divergence, panic) or any cross-thread verdict mismatch.
+//! 2. **Fault injection** — a 4-table migration with
+//!    `MITRA_FAULT=panic:migrate.table:2` injected: exactly one table must
+//!    degrade to `failed`, its siblings must populate, and the degradation
+//!    summary JSON must be byte-identical at 1 vs 4 threads.
+//! 3. **Budget exhaustion** — the same migration under a zero-candidate fuel
+//!    budget: every table degrades to `budget-exhausted`, again byte-identical
+//!    across thread counts.
+//!
+//! [`Verdict::is_failure`]: mitra_datagen::Verdict::is_failure
+
+use mitra_datagen::fuzz::{migration_scenario, run_suite};
+use mitra_migrate::TableOutcome;
+use mitra_synth::budget::Budget;
+use mitra_trace::fault::{set_fault, FaultSpec};
+use std::process::ExitCode;
+
+const DEFAULT_SCENARIOS: usize = 200;
+const DEFAULT_SEED: u64 = 0x004D_177A;
+
+fn main() -> ExitCode {
+    let mut scenarios = DEFAULT_SCENARIOS;
+    let mut seed = DEFAULT_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenarios" => {
+                scenarios = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scenarios takes a number");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes a u64");
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+
+    // Gate 1: the differential suite at 1 vs 4 threads.
+    let one = run_suite(seed, scenarios, 1);
+    let four = run_suite(seed, scenarios, 4);
+    for outcome in one.outcomes.iter().chain(four.outcomes.iter()) {
+        if outcome.verdict.is_failure() {
+            failures += 1;
+            eprintln!(
+                "FAIL scenario {} ({}): {:?}",
+                outcome.id, outcome.kind, outcome.verdict
+            );
+        }
+    }
+    for (a, b) in one.outcomes.iter().zip(four.outcomes.iter()) {
+        if a.verdict != b.verdict {
+            failures += 1;
+            eprintln!(
+                "FAIL scenario {} ({}): verdict differs at 1 vs 4 threads:\n  1: {:?}\n  4: {:?}",
+                a.id, a.kind, a.verdict, b.verdict
+            );
+        }
+    }
+    println!("fuzz-suite: {}", one.summary_json());
+
+    // Gate 2: an injected worker panic degrades exactly one table, identically
+    // at every thread count.
+    let fault_summaries: Vec<String> = [1usize, 4]
+        .iter()
+        .map(|&threads| {
+            set_fault(FaultSpec::parse("panic:migrate.table:2"));
+            let (doc, mut plan) = migration_scenario(seed, 4);
+            plan.synth_config.threads = threads;
+            let report = plan.run(&doc).expect("non-strict run degrades, not errors");
+            set_fault(None);
+            let d = report.degradation();
+            if d.failed != 1 || d.ok != 3 {
+                failures += 1;
+                eprintln!(
+                    "FAIL fault-injection at {threads} threads: expected 3 ok + 1 failed, got {}",
+                    report.summary_json()
+                );
+            }
+            if !matches!(
+                report.tables[2].outcome,
+                TableOutcome::Failed(mitra_migrate::MigrationError::Panicked { .. })
+            ) {
+                failures += 1;
+                eprintln!(
+                    "FAIL fault-injection at {threads} threads: table 2 outcome is `{}`",
+                    report.tables[2].outcome
+                );
+            }
+            report.summary_json()
+        })
+        .collect();
+    if fault_summaries[0] != fault_summaries[1] {
+        failures += 1;
+        eprintln!(
+            "FAIL fault-injection: summary differs at 1 vs 4 threads:\n  1: {}\n  4: {}",
+            fault_summaries[0], fault_summaries[1]
+        );
+    }
+    println!("fault-injection: {}", fault_summaries[0]);
+
+    // Gate 3: a zero-candidate fuel budget exhausts every table, identically
+    // at every thread count.
+    let budget_summaries: Vec<String> = [1usize, 4]
+        .iter()
+        .map(|&threads| {
+            let (doc, mut plan) = migration_scenario(seed, 4);
+            plan.synth_config.threads = threads;
+            plan.synth_config.budget = Budget {
+                max_candidates: Some(0),
+                ..Budget::UNLIMITED
+            };
+            let report = plan.run(&doc).expect("non-strict run degrades, not errors");
+            let d = report.degradation();
+            if d.budget_exhausted != 4 {
+                failures += 1;
+                eprintln!(
+                    "FAIL budget-exhaustion at {threads} threads: expected 4 exhausted tables, got {}",
+                    report.summary_json()
+                );
+            }
+            report.summary_json()
+        })
+        .collect();
+    if budget_summaries[0] != budget_summaries[1] {
+        failures += 1;
+        eprintln!(
+            "FAIL budget-exhaustion: summary differs at 1 vs 4 threads:\n  1: {}\n  4: {}",
+            budget_summaries[0], budget_summaries[1]
+        );
+    }
+    println!("budget-exhaustion: {}", budget_summaries[0]);
+
+    if failures > 0 {
+        eprintln!("fuzz-smoke: {failures} failure(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("fuzz-smoke: all gates passed ({scenarios} scenarios, seed {seed})");
+        ExitCode::SUCCESS
+    }
+}

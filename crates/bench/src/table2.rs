@@ -6,6 +6,7 @@ use crate::json::{int, num, obj, s, JsonValue};
 use crate::{execution_profile_to_json, metrics_to_json, profile_to_json};
 use mitra_datagen::datasets::{all_datasets, DatasetSpec};
 use mitra_migrate::ExecutionProfile;
+use mitra_synth::budget::Budget;
 use mitra_synth::synthesize::SynthProfile;
 use mitra_trace::MetricsSnapshot;
 
@@ -64,7 +65,7 @@ pub fn run_table2_with(scale: usize, threads: usize) -> Vec<MigrationRow> {
     let resolved = mitra_pool::resolve(threads);
     all_datasets()
         .into_iter()
-        .map(|spec| run_dataset_row(&spec, scale, resolved))
+        .map(|spec| run_dataset_row(&spec, scale, resolved, Budget::UNLIMITED))
         .collect()
 }
 
@@ -72,16 +73,34 @@ pub fn run_table2_with(scale: usize, threads: usize) -> Vec<MigrationRow> {
 /// overhead-measurement and trace-artifact paths of `bench_smoke` use this to
 /// re-run MONDIAL alone instead of the whole suite.
 pub fn run_single_dataset(name: &str, scale: usize, threads: usize) -> Option<MigrationRow> {
+    run_single_dataset_budgeted(name, scale, threads, Budget::UNLIMITED)
+}
+
+/// Like [`run_single_dataset`] but under an explicit fuel budget — the
+/// budget-overhead gate runs MONDIAL with a generous (never-binding) budget and
+/// compares against the unlimited run to price the budget checks themselves.
+pub fn run_single_dataset_budgeted(
+    name: &str,
+    scale: usize,
+    threads: usize,
+    budget: Budget,
+) -> Option<MigrationRow> {
     let resolved = mitra_pool::resolve(threads);
     all_datasets()
         .into_iter()
         .find(|spec| spec.name.eq_ignore_ascii_case(name))
-        .map(|spec| run_dataset_row(&spec, scale, resolved))
+        .map(|spec| run_dataset_row(&spec, scale, resolved, budget))
 }
 
-fn run_dataset_row(spec: &DatasetSpec, scale: usize, resolved: usize) -> MigrationRow {
+fn run_dataset_row(
+    spec: &DatasetSpec,
+    scale: usize,
+    resolved: usize,
+    budget: Budget,
+) -> MigrationRow {
     let mut plan = spec.migration_plan();
     plan.synth_config.threads = resolved;
+    plan.synth_config.budget = budget;
     // Measure complete synthesis: a wall-clock timeout firing mid-search
     // would change *which candidates get examined* depending on machine
     // speed and thread count, making both the timing columns and the

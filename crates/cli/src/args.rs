@@ -20,7 +20,7 @@ pub struct ParsedArgs {
 }
 
 /// Option keys that take a value; everything else starting with `--` is a switch.
-const VALUE_OPTIONS: [&str; 12] = [
+const VALUE_OPTIONS: [&str; 15] = [
     "input",
     "output",
     "program",
@@ -33,6 +33,9 @@ const VALUE_OPTIONS: [&str; 12] = [
     "threads",
     "trace-out",
     "trace-folded",
+    "budget-candidates",
+    "budget-dfa-states",
+    "budget-rows",
 ];
 
 impl ParsedArgs {

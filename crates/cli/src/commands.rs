@@ -13,6 +13,7 @@ use mitra_dsl::pretty;
 use mitra_dsl::validate::validate_against;
 use mitra_hdt::Hdt;
 use mitra_migrate::query::run_query;
+use mitra_synth::budget::Budget;
 use mitra_synth::exec::execute;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -211,14 +212,23 @@ pub fn corpus_report(limit: usize) -> String {
 
 /// `datasets`: migrate one of the built-in dataset simulators into a relational
 /// database at the given scale and optionally run a SQL query over the result.
+///
+/// Under `strict`, any degraded table aborts the whole migration with the first
+/// failure; otherwise degraded tables are reported per-table and the healthy
+/// remainder still populates.  `budget` caps synthesis/execution fuel per table
+/// (candidates popped, DFA states built, rows materialized) — exhaustion degrades
+/// that table to `budget-exhausted` instead of running unboundedly.
 pub fn migrate_dataset(
     name: &str,
     per_entity: usize,
     query: Option<&str>,
+    strict: bool,
+    budget: Budget,
 ) -> Result<String, CliError> {
     let spec = find_dataset(name)?;
     let (document, _expected) = spec.generate(per_entity);
-    let plan = spec.migration_plan();
+    let mut plan = spec.migration_plan().with_strict(strict);
+    plan.synth_config.budget = budget;
     let report = plan.run(&document).map_err(MitraError::from)?;
 
     let mut out = String::new();
@@ -235,14 +245,38 @@ pub fn migrate_dataset(
     let violations = report.database.check_constraints();
     let _ = writeln!(out, "constraint violations: {}", violations.len());
     for table in &report.tables {
+        if table.outcome.is_ok() {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>8} rows  synth {:>6.2}s  exec {:>6.2}s",
+                table.table,
+                table.rows,
+                table.synthesis_time.as_secs_f64(),
+                table.execution_time.as_secs_f64(),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>16}  {}",
+                table.table,
+                table.outcome.label(),
+                table.outcome,
+            );
+        }
+    }
+    let degradation = report.degradation();
+    if report.is_degraded() {
         let _ = writeln!(
             out,
-            "  {:<24} {:>8} rows  synth {:>6.2}s  exec {:>6.2}s",
-            table.table,
-            table.rows,
-            table.synthesis_time.as_secs_f64(),
-            table.execution_time.as_secs_f64(),
+            "degraded: {} ok, {} budget-exhausted, {} failed, {} skipped",
+            degradation.ok, degradation.budget_exhausted, degradation.failed, degradation.skipped,
         );
+    }
+    if report.all_failed() {
+        return Err(CliError::Synthesis(format!(
+            "no table migrated: {}",
+            report.summary_json()
+        )));
     }
     if let Some(sql) = query {
         let result = run_query(&report.database, sql).map_err(MitraError::from)?;
@@ -400,9 +434,49 @@ mod tests {
     #[test]
     fn migrate_dataset_with_query() {
         let scale = if cfg!(debug_assertions) { 2 } else { 3 };
-        let out = migrate_dataset("yelp", scale, Some("SELECT COUNT(*) FROM business")).unwrap();
+        let out = migrate_dataset(
+            "yelp",
+            scale,
+            Some("SELECT COUNT(*) FROM business"),
+            false,
+            Budget::UNLIMITED,
+        )
+        .unwrap();
         assert!(out.contains("constraint violations: 0"), "{out}");
         assert!(out.contains("COUNT(*)"), "{out}");
+        assert!(!out.contains("degraded:"), "{out}");
+    }
+
+    #[test]
+    fn migrate_dataset_under_a_zero_budget_degrades_every_table() {
+        // A zero-candidate fuel budget exhausts every table; with every table
+        // degraded the non-strict run still returns a report, but the CLI treats
+        // an all-failed migration as a synthesis error.
+        let exhausted = Budget {
+            max_candidates: Some(0),
+            ..Budget::UNLIMITED
+        };
+        let err = migrate_dataset("yelp", 2, None, false, exhausted).unwrap_err();
+        match err {
+            CliError::Synthesis(msg) => {
+                assert!(msg.contains("no table migrated"), "{msg}");
+                assert!(msg.contains("budget_exhausted"), "{msg}");
+            }
+            other => panic!("expected a synthesis error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn migrate_dataset_strict_aborts_on_the_first_exhausted_table() {
+        let exhausted = Budget {
+            max_candidates: Some(0),
+            ..Budget::UNLIMITED
+        };
+        let err = migrate_dataset("yelp", 2, None, true, exhausted).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Synthesis(msg) if msg.contains("fuel exhausted")),
+            "{err:?}"
+        );
     }
 
     #[test]

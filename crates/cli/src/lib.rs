@@ -8,7 +8,8 @@
 //! mitra-cli run        --program program.dsl --input big.xml [--format ...] [--out rows.csv]
 //! mitra-cli corpus     [--limit N]
 //! mitra-cli datasets
-//! mitra-cli migrate    <dblp|imdb|mondial|yelp> [--scale N] [--query 'SELECT ...']
+//! mitra-cli migrate    <dblp|imdb|mondial|yelp> [--scale N] [--query 'SELECT ...'] [--strict]
+//!                      [--budget-candidates N] [--budget-dfa-states N] [--budget-rows N]
 //! ```
 //!
 //! All the work happens in [`commands`], which operates on strings and is therefore
@@ -56,9 +57,9 @@ impl From<mitra_core::MitraError> for CliError {
     fn from(e: mitra_core::MitraError) -> Self {
         use mitra_core::MitraError;
         match &e {
-            MitraError::Synthesis(_) | MitraError::Migration(_) => {
-                CliError::Synthesis(e.to_string())
-            }
+            MitraError::Synthesis(_)
+            | MitraError::Migration(_)
+            | MitraError::BudgetExhausted(_) => CliError::Synthesis(e.to_string()),
             MitraError::Parse(_)
             | MitraError::BadOutputExample(_)
             | MitraError::DslParse(_)
@@ -77,7 +78,8 @@ USAGE:
     mitra-cli run --program <program.dsl> --input <doc> [--format xml|json|html] [--out <file>]
     mitra-cli corpus [--limit <n>]
     mitra-cli datasets
-    mitra-cli migrate <dblp|imdb|mondial|yelp> [--scale <per-entity>] [--query <sql>]
+    mitra-cli migrate <dblp|imdb|mondial|yelp> [--scale <per-entity>] [--query <sql>] [--strict]
+                      [--budget-candidates <n>] [--budget-dfa-states <n>] [--budget-rows <n>]
     mitra-cli help
 
 Every command accepts --threads <n>: the number of worker threads for synthesis and
@@ -94,7 +96,16 @@ default summary) picks how much the always-on metrics layer records.
 The synthesize command learns a transformation program from a single input document and
 the relational table it should produce (given as CSV with a header line).  The run
 command executes a previously saved program (in the textual DSL syntax) over a new,
-usually much larger, document.";
+usually much larger, document.
+
+The migrate command accepts deterministic fuel budgets: --budget-candidates,
+--budget-dfa-states and --budget-rows cap, per table, the candidate programs
+examined, the DFA states built, and the rows materialized (unset means unlimited).
+Budgets count work, never wall-clock, so a given budget degrades identically on
+every machine and at every thread count.  By default a table whose budget runs out
+(or whose synthesis fails or panics) is reported as degraded while the remaining
+tables still migrate; --strict restores fail-fast behaviour, aborting the whole
+migration on the first problem.";
 
 /// Runs the CLI on already-split arguments and returns the text to print.
 ///
@@ -194,12 +205,33 @@ fn dispatch(args: &ParsedArgs, command: &str) -> Result<String, CliError> {
                 .cloned()
                 .ok_or_else(|| CliError::Usage("migrate expects a dataset name".to_string()))?;
             let scale = args.numeric_option("scale", 25).map_err(CliError::Usage)?;
-            let rendered = commands::migrate_dataset(&dataset, scale, args.option("query"))?;
+            let budget = mitra_synth::budget::Budget {
+                max_candidates: budget_option(args, "budget-candidates")?,
+                max_dfa_states: budget_option(args, "budget-dfa-states")?,
+                max_rows: budget_option(args, "budget-rows")?,
+            };
+            let rendered = commands::migrate_dataset(
+                &dataset,
+                scale,
+                args.option("query"),
+                args.has_flag("strict"),
+                budget,
+            )?;
             write_or_return(args, rendered)
         }
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),
+    }
+}
+
+/// Parses one optional `--budget-*` fuel limit; absent means unlimited.
+fn budget_option(args: &ParsedArgs, key: &str) -> Result<Option<u64>, CliError> {
+    match args.option(key) {
+        None => Ok(None),
+        Some(text) => text.parse::<u64>().map(Some).map_err(|_| {
+            CliError::Usage(format!("option `--{key}` expects a number, got `{text}`"))
+        }),
     }
 }
 
@@ -329,6 +361,34 @@ mod tests {
     #[test]
     fn migrate_requires_a_dataset_name() {
         assert!(matches!(run_cli(["migrate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn migrate_budget_flags_are_parsed_and_enforced() {
+        // A zero-candidate fuel budget exhausts every table immediately; the CLI
+        // reports the all-degraded migration as a synthesis error (and the run is
+        // fast, because no search happens).
+        let err = run_cli([
+            "migrate",
+            "yelp",
+            "--scale",
+            "2",
+            "--budget-candidates",
+            "0",
+        ]);
+        assert!(
+            matches!(&err, Err(CliError::Synthesis(msg)) if msg.contains("budget_exhausted")),
+            "{err:?}"
+        );
+        // A malformed budget value is a usage error, as is a missing one.
+        assert!(matches!(
+            run_cli(["migrate", "yelp", "--budget-rows", "lots"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_cli(["migrate", "yelp", "--budget-dfa-states"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use mitra_hdt::HdtError;
 use mitra_migrate::migrate::MigrationError;
 use mitra_migrate::query::QueryError;
 use mitra_migrate::schema::SchemaError;
+use mitra_synth::budget::BudgetExhausted;
 use mitra_synth::synthesize::SynthError;
 use std::fmt;
 
@@ -35,6 +36,9 @@ pub enum MitraError {
     Eval(EvalError),
     /// Synthesis failed.
     Synthesis(SynthError),
+    /// A deterministic fuel budget ran out before any program was found; the
+    /// payload carries the exhausted resource and the partial work profile.
+    BudgetExhausted(BudgetExhausted),
     /// Full-database migration failed.
     Migration(MigrationError),
     /// A SQL query over a migrated database failed.
@@ -51,6 +55,7 @@ impl fmt::Display for MitraError {
             MitraError::DslParse(e) => write!(f, "failed to parse DSL program: {e}"),
             MitraError::Eval(e) => write!(f, "evaluation failed: {e}"),
             MitraError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+            MitraError::BudgetExhausted(e) => write!(f, "synthesis budget exhausted: {e}"),
             MitraError::Migration(e) => write!(f, "migration failed: {e}"),
             MitraError::Query(e) => write!(f, "query failed: {e}"),
             MitraError::Schema(e) => write!(f, "invalid schema: {e}"),
@@ -66,6 +71,7 @@ impl std::error::Error for MitraError {
             MitraError::DslParse(e) => Some(e),
             MitraError::Eval(e) => Some(e),
             MitraError::Synthesis(e) => Some(e),
+            MitraError::BudgetExhausted(e) => Some(e),
             MitraError::Migration(e) => Some(e),
             MitraError::Query(e) => Some(e),
             MitraError::Schema(e) => Some(e),
@@ -93,7 +99,19 @@ impl From<EvalError> for MitraError {
 
 impl From<SynthError> for MitraError {
     fn from(e: SynthError) -> Self {
-        MitraError::Synthesis(e)
+        match e {
+            // Budget exhaustion gets its own top-level variant: callers (CLI,
+            // migration degradation reports) treat "ran out of fuel" differently
+            // from "no program exists".
+            SynthError::BudgetExhausted(b) => MitraError::BudgetExhausted(b),
+            other => MitraError::Synthesis(other),
+        }
+    }
+}
+
+impl From<BudgetExhausted> for MitraError {
+    fn from(e: BudgetExhausted) -> Self {
+        MitraError::BudgetExhausted(e)
     }
 }
 
@@ -147,6 +165,15 @@ mod tests {
             .into(),
             EvalError::TooManyRows { rows: 10, cap: 5 }.into(),
             SynthError::Timeout.into(),
+            SynthError::BudgetExhausted(BudgetExhausted {
+                breach: mitra_synth::budget::BudgetBreach {
+                    resource: mitra_synth::budget::BudgetResource::Candidates,
+                    spent: 8,
+                    limit: 8,
+                },
+                profile: Default::default(),
+            })
+            .into(),
             MigrationError::UnknownTable("t".into()).into(),
             QueryError::UnknownColumn("c".into()).into(),
             SchemaError("dangling foreign key".into()).into(),
@@ -160,6 +187,7 @@ mod tests {
                 MitraError::DslParse(_) => "dsl",
                 MitraError::Eval(_) => "eval",
                 MitraError::Synthesis(_) => "synth",
+                MitraError::BudgetExhausted(_) => "budget",
                 MitraError::Migration(_) => "migration",
                 MitraError::Query(_) => "query",
                 MitraError::Schema(_) => "schema",
@@ -172,6 +200,7 @@ mod tests {
                 "dsl",
                 "eval",
                 "synth",
+                "budget",
                 "migration",
                 "query",
                 "schema"

@@ -115,11 +115,13 @@ impl Task {
     pub fn scaled_document(&self, scale: usize) -> Hdt {
         // Re-generate using the same scenario with a larger size: the scenario id is
         // recoverable from the task id.
-        let spec = corpus_specs()
-            .into_iter()
-            .nth(self.id)
-            .expect("task id within corpus");
-        build_scenario(&spec, spec.size * scale.max(1)).0
+        // Task ids are minted by `generate_corpus` enumeration, so the lookup
+        // cannot miss; fall back to the unscaled example tree rather than panic
+        // on a hand-built task with a foreign id.
+        match corpus_specs().into_iter().nth(self.id) {
+            Some(spec) => build_scenario(&spec, spec.size * scale.max(1)).0,
+            None => self.example.tree.clone(),
+        }
     }
 }
 

@@ -106,7 +106,9 @@ impl DatasetSpec {
                     row.push(Value::from_data(&value));
                 }
                 let parent_key = row[0].clone();
-                tables.get_mut(entity.tag).expect("table exists").push(row);
+                if let Some(table) = tables.get_mut(entity.tag) {
+                    table.push(row);
+                }
 
                 for child in entity.children {
                     for j in 0..2 {
@@ -117,7 +119,9 @@ impl DatasetSpec {
                             tree.add_child(cnode, *field, Some(value.clone()));
                             crow.push(Value::from_data(&value));
                         }
-                        tables.get_mut(child.tag).expect("table exists").push(crow);
+                        if let Some(table) = tables.get_mut(child.tag) {
+                            table.push(crow);
+                        }
                     }
                 }
             }
@@ -133,10 +137,11 @@ impl DatasetSpec {
         let mut plan = MigrationPlan::new(schema.clone());
         plan.synth_config = dataset_synth_config();
         for table in &schema.tables {
-            let output = expected
-                .get(&table.name)
-                .expect("expected table generated")
-                .clone();
+            // `generate` populates one expected table per schema table, so a
+            // miss is impossible; skip the task rather than panic if it happens.
+            let Some(output) = expected.get(&table.name).cloned() else {
+                continue;
+            };
             let task = TableTask {
                 table: table.name.clone(),
                 source: TableSource::Examples(vec![Example::new(sample.clone(), output)]),
@@ -177,6 +182,7 @@ pub fn dataset_synth_config() -> SynthConfig {
         max_intermediate_rows: 200_000,
         exact_cover: true,
         timeout: Some(std::time::Duration::from_secs(120)),
+        budget: mitra_synth::budget::Budget::UNLIMITED,
         threads: 0,
     }
 }

@@ -18,7 +18,12 @@
 
 pub mod corpus;
 pub mod datasets;
+pub mod fuzz;
 pub mod social;
 
 pub use corpus::{generate_corpus, Category, DocFormat, Task};
 pub use datasets::{dblp, imdb, mondial, yelp, DatasetSpec};
+pub use fuzz::{
+    cross_thread_mismatches, migration_scenario, run_scenario, run_suite, scenario, FuzzOutcome,
+    FuzzReport, Scenario, ScenarioKind, Verdict,
+};

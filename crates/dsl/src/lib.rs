@@ -23,6 +23,10 @@
 //! * [`parse`] — a parser for that textual syntax (round-trips with [`pretty`]);
 //! * [`validate`] — static well-formedness checks for hand-written or loaded programs.
 
+// This crate is part of the hardened fault-tolerance surface: panicking
+// shortcuts are lint-rejected outside tests (see clippy.toml for the list).
+#![cfg_attr(not(test), warn(clippy::disallowed_methods))]
+
 pub mod ast;
 pub mod cost;
 pub mod eval;

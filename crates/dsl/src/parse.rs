@@ -23,6 +23,12 @@ use crate::ast::{
 };
 use crate::value::Value;
 
+/// Maximum nesting depth of the recursive-descent productions (`children(…)`,
+/// `parent(…)`, `!…`, parenthesized predicates).  Synthesized programs are a few
+/// levels deep; adversarial text like `!!!!…true` would otherwise overflow the
+/// parser's call stack (an abort, not a catchable panic).
+pub const MAX_PARSE_DEPTH: usize = 10_000;
+
 /// Error type for DSL text parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -88,11 +94,30 @@ pub fn parse_predicate(input: &str) -> Result<Predicate, ParseError> {
 struct P<'a> {
     input: &'a str,
     pos: usize,
+    /// Current recursion depth across extractor/predicate nesting.
+    depth: usize,
 }
 
 impl<'a> P<'a> {
     fn new(input: &'a str) -> Self {
-        P { input, pos: 0 }
+        P {
+            input,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Charges one level of nesting; typed error past [`MAX_PARSE_DEPTH`].
+    fn enter(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(self.err(format!("nesting depth limit ({MAX_PARSE_DEPTH}) exceeded")));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn rest(&self) -> &'a str {
@@ -138,7 +163,9 @@ impl<'a> P<'a> {
         while self.rest().starts_with(|c: char| {
             c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.'
         }) {
-            self.pos += self.rest().chars().next().unwrap().len_utf8();
+            // `starts_with` just matched, so a character is there; default to a
+            // 1-byte step rather than panic if that ever stops holding.
+            self.pos += self.rest().chars().next().map_or(1, char::len_utf8);
         }
         if self.pos == start {
             return Err(self.err("expected identifier"));
@@ -186,6 +213,13 @@ impl<'a> P<'a> {
     }
 
     fn parse_column(&mut self) -> Result<ColumnExtractor, ParseError> {
+        self.enter()?;
+        let column = self.parse_column_inner();
+        self.leave();
+        column
+    }
+
+    fn parse_column_inner(&mut self) -> Result<ColumnExtractor, ParseError> {
         self.ws();
         if self.eat("children(") {
             let inner = self.parse_column()?;
@@ -221,6 +255,13 @@ impl<'a> P<'a> {
     }
 
     fn parse_node(&mut self) -> Result<NodeExtractor, ParseError> {
+        self.enter()?;
+        let node = self.parse_node_inner();
+        self.leave();
+        node
+    }
+
+    fn parse_node_inner(&mut self) -> Result<NodeExtractor, ParseError> {
         self.ws();
         if self.eat("parent(") {
             let inner = self.parse_node()?;
@@ -275,6 +316,13 @@ impl<'a> P<'a> {
     }
 
     fn parse_unary(&mut self) -> Result<Predicate, ParseError> {
+        self.enter()?;
+        let pred = self.parse_unary_inner();
+        self.leave();
+        pred
+    }
+
+    fn parse_unary_inner(&mut self) -> Result<Predicate, ParseError> {
         self.ws();
         if self.eat("!") {
             let inner = self.parse_unary()?;
@@ -414,6 +462,25 @@ mod tests {
     fn rejects_trailing_garbage() {
         assert!(parse_predicate("true extra").is_err());
         assert!(parse_program("\\tau. filter((\\s.s){root(tau)}, \\t. true) junk").is_err());
+    }
+
+    #[test]
+    fn depth_limit_is_a_typed_error_not_a_crash() {
+        // Recursing to the 10k bound needs more stack than the default 2 MiB
+        // test thread; the production guard exists precisely so callers never
+        // reach the overflow.
+        std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn(|| {
+                let deep = format!("{}true", "!".repeat(MAX_PARSE_DEPTH + 1));
+                let err = parse_predicate(&deep).expect_err("must hit the depth limit");
+                assert!(err.message.contains("depth limit"), "{}", err.message);
+                let ok = format!("{}true", "!".repeat(64));
+                assert!(parse_predicate(&ok).is_ok());
+            })
+            .expect("spawn big-stack thread")
+            .join()
+            .expect("no panic");
     }
 
     #[test]

@@ -2,6 +2,15 @@
 
 use std::fmt;
 
+/// Maximum nesting depth the recursive-descent parsers accept.
+///
+/// Adversarial inputs like `[[[[…]]]]` or `<a><a><a>…` would otherwise drive the
+/// parser recursion (and the recursive drop of the parsed value) arbitrarily
+/// deep and crash with a stack overflow — an abort, not an unwindable panic, so
+/// not something the fault-tolerance layer can catch.  Every parser counts its
+/// container nesting and returns [`HdtError::DepthLimit`] past this bound.
+pub const MAX_PARSE_DEPTH: usize = 10_000;
+
 /// Errors produced while parsing XML/JSON documents or building trees.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HdtError {
@@ -10,6 +19,13 @@ pub enum HdtError {
         /// Human readable description of what went wrong.
         message: String,
         /// Byte offset into the input where the error was detected.
+        offset: usize,
+    },
+    /// Container nesting exceeded [`MAX_PARSE_DEPTH`] at the given byte offset.
+    DepthLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+        /// Byte offset of the container that went one level too deep.
         offset: usize,
     },
     /// The document was well-formed but structurally unusable (e.g. empty).
@@ -33,6 +49,9 @@ impl fmt::Display for HdtError {
         match self {
             HdtError::Parse { message, offset } => {
                 write!(f, "parse error at byte {offset}: {message}")
+            }
+            HdtError::DepthLimit { limit, offset } => {
+                write!(f, "nesting depth limit ({limit}) exceeded at byte {offset}")
             }
             HdtError::Structure(msg) => write!(f, "structure error: {msg}"),
             HdtError::InvalidNode(msg) => write!(f, "invalid node reference: {msg}"),

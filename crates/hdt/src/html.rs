@@ -20,7 +20,7 @@
 //! internal node, each attribute becomes a leaf child tagged with the attribute name,
 //! and text content becomes a leaf child tagged `text`.
 
-use crate::error::{HdtError, Result};
+use crate::error::{HdtError, Result, MAX_PARSE_DEPTH};
 use crate::tree::Hdt;
 use crate::NodeId;
 
@@ -108,10 +108,18 @@ impl HtmlDocument {
 /// Parses an HTML document or fragment.
 pub fn parse_html(input: &str) -> Result<HtmlDocument> {
     let mut parser = Parser::new(input);
-    let top = parser.parse_nodes()?;
-    let root = match top {
-        top if top.len() == 1 => top.into_iter().next().expect("length checked"),
-        top => {
+    let mut top = parser.parse_nodes()?;
+    let root = match top.pop() {
+        // `parse_nodes` never returns an empty list, but degrade to a typed
+        // error rather than panic if that invariant ever breaks.
+        None => {
+            return Err(HdtError::Structure(
+                "no elements found in HTML input".into(),
+            ))
+        }
+        Some(only) if top.is_empty() => only,
+        Some(last) => {
+            top.push(last);
             let mut synthetic = HtmlElement::new("html");
             synthetic.children = top;
             synthetic
@@ -425,8 +433,7 @@ impl<'a> Parser<'a> {
             return Ok(());
         }
         // Pop (and implicitly close) everything up to and including the match.
-        loop {
-            let open = stack.pop().expect("match existence checked above");
+        while let Some(open) = stack.pop() {
             let was_match = open.element.name == name;
             let element = open.finish();
             match stack.last_mut() {
@@ -455,7 +462,7 @@ impl<'a> Parser<'a> {
             .last()
             .is_some_and(|open| implicitly_closes(&open.element.name, &name))
         {
-            let open = stack.pop().expect("checked by while condition");
+            let Some(open) = stack.pop() else { break };
             let closed = open.finish();
             match stack.last_mut() {
                 Some(parent) => parent.element.children.push(closed),
@@ -484,6 +491,15 @@ impl<'a> Parser<'a> {
             return Ok(());
         }
 
+        // The parse itself is iterative, but the recursive HDT fill (and the
+        // recursive drop of the element tree) below would overflow on
+        // adversarially deep nesting — bound it here, where depth accumulates.
+        if stack.len() >= MAX_PARSE_DEPTH {
+            return Err(HdtError::DepthLimit {
+                limit: MAX_PARSE_DEPTH,
+                offset: self.pos,
+            });
+        }
         stack.push(OpenElement::new(element));
         Ok(())
     }
@@ -721,6 +737,19 @@ mod tests {
         assert!(parse_html("").is_err());
         assert!(parse_html("   \n  ").is_err());
         assert!(parse_html("just text, no markup").is_err());
+    }
+
+    #[test]
+    fn depth_limit_is_a_typed_error_not_a_crash() {
+        // The HTML parse itself is iterative, so no big-stack thread is needed:
+        // the guard fires while the open-element stack grows.
+        let limit = crate::error::MAX_PARSE_DEPTH;
+        let deep = "<div>".repeat(limit + 1);
+        match parse_html(&deep) {
+            Err(HdtError::DepthLimit { limit: l, .. }) => assert_eq!(l, limit),
+            Err(other) => panic!("expected depth-limit error, got {other:?}"),
+            Ok(_) => panic!("expected depth-limit error, got a parsed document"),
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 /// An interned string: a dense `u32` handle into the global [`Interner`].
 ///
@@ -113,17 +113,32 @@ impl Interner {
     }
 
     /// Interns a string, returning its symbol (idempotent).
+    ///
+    /// Lock poisoning is recovered rather than propagated: the table is
+    /// append-only and both `strings` and `map` are pushed in a fixed order, so
+    /// a panic elsewhere while a guard was held cannot leave a half-written
+    /// entry visible (the worst case is re-interning an in-flight string, which
+    /// the double-check below resolves).
     pub fn intern(&self, s: &str) -> Symbol {
-        if let Some(&id) = self.inner.read().expect("interner poisoned").map.get(s) {
+        if let Some(&id) = self
+            .inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .get(s)
+        {
             return Symbol(id);
         }
-        let mut inner = self.inner.write().expect("interner poisoned");
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         // Double-check: another thread may have interned `s` between the locks.
         if let Some(&id) = inner.map.get(s) {
             return Symbol(id);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = u32::try_from(inner.strings.len()).expect("interner overflow");
+        let id = match u32::try_from(inner.strings.len()) {
+            Ok(id) => id,
+            Err(_) => panic!("interner overflow: more than u32::MAX distinct tags"),
+        };
         inner.strings.push(leaked);
         inner.map.insert(leaked, id);
         Symbol(id)
@@ -134,7 +149,7 @@ impl Interner {
     pub fn resolve(&self, sym: Symbol) -> &'static str {
         self.inner
             .read()
-            .expect("interner poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .strings
             .get(sym.0 as usize)
             .copied()
@@ -145,7 +160,7 @@ impl Interner {
     pub fn lookup(&self, s: &str) -> Option<Symbol> {
         self.inner
             .read()
-            .expect("interner poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .map
             .get(s)
             .map(|&id| Symbol(id))
@@ -153,7 +168,11 @@ impl Interner {
 
     /// Number of distinct strings interned so far.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("interner poisoned").strings.len()
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .strings
+            .len()
     }
 
     /// True when nothing has been interned yet.

@@ -8,7 +8,7 @@
 //! values); objects and arrays become internal nodes with `data = nil`; an array value
 //! under key `k` becomes several nodes tagged `k` with `pos` 0, 1, 2, ….
 
-use crate::error::{HdtError, Result};
+use crate::error::{HdtError, Result, MAX_PARSE_DEPTH};
 use crate::tree::Hdt;
 use crate::NodeId;
 
@@ -262,6 +262,8 @@ struct JsonParser<'a> {
     input: &'a str,
     bytes: &'a [u8],
     pos: usize,
+    /// Current object/array nesting depth, bounded by [`MAX_PARSE_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> JsonParser<'a> {
@@ -270,7 +272,24 @@ impl<'a> JsonParser<'a> {
             input,
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         }
+    }
+
+    /// Charges one level of container nesting; typed error past the bound.
+    fn enter(&mut self) -> Result<()> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(HdtError::DepthLimit {
+                limit: MAX_PARSE_DEPTH,
+                offset: self.pos,
+            });
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn at_end(&self) -> bool {
@@ -306,8 +325,18 @@ impl<'a> JsonParser<'a> {
     fn parse_value(&mut self) -> Result<JsonValue> {
         self.skip_ws();
         match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
+            Some(b'{') => {
+                self.enter()?;
+                let v = self.parse_object();
+                self.leave();
+                v
+            }
+            Some(b'[') => {
+                self.enter()?;
+                let v = self.parse_array();
+                self.leave();
+                v
+            }
             Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
             Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
             Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
@@ -428,8 +457,11 @@ impl<'a> JsonParser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let ch = self.input[self.pos..].chars().next().unwrap();
+                    // Consume one UTF-8 character; `peek` saw a byte, so one is
+                    // there, but degrade to a typed error rather than panic.
+                    let Some(ch) = self.input[self.pos..].chars().next() else {
+                        return Err(HdtError::parse("unterminated string", self.pos));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -575,6 +607,29 @@ mod tests {
         let v = parse_json(SOCIAL).unwrap();
         // object root + Person array + 2 person objects + Friendship + Friend array + friend object
         assert_eq!(v.element_count(), 7);
+    }
+
+    #[test]
+    fn depth_limit_is_a_typed_error_not_a_crash() {
+        // Recursing to the 10k bound needs more stack than the default 2 MiB
+        // test thread; the production guard exists precisely so callers never
+        // reach the overflow.
+        std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn(|| {
+                let limit = crate::error::MAX_PARSE_DEPTH;
+                let deep = "[".repeat(limit + 1);
+                match parse_json(&deep) {
+                    Err(HdtError::DepthLimit { limit: l, .. }) => assert_eq!(l, limit),
+                    other => panic!("expected depth-limit error, got {other:?}"),
+                }
+                // Exactly at the limit still parses.
+                let ok = format!("{}1{}", "[".repeat(limit), "]".repeat(limit));
+                assert!(parse_json(&ok).is_ok());
+            })
+            .expect("spawn big-stack thread")
+            .join()
+            .expect("no panic");
     }
 
     #[test]

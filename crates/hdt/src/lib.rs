@@ -24,6 +24,10 @@
 //! pre-order / per-tag occurrence indexes that make `descendants`/`children` lookups
 //! `O(log n + k)` range scans (see DESIGN.md §2 "Tree representation & indexing").
 
+// This crate is part of the hardened ingestion surface: panicking shortcuts are
+// lint-rejected outside tests (see clippy.toml for the disallowed method list).
+#![cfg_attr(not(test), warn(clippy::disallowed_methods))]
+
 pub mod error;
 pub mod generate;
 pub mod html;
@@ -33,7 +37,7 @@ pub mod node;
 pub mod tree;
 pub mod xml;
 
-pub use error::{HdtError, Result};
+pub use error::{HdtError, Result, MAX_PARSE_DEPTH};
 pub use html::{parse_html, HtmlDocument, HtmlElement};
 pub use intern::{Interner, Symbol, TagId};
 pub use json::{parse_json, JsonValue};

@@ -549,7 +549,9 @@ impl HdtBuilder {
     }
 
     fn top(&self) -> NodeId {
-        *self.stack.last().expect("builder stack never empty")
+        // `new()` seeds the stack with the root and `close()` refuses to pop it,
+        // so the stack is never empty; fall back to the root id for safety.
+        self.stack.last().copied().unwrap_or(NodeId::ROOT)
     }
 
     /// Opens a new internal node and makes it the current parent.

@@ -10,7 +10,7 @@
 //! nested elements*, so that an element with a mix of attributes, text, and nested
 //! elements is representable uniformly.
 
-use crate::error::{HdtError, Result};
+use crate::error::{HdtError, Result, MAX_PARSE_DEPTH};
 use crate::tree::Hdt;
 use crate::NodeId;
 
@@ -174,6 +174,8 @@ struct Parser<'a> {
     input: &'a str,
     bytes: &'a [u8],
     pos: usize,
+    /// Current element nesting depth, bounded by [`MAX_PARSE_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -182,6 +184,7 @@ impl<'a> Parser<'a> {
             input,
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         }
     }
 
@@ -277,6 +280,20 @@ impl<'a> Parser<'a> {
         if self.peek() != Some(b'<') {
             return Err(HdtError::parse("expected '<'", self.pos));
         }
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(HdtError::DepthLimit {
+                limit: MAX_PARSE_DEPTH,
+                offset: self.pos,
+            });
+        }
+        self.depth += 1;
+        let element = self.element_body();
+        self.depth -= 1;
+        element
+    }
+
+    /// Body of [`Parser::parse_element`], past the depth guard, positioned on `<`.
+    fn element_body(&mut self) -> Result<XmlNode> {
         self.bump(1);
         let name = self.parse_name()?;
         let mut node = XmlNode::new(name.clone());
@@ -306,11 +323,15 @@ impl<'a> Parser<'a> {
                     }
                     self.bump(1);
                     self.skip_ws();
-                    let quote = self.peek();
-                    if quote != Some(b'"') && quote != Some(b'\'') {
-                        return Err(HdtError::parse("expected quoted attribute value", self.pos));
-                    }
-                    let q = quote.unwrap();
+                    let q = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => {
+                            return Err(HdtError::parse(
+                                "expected quoted attribute value",
+                                self.pos,
+                            ))
+                        }
+                    };
                     self.bump(1);
                     let start = self.pos;
                     while let Some(b) = self.peek() {
@@ -537,6 +558,26 @@ mod tests {
     #[test]
     fn escape_escapes_all_specials() {
         assert_eq!(escape("<&>\"'"), "&lt;&amp;&gt;&quot;&apos;");
+    }
+
+    #[test]
+    fn depth_limit_is_a_typed_error_not_a_crash() {
+        // Recursing to the 10k bound needs more stack than the default 2 MiB
+        // test thread; the production guard exists precisely so callers never
+        // reach the overflow.
+        std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn(|| {
+                let limit = crate::error::MAX_PARSE_DEPTH;
+                let deep = "<a>".repeat(limit + 1);
+                match parse_xml(&deep) {
+                    Err(HdtError::DepthLimit { limit: l, .. }) => assert_eq!(l, limit),
+                    other => panic!("expected depth-limit error, got {other:?}"),
+                }
+            })
+            .expect("spawn big-stack thread")
+            .join()
+            .expect("no panic");
     }
 
     #[test]

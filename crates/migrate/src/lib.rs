@@ -31,7 +31,8 @@ pub mod sql;
 pub use database::Database;
 pub use keys::KeySpec;
 pub use migrate::{
-    ExecutionProfile, MigrationError, MigrationPlan, MigrationReport, TableExecProfile, TableTask,
+    DegradationSummary, ExecutionProfile, MigrationError, MigrationPlan, MigrationReport,
+    TableExecProfile, TableOutcome, TableReport, TableSource, TableTask,
 };
 pub use query::{run_query, QueryError};
 pub use schema::{Column, ColumnType, ForeignKey, Schema, TableSchema};

@@ -13,11 +13,13 @@ use crate::schema::Schema;
 use mitra_dsl::eval::node_value;
 use mitra_dsl::{pretty, Program, Table, Value};
 use mitra_hdt::Hdt;
-use mitra_synth::exec::{execute_nodes_with_stats, ExecStats};
+use mitra_synth::budget::BudgetExhausted;
+use mitra_synth::exec::{execute_nodes_budgeted, ExecStats};
 use mitra_synth::synthesize::{
     learn_transformation, Example, SynthConfig, SynthError, SynthProfile,
 };
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::time::{Duration, Instant};
 
 /// How the data columns of one target table are obtained.
@@ -52,6 +54,59 @@ pub struct MigrationPlan {
     pub tasks: Vec<TableTask>,
     /// Synthesis configuration used for example-based tasks.
     pub synth_config: SynthConfig,
+    /// Abort on the first failing table (`Err` from [`MigrationPlan::run`])
+    /// instead of degrading to a partial report.  Plan-level problems — an
+    /// invalid schema, a task naming an unknown table or column — abort in
+    /// either mode; `strict` only governs per-table synthesis/execution
+    /// failures.
+    pub strict: bool,
+}
+
+/// What became of one table of a (non-strict) migration run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableOutcome {
+    /// The table synthesized, executed and populated normally.
+    Ok,
+    /// A deterministic fuel budget ran out for this table (during synthesis or
+    /// execution); the payload carries the breach and partial work profile.
+    BudgetExhausted(BudgetExhausted),
+    /// Synthesis or execution failed (including a caught worker panic).
+    Failed(MigrationError),
+    /// The table was not attempted: one of its foreign keys references a table
+    /// that did not populate, so its rows could only dangle.
+    Skipped {
+        /// Human-readable reason (names the failed referenced table).
+        reason: String,
+    },
+}
+
+impl TableOutcome {
+    /// True for [`TableOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TableOutcome::Ok)
+    }
+
+    /// Stable lowercase label (`ok` / `budget-exhausted` / `failed` / `skipped`)
+    /// for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TableOutcome::Ok => "ok",
+            TableOutcome::BudgetExhausted(_) => "budget-exhausted",
+            TableOutcome::Failed(_) => "failed",
+            TableOutcome::Skipped { .. } => "skipped",
+        }
+    }
+}
+
+impl fmt::Display for TableOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableOutcome::Ok => f.write_str("ok"),
+            TableOutcome::BudgetExhausted(e) => write!(f, "budget exhausted: {e}"),
+            TableOutcome::Failed(e) => write!(f, "failed: {e}"),
+            TableOutcome::Skipped { reason } => write!(f, "skipped: {reason}"),
+        }
+    }
 }
 
 /// Per-table migration statistics.
@@ -59,6 +114,10 @@ pub struct MigrationPlan {
 pub struct TableReport {
     /// Table name.
     pub table: String,
+    /// What became of the table.  Non-`Ok` tables report zero rows, an empty
+    /// program (unless synthesis succeeded and execution failed) and default
+    /// execution stats.
+    pub outcome: TableOutcome,
     /// Time spent synthesizing the program (zero when a program was supplied).
     /// With a parallel plan this is the table's own wall time on its worker;
     /// per-table times overlap and may sum to more than the phase wall clock.
@@ -152,6 +211,62 @@ impl MigrationReport {
         total
     }
 
+    /// Counts per-table outcomes — the degradation matrix of a non-strict run.
+    pub fn degradation(&self) -> DegradationSummary {
+        let mut d = DegradationSummary::default();
+        for t in &self.tables {
+            match &t.outcome {
+                TableOutcome::Ok => d.ok += 1,
+                TableOutcome::BudgetExhausted(_) => d.budget_exhausted += 1,
+                TableOutcome::Failed(_) => d.failed += 1,
+                TableOutcome::Skipped { .. } => d.skipped += 1,
+            }
+        }
+        d
+    }
+
+    /// True when at least one table did not populate normally.
+    pub fn is_degraded(&self) -> bool {
+        self.tables.iter().any(|t| !t.outcome.is_ok())
+    }
+
+    /// True when *no* table populated — the only degraded state that maps to a
+    /// nonzero CLI/bench exit code.
+    pub fn all_failed(&self) -> bool {
+        !self.tables.is_empty() && self.tables.iter().all(|t| !t.outcome.is_ok())
+    }
+
+    /// A deterministic one-object JSON rendering of the degradation state: the
+    /// outcome counts plus a per-table `[name, outcome-label, detail]` list in
+    /// task order.  Built by hand — the migrate crate deliberately has no JSON
+    /// dependency — and containing no wall-clock fields, so two runs of the same
+    /// plan at any two thread counts render byte-identical summaries.
+    pub fn summary_json(&self) -> String {
+        let d = self.degradation();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"ok\": {}, \"budget_exhausted\": {}, \"failed\": {}, \"skipped\": {}, \"tables\": [",
+            d.ok, d.budget_exhausted, d.failed, d.skipped
+        ));
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let detail = match &t.outcome {
+                TableOutcome::Ok => String::new(),
+                other => other.to_string(),
+            };
+            out.push_str(&format!(
+                "[{}, {}, {}]",
+                json_string(&t.table),
+                json_string(t.outcome.label()),
+                json_string(&detail)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Per-table execution breakdown (wall time, chunk fan-out, tuple counts) — the
     /// execution-side counterpart of [`MigrationReport::synthesis_profile`].
     pub fn execution_profile(&self) -> ExecutionProfile {
@@ -170,6 +285,59 @@ impl MigrationReport {
             wall: self.execution_wall,
         }
     }
+}
+
+/// Outcome counts of a migration run, one bucket per [`TableOutcome`] variant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradationSummary {
+    /// Tables that populated normally.
+    pub ok: usize,
+    /// Tables whose fuel budget ran out.
+    pub budget_exhausted: usize,
+    /// Tables whose synthesis or execution failed (including caught panics).
+    pub failed: usize,
+    /// Tables skipped because a referenced table did not populate.
+    pub skipped: usize,
+}
+
+impl DegradationSummary {
+    /// Total number of tables.
+    pub fn total(&self) -> usize {
+        self.ok + self.budget_exhausted + self.failed + self.skipped
+    }
+}
+
+impl fmt::Display for DegradationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} tables ok ({} budget-exhausted, {} failed, {} skipped)",
+            self.ok,
+            self.total(),
+            self.budget_exhausted,
+            self.failed,
+            self.skipped
+        )
+    }
+}
+
+/// Minimal JSON string escaping for [`MigrationReport::summary_json`].
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Errors raised while running a migration plan.
@@ -195,6 +363,14 @@ pub enum MigrationError {
     },
     /// The program arity does not match the declared data columns.
     ArityMismatch(String),
+    /// A worker panicked while synthesizing or executing a table; the panic was
+    /// caught at the table boundary and isolated to that table.
+    Panicked {
+        /// The table whose worker panicked.
+        table: String,
+        /// The stringified panic payload.
+        message: String,
+    },
 }
 
 impl fmt::Display for MigrationError {
@@ -214,6 +390,9 @@ impl fmt::Display for MigrationError {
                     "program arity does not match data columns for table `{t}`"
                 )
             }
+            MigrationError::Panicked { table, message } => {
+                write!(f, "worker panicked for table `{table}`: {message}")
+            }
         }
     }
 }
@@ -227,12 +406,19 @@ impl MigrationPlan {
             schema,
             tasks: Vec::new(),
             synth_config: SynthConfig::default(),
+            strict: false,
         }
     }
 
     /// Adds a task (builder style).
     pub fn with_task(mut self, task: TableTask) -> Self {
         self.tasks.push(task);
+        self
+    }
+
+    /// Sets abort-on-first-error mode (builder style).
+    pub fn with_strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
         self
     }
 
@@ -273,6 +459,16 @@ impl MigrationPlan {
     /// limit.  Results are deterministic: per-table outcomes are merged in task
     /// order, so the populated database, the reported error (if any) and the
     /// synthesized programs are identical at every thread count.
+    ///
+    /// **Partial failure.** By default a failing table — synthesis error, budget
+    /// exhaustion, or a worker panic — degrades only itself: its
+    /// [`TableReport::outcome`] records what happened, tables whose foreign keys
+    /// reference it are [`TableOutcome::Skipped`], and every other table still
+    /// synthesizes, executes, and emits rows.  `run` returns `Err` only for
+    /// plan-validation failures; use [`MigrationReport::degradation`] /
+    /// [`MigrationReport::all_failed`] to inspect the outcome matrix.  With
+    /// [`MigrationPlan::with_strict`] the pre-degradation behaviour is restored:
+    /// the first failure in task order aborts the whole run with `Err`.
     pub fn run(&self, document: &Hdt) -> Result<MigrationReport, MigrationError> {
         let _run_span = mitra_trace::span_detail("migrate", "run_plan", || {
             format!("tasks={}", self.tasks.len())
@@ -285,14 +481,20 @@ impl MigrationPlan {
 
         // Phase 1 — synthesis fan-out: obtain every table's program.  The arity
         // check lives inside the worker so the canonical task-order merge reports
-        // the same first error the sequential loop would have.
+        // the same first error the sequential loop would have.  Each slot is
+        // panic-isolated: a panicking table (including an injected
+        // `migrate.table` fault) poisons only its own outcome.
         let _synth_span = mitra_trace::span("migrate", "synthesis_phase");
         let synth_start = Instant::now();
-        type TableProgram = Result<(Program, Duration, Option<SynthProfile>), MigrationError>;
-        let outcomes: Vec<TableProgram> =
-            mitra_pool::parallel_map(threads, &self.tasks, |_, task| {
+        type Synthesized = (Program, Duration, Option<SynthProfile>);
+        type TableProgram = Result<Synthesized, MigrationError>;
+        let outcomes: Vec<Result<TableProgram, mitra_pool::PanicPayload>> =
+            mitra_pool::parallel_map_catch(threads, &self.tasks, |i, task| {
                 let _span =
                     mitra_trace::span_detail("migrate", "synthesize_table", || task.table.clone());
+                // Fault-injection site keyed by the task index, so which table
+                // dies is independent of worker scheduling.
+                mitra_trace::fault::hit("migrate.table", i as u64);
                 let t0 = Instant::now();
                 let (program, profile) = match &task.source {
                     TableSource::Program(p) => (p.clone(), None),
@@ -314,43 +516,217 @@ impl MigrationPlan {
                 }
                 Ok((program, synthesis_time, profile))
             });
-        let mut programs = Vec::with_capacity(outcomes.len());
-        for outcome in outcomes {
-            programs.push(outcome?);
+        // Canonical task-order merge.  Strict mode reports the first failure in
+        // task order — the same error the sequential abort-on-first-error loop
+        // would have raised.
+        let mut synthesized: Vec<(Option<Synthesized>, TableOutcome)> =
+            Vec::with_capacity(outcomes.len());
+        for (task, outcome) in self.tasks.iter().zip(outcomes) {
+            match outcome {
+                Ok(Ok(p)) => synthesized.push((Some(p), TableOutcome::Ok)),
+                Ok(Err(e)) => {
+                    if self.strict {
+                        return Err(e);
+                    }
+                    let o = match e {
+                        MigrationError::Synthesis {
+                            error: SynthError::BudgetExhausted(b),
+                            ..
+                        } => TableOutcome::BudgetExhausted(b),
+                        other => TableOutcome::Failed(other),
+                    };
+                    synthesized.push((None, o));
+                }
+                Err(panic) => {
+                    let e = MigrationError::Panicked {
+                        table: task.table.clone(),
+                        message: panic.message,
+                    };
+                    if self.strict {
+                        return Err(e);
+                    }
+                    synthesized.push((None, TableOutcome::Failed(e)));
+                }
+            }
         }
         let synthesis_wall = synth_start.elapsed();
         drop(_synth_span);
 
-        // Phase 2 — execution, in task order.
+        // Degrade dependents, to a fixpoint: a table whose foreign key references
+        // a table that did not populate would only emit dangling rows — skip it
+        // (and anything referencing *it*) instead.
+        loop {
+            let bad: std::collections::HashSet<&str> = self
+                .tasks
+                .iter()
+                .zip(&synthesized)
+                .filter(|(_, (_, o))| !o.is_ok())
+                .map(|(t, _)| t.table.as_str())
+                .collect();
+            let mut changed = false;
+            for (task, slot) in self.tasks.iter().zip(synthesized.iter_mut()) {
+                if !slot.1.is_ok() {
+                    continue;
+                }
+                // Tables were validated against the schema up front; a miss here
+                // simply means no FK edges to inspect for this task.
+                let Some(table_schema) = self.schema.table(&task.table) else {
+                    continue;
+                };
+                if let Some(fk) = table_schema
+                    .foreign_keys
+                    .iter()
+                    .find(|fk| bad.contains(fk.referenced_table.as_str()))
+                {
+                    slot.1 = TableOutcome::Skipped {
+                        reason: format!(
+                            "foreign key references table `{}` which did not populate",
+                            fk.referenced_table
+                        ),
+                    };
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Phase 2 — execution, in task order.  Non-`Ok` tables contribute a
+        // report entry but no rows; each executing table is wrapped in its own
+        // `catch_unwind` (the nested pool fan-out re-panics deterministically,
+        // so a worker panic surfaces here) and bounded by the row budget.
         let _exec_span = mitra_trace::span("migrate", "execution_phase");
         let exec_start = Instant::now();
         let mut database = Database::new(self.schema.clone());
         let mut reports = Vec::with_capacity(self.tasks.len());
-        for (task, (program, synthesis_time, profile)) in self.tasks.iter().zip(programs) {
-            let table_schema = self
-                .schema
-                .table(&task.table)
-                .expect("validated above")
-                .clone();
+        for (task, (prog, outcome)) in self.tasks.iter().zip(synthesized) {
+            // An `Ok` outcome always carries a program by construction; should
+            // that invariant ever break, fall through to the rowless-report arm
+            // instead of panicking mid-migration.
+            let (program, synthesis_time, profile) = match prog {
+                Some(parts) if outcome.is_ok() => parts,
+                prog => {
+                    // A skipped table did synthesize: keep its program and profile so
+                    // the degradation report shows what was lost.
+                    let (program_text, synthesis_time, profile) = match prog {
+                        Some((program, synthesis_time, profile)) => {
+                            (pretty::program(&program), synthesis_time, profile)
+                        }
+                        None => (String::new(), Duration::ZERO, None),
+                    };
+                    let outcome = if outcome.is_ok() {
+                        TableOutcome::Failed(MigrationError::Synthesis {
+                            table: task.table.clone(),
+                            error: SynthError::NoProgram,
+                        })
+                    } else {
+                        outcome
+                    };
+                    reports.push(TableReport {
+                        table: task.table.clone(),
+                        outcome,
+                        synthesis_time,
+                        execution_time: Duration::ZERO,
+                        rows: 0,
+                        program: program_text,
+                        profile,
+                        exec_stats: ExecStats::default(),
+                    });
+                    continue;
+                }
+            };
+            // `run` validated every task table against the schema up front; a
+            // missing table here means the schema was mutated mid-run, which we
+            // degrade (per-table failure) rather than crash on.
+            let Some(table_schema) = self.schema.table(&task.table).cloned() else {
+                reports.push(TableReport {
+                    table: task.table.clone(),
+                    outcome: TableOutcome::Failed(MigrationError::UnknownTable(task.table.clone())),
+                    synthesis_time,
+                    execution_time: Duration::ZERO,
+                    rows: 0,
+                    program: pretty::program(&program),
+                    profile,
+                    exec_stats: ExecStats::default(),
+                });
+                continue;
+            };
 
             // Execute with the optimized engine, keeping node-level rows so the key
             // generators can see which tree nodes each row came from.
             let _table_span =
                 mitra_trace::span_detail("migrate", "execute_table", || task.table.clone());
             let table_exec_start = Instant::now();
-            let (node_rows, exec_stats) = execute_nodes_with_stats(document, &program);
+            let max_rows = self.synth_config.budget.max_rows;
+            let executed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                execute_nodes_budgeted(document, &program, max_rows)
+            }));
+            let (node_rows, exec_stats) = match executed {
+                Err(payload) => {
+                    let message = mitra_pool::panic_message(payload.as_ref());
+                    mitra_trace::fault::record_panic(
+                        format!("migrate.exec:{}", task.table),
+                        message.clone(),
+                    );
+                    let e = MigrationError::Panicked {
+                        table: task.table.clone(),
+                        message,
+                    };
+                    if self.strict {
+                        return Err(e);
+                    }
+                    reports.push(TableReport {
+                        table: task.table.clone(),
+                        outcome: TableOutcome::Failed(e),
+                        synthesis_time,
+                        execution_time: table_exec_start.elapsed(),
+                        rows: 0,
+                        program: pretty::program(&program),
+                        profile,
+                        exec_stats: ExecStats::default(),
+                    });
+                    continue;
+                }
+                Ok(Err(breach)) => {
+                    let exhausted = BudgetExhausted::new(breach, profile.unwrap_or_default());
+                    if self.strict {
+                        return Err(MigrationError::Synthesis {
+                            table: task.table.clone(),
+                            error: SynthError::BudgetExhausted(exhausted),
+                        });
+                    }
+                    reports.push(TableReport {
+                        table: task.table.clone(),
+                        outcome: TableOutcome::BudgetExhausted(exhausted),
+                        synthesis_time,
+                        execution_time: table_exec_start.elapsed(),
+                        rows: 0,
+                        program: pretty::program(&program),
+                        profile,
+                        exec_stats: ExecStats::default(),
+                    });
+                    continue;
+                }
+                Ok(Ok(result)) => result,
+            };
             let mut out = Table::new(table_schema.column_names());
             for nodes in &node_rows {
                 let data_values: Vec<Value> =
                     nodes.iter().map(|n| node_value(document, *n)).collect();
                 let mut row: Vec<Value> = vec![Value::Null; table_schema.arity()];
+                // Columns were validated against the schema up front; a lookup
+                // miss would leave the cell `Null` rather than crash the table.
                 for (i, col) in task.data_columns.iter().enumerate() {
-                    let idx = table_schema.column_index(col).expect("validated");
-                    row[idx] = data_values[i].clone();
+                    if let Some(idx) = table_schema.column_index(col) {
+                        row[idx] = data_values[i].clone();
+                    }
                 }
                 for (col, spec) in &task.keys {
-                    let idx = table_schema.column_index(col).expect("validated");
-                    row[idx] = eval_key(document, nodes, &data_values, spec).unwrap_or(Value::Null);
+                    if let Some(idx) = table_schema.column_index(col) {
+                        row[idx] =
+                            eval_key(document, nodes, &data_values, spec).unwrap_or(Value::Null);
+                    }
                 }
                 out.push(row);
             }
@@ -360,6 +736,7 @@ impl MigrationPlan {
 
             reports.push(TableReport {
                 table: task.table.clone(),
+                outcome: TableOutcome::Ok,
                 synthesis_time,
                 execution_time,
                 rows,
@@ -626,12 +1003,171 @@ mod tests {
     }
 
     #[test]
-    fn arity_mismatch_is_reported() {
+    fn arity_mismatch_degrades_the_table_and_strict_mode_aborts() {
         let mut p = plan();
         p.tasks[0].data_columns.pop();
+        // Non-strict: person fails, friendship (whose foreign key references
+        // person) is skipped, and the run still returns a report.
+        let report = p.run(&social_network(2, 1)).unwrap();
         assert!(matches!(
-            p.run(&social_network(2, 1)),
+            report.tables[0].outcome,
+            TableOutcome::Failed(MigrationError::ArityMismatch(_))
+        ));
+        match &report.tables[1].outcome {
+            TableOutcome::Skipped { reason } => assert!(reason.contains("person")),
+            other => panic!("expected friendship to be skipped, got {other:?}"),
+        }
+        assert_eq!(report.total_rows(), 0);
+        assert!(report.all_failed());
+        // Strict restores the abort-on-first-error contract.
+        let strict = p.with_strict(true);
+        assert!(matches!(
+            strict.run(&social_network(2, 1)),
             Err(MigrationError::ArityMismatch(_))
         ));
+    }
+
+    /// Four independent tables, all driven by the same hand-written program.
+    fn four_table_plan() -> MigrationPlan {
+        let mut schema = Schema::new();
+        let mut tasks = Vec::new();
+        for name in ["t0", "t1", "t2", "t3"] {
+            schema = schema.with_table(
+                TableSchema::new(
+                    name,
+                    vec![
+                        Column::text("pk"),
+                        Column::integer("pid"),
+                        Column::text("name"),
+                    ],
+                )
+                .with_primary_key(&["pk"]),
+            );
+            tasks.push(TableTask {
+                table: name.to_string(),
+                source: TableSource::Program(person_program()),
+                keys: vec![("pk".to_string(), KeySpec::SyntheticPrimary)],
+                data_columns: vec!["pid".to_string(), "name".to_string()],
+            });
+        }
+        let mut plan = MigrationPlan::new(schema);
+        for task in tasks {
+            plan = plan.with_task(task);
+        }
+        plan
+    }
+
+    /// Clears the process-global fault even when the test panics mid-way.
+    struct FaultGuard;
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            mitra_trace::fault::set_fault(None);
+        }
+    }
+
+    #[test]
+    fn poisoned_table_leaves_siblings_populated_and_identical_across_threads() {
+        // `migrate.table#3` only exists in this 4-task plan, so the
+        // process-global fault cannot fire in concurrently running tests (their
+        // plans have at most 2 tasks).
+        let _guard = FaultGuard;
+        mitra_trace::fault::set_fault(Some(mitra_trace::fault::FaultSpec {
+            site: "migrate.table".into(),
+            nth: 3,
+        }));
+        let doc = social_network(4, 2);
+        let run_at = |threads: usize| {
+            let mut p = four_table_plan();
+            p.synth_config.threads = threads;
+            p.run(&doc).unwrap()
+        };
+        let seq = run_at(1);
+        assert_eq!(seq.tables.len(), 4);
+        for t in &seq.tables[..3] {
+            assert!(t.outcome.is_ok(), "table {} should be ok", t.table);
+            assert_eq!(t.rows, 4);
+        }
+        match &seq.tables[3].outcome {
+            TableOutcome::Failed(MigrationError::Panicked { table, message }) => {
+                assert_eq!(table, "t3");
+                assert_eq!(message, "injected fault: migrate.table#3");
+            }
+            other => panic!("expected a panicked outcome, got {other:?}"),
+        }
+        let d = seq.degradation();
+        assert_eq!(
+            (d.ok, d.failed, d.skipped, d.budget_exhausted),
+            (3, 1, 0, 0)
+        );
+        assert!(seq.is_degraded());
+        assert!(!seq.all_failed());
+        // The degradation report is byte-identical at every thread count.
+        let par = run_at(4);
+        assert_eq!(seq.summary_json(), par.summary_json());
+        // Strict mode turns the same poison into a hard error.
+        let strict = four_table_plan().with_strict(true);
+        assert!(matches!(
+            strict.run(&doc),
+            Err(MigrationError::Panicked { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_only_the_affected_table() {
+        let example_doc = social_network(3, 1);
+        let output = Table::from_rows(&["name"], &[&["Alice"], &["Bob"], &["Carol"]]);
+        let schema = Schema::new()
+            .with_table(
+                TableSchema::new("names", vec![Column::text("pk"), Column::text("name")])
+                    .with_primary_key(&["pk"]),
+            )
+            .with_table(
+                TableSchema::new(
+                    "person",
+                    vec![
+                        Column::text("pk"),
+                        Column::integer("pid"),
+                        Column::text("name"),
+                    ],
+                )
+                .with_primary_key(&["pk"]),
+            );
+        let mut plan = MigrationPlan::new(schema)
+            .with_task(TableTask {
+                table: "names".to_string(),
+                source: TableSource::Examples(vec![Example::new(example_doc, output)]),
+                keys: vec![("pk".to_string(), KeySpec::SyntheticPrimary)],
+                data_columns: vec!["name".to_string()],
+            })
+            .with_task(TableTask {
+                table: "person".to_string(),
+                source: TableSource::Program(person_program()),
+                keys: vec![("pk".to_string(), KeySpec::SyntheticPrimary)],
+                data_columns: vec!["pid".to_string(), "name".to_string()],
+            });
+        // Zero candidate fuel: the synthesis-backed table exhausts immediately,
+        // the program-backed table is untouched (its source needs no search).
+        plan.synth_config.budget = mitra_synth::budget::Budget {
+            max_candidates: Some(0),
+            ..Default::default()
+        };
+        let report = plan.run(&social_network(4, 2)).unwrap();
+        match &report.tables[0].outcome {
+            TableOutcome::BudgetExhausted(b) => {
+                assert_eq!(
+                    b.breach.resource,
+                    mitra_synth::budget::BudgetResource::Candidates
+                );
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+        assert_eq!(report.tables[0].rows, 0);
+        assert!(report.tables[1].outcome.is_ok());
+        assert_eq!(report.tables[1].rows, 4);
+        assert!(report.is_degraded());
+        assert!(!report.all_failed());
+        let summary = report.summary_json();
+        assert!(summary.contains("\"budget_exhausted\": 1"), "{summary}");
+        assert!(summary.contains("\"ok\": 1"), "{summary}");
     }
 }

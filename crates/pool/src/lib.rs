@@ -25,10 +25,24 @@
 //! fans out across candidates) is bounded by a thread-local depth: past
 //! [`MAX_NESTING`] levels of pool workers, further `parallel_map` calls degrade to
 //! inline execution instead of oversubscribing the machine quadratically.
+//!
+//! **Panic isolation**: every slot runs under `catch_unwind`, so a panicking task
+//! poisons only its own result.  [`parallel_map_catch`] surfaces each slot as a
+//! `Result<R, PanicPayload>` (sibling tasks and the deterministic merge order
+//! survive; the payload message and a backtrace land in the `mitra-trace` panic
+//! log and the `pool.panics_caught` counter), while [`parallel_map`] keeps the
+//! infallible signature by re-panicking with the **first panicking slot in input
+//! order** after all siblings finish — deterministic at every thread count,
+//! unlike the raw scope-join propagation it replaces.
+
+// This crate is part of the hardened fault-tolerance surface: panicking
+// shortcuts are lint-rejected outside tests (see clippy.toml for the list).
+#![cfg_attr(not(test), warn(clippy::disallowed_methods))]
 
 use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Fan-out depth past which `parallel_map` stops spawning and runs inline.
 ///
@@ -92,6 +106,55 @@ pub fn current_depth() -> usize {
     DEPTH.with(Cell::get)
 }
 
+/// Payload of a worker panic caught by [`parallel_map_catch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicPayload {
+    /// Stringified panic payload (`&str`/`String` payloads verbatim, a fixed
+    /// placeholder otherwise).
+    pub message: String,
+}
+
+impl std::fmt::Display for PanicPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Stringifies a caught panic payload; non-string payloads get a placeholder so
+/// the message is deterministic.  Public so sibling crates that run their own
+/// `catch_unwind` (e.g. per-table execution in `mitra-migrate`) stringify
+/// payloads identically.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one slot under `catch_unwind`: the deterministic fault site
+/// `pool.slot:<index>` fires inside the guard, and a caught panic is recorded
+/// into the `mitra-trace` panic log before it is returned as data.
+fn run_caught<T, R, F>(f: &F, i: usize, item: &T) -> Result<R, PanicPayload>
+where
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        mitra_trace::fault::hit("pool.slot", i as u64);
+        f(i, item)
+    })) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            mitra_trace::counter_add!("pool.panics_caught", 1);
+            mitra_trace::fault::record_panic(format!("pool.slot#{i}"), message.clone());
+            Err(PanicPayload { message })
+        }
+    }
+}
+
 /// Applies `f` to every item, returning results in input order.
 ///
 /// With `threads <= 1`, a single item, or past [`MAX_NESTING`] levels of nesting,
@@ -101,8 +164,38 @@ pub fn current_depth() -> usize {
 /// the output order (and therefore any canonical reduction over it) is independent
 /// of scheduling.
 ///
-/// Worker panics propagate to the caller when the scope joins.
+/// A panicking slot does **not** take down its siblings: every sibling task still
+/// completes, and once all slots are filled the first panicking slot **in input
+/// order** re-panics on the caller with the original payload message — the same
+/// panic at every thread count.  Callers that want the surviving slots instead use
+/// [`parallel_map_catch`].
 pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_catch(threads, items, f)
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(r) => r,
+            Err(p) => panic!("worker panicked: {p}"),
+        })
+        .collect()
+}
+
+/// [`parallel_map`] with per-slot panic isolation surfaced to the caller: each
+/// result slot is `Ok(R)` or the caught [`PanicPayload`] of that slot alone.
+///
+/// Sibling tasks, the pool, and the input-order result layout all survive a
+/// panicking slot; the payload message and a backtrace captured at the unwind
+/// boundary are recorded into the `mitra-trace` panic log
+/// ([`mitra_trace::fault::take_panics`]) and counted by `pool.panics_caught`.
+pub fn parallel_map_catch<T, R, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<Result<R, PanicPayload>>
 where
     T: Sync,
     R: Send,
@@ -114,7 +207,11 @@ where
         // pool utilization (one timing pair for the whole loop, not per item).
         if mitra_trace::enabled() && !items.is_empty() {
             let start = std::time::Instant::now();
-            let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let out: Vec<Result<R, PanicPayload>> = items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| run_caught(&f, i, t))
+                .collect();
             mitra_trace::record_worker(
                 0,
                 mitra_trace::duration_to_ns(start.elapsed()),
@@ -124,12 +221,16 @@ where
             mitra_trace::counter_add!("pool.parallel_map.inline", 1);
             return out;
         }
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_caught(&f, i, t))
+            .collect();
     }
 
     let workers = threads.min(items.len());
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(items.len());
+    let mut slots: Vec<Mutex<Option<Result<R, PanicPayload>>>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || Mutex::new(None));
 
     mitra_trace::counter_add!("pool.parallel_map.spawned", 1);
@@ -148,8 +249,10 @@ where
                         break;
                     }
                     let item_start = trace_on.then(std::time::Instant::now);
-                    let r = f(i, &items[i]);
-                    *slots_ref[i].lock().expect("slot lock poisoned") = Some(r);
+                    let r = run_caught(f, i, &items[i]);
+                    // The slot lock is only ever held for this assignment (never
+                    // across `f`), so a poisoned lock still guards intact data.
+                    *slots_ref[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
                     if let Some(s) = item_start {
                         busy_ns += mitra_trace::duration_to_ns(s.elapsed());
                         pulls += 1;
@@ -168,9 +271,12 @@ where
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock poisoned")
-                .expect("worker filled every claimed slot")
+            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(r) => r,
+                // `run_caught` converts every panic into data, so a claimed index
+                // always gets its slot written before the scope joins.
+                None => unreachable!("worker filled every claimed slot"),
+            }
         })
         .collect()
 }
@@ -250,14 +356,73 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "a scoped thread panicked")]
-    fn worker_panics_propagate() {
+    #[should_panic(expected = "worker panicked: boom")]
+    fn worker_panics_propagate_deterministically() {
+        // Two slots panic; the re-raised panic must be the first in *input*
+        // order ("boom" at index 2, not "later" at index 5), at any thread count.
         let items: Vec<usize> = (0..8).collect();
         let _ = parallel_map(4, &items, |_, &x| {
             if x == 5 {
+                panic!("later");
+            }
+            if x == 2 {
                 panic!("boom");
             }
             x
         });
+    }
+
+    #[test]
+    fn catch_isolates_panics_to_their_slot() {
+        let items: Vec<usize> = (0..16).collect();
+        for t in [1, 4] {
+            let out = parallel_map_catch(t, &items, |_, &x| {
+                if x % 5 == 3 {
+                    panic!("slot {x} down");
+                }
+                x * 10
+            });
+            assert_eq!(out.len(), items.len(), "threads={t}");
+            for (i, slot) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    assert_eq!(
+                        slot.as_ref().map_err(|p| p.message.as_str()),
+                        Err(format!("slot {i} down").as_str()),
+                        "threads={t}"
+                    );
+                } else {
+                    assert_eq!(slot.as_ref().ok(), Some(&(i * 10)), "threads={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_fault_kills_the_same_slot_at_every_thread_count() {
+        // Process-global fault spec: serialized against other fault users by
+        // being the only in-crate test that installs one.
+        mitra_trace::fault::set_fault(Some(mitra_trace::fault::FaultSpec {
+            site: "pool.slot".into(),
+            nth: 6,
+        }));
+        let items: Vec<usize> = (0..12).collect();
+        let runs: Vec<Vec<Result<usize, PanicPayload>>> = [1usize, 4]
+            .iter()
+            .map(|&t| parallel_map_catch(t, &items, |_, &x| x + 1))
+            .collect();
+        mitra_trace::fault::set_fault(None);
+        assert_eq!(runs[0], runs[1], "fault victim must not depend on threads");
+        for (i, slot) in runs[0].iter().enumerate() {
+            if i == 6 {
+                assert_eq!(
+                    slot,
+                    &Err(PanicPayload {
+                        message: "injected fault: pool.slot#6".into()
+                    })
+                );
+            } else {
+                assert_eq!(slot, &Ok(i + 1));
+            }
+        }
     }
 }

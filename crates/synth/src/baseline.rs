@@ -204,6 +204,7 @@ pub fn learn_transformation_baseline(
             truncated: false,
             threads_used: 1,
             profile: crate::synthesize::SynthProfile::default(),
+            budget_breach: None,
         }),
         None => Err(SynthError::NoProgram),
     }

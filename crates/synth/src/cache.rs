@@ -12,6 +12,11 @@
 //! cached evaluation without cloning it.  Each example tree gets its own shard with
 //! an independent lock; entries are only ever inserted, never invalidated, because
 //! the trees are immutable for the duration of one synthesis call.
+//!
+//! Lock poisoning is recovered from (`PoisonError::into_inner`) rather than
+//! propagated: the cache is insert-only and every value is a pure function of its
+//! key, so a shard abandoned mid-insert by a panicking worker is at worst missing
+//! an entry — surviving siblings recompute it, they never observe torn state.
 
 use crate::synthesize::Example;
 use crate::universe::{mine_constants, valid_node_extractors_with_nodes, UniverseConfig};
@@ -20,7 +25,7 @@ use mitra_dsl::eval::{eval_column, node_value};
 use mitra_dsl::{Table, Value};
 use mitra_hdt::{Hdt, NodeId};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Comparability class of a [`Value`], fixing the `None` cases of
 /// [`Value::compare`]: a null/non-null pair is incomparable, a numeric pair
@@ -142,7 +147,7 @@ impl ColumnEvalCache {
                 None => ValueClass::Text,
             },
         };
-        let mut map = self.values.lock().expect("cache shard poisoned");
+        let mut map = self.values.lock().unwrap_or_else(PoisonError::into_inner);
         let next = map.len() as u32;
         let id = *map.entry(v).or_insert(next);
         (id, class)
@@ -162,7 +167,7 @@ impl ColumnEvalCache {
     ) -> Arc<Vec<NodeId>> {
         if let Some(hit) = self.shards[ex_idx]
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(pi)
         {
             mitra_trace::counter_add!("cache.column_nodes.hit", 1);
@@ -170,7 +175,9 @@ impl ColumnEvalCache {
         }
         mitra_trace::counter_add!("cache.column_nodes.miss", 1);
         let nodes = Arc::new(eval_column(tree, pi));
-        let mut shard = self.shards[ex_idx].lock().expect("cache shard poisoned");
+        let mut shard = self.shards[ex_idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         match shard.entry(pi.clone()) {
             std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -198,7 +205,7 @@ impl ColumnEvalCache {
     ) -> Arc<Vec<bool>> {
         if let Some(hit) = self.coverage[ex_idx]
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(pi)
         {
             mitra_trace::counter_add!("cache.row_coverage.hit", 1);
@@ -211,7 +218,9 @@ impl ColumnEvalCache {
             .map(|c| output.rows.iter().all(|row| values.contains(&row[c])))
             .collect();
         let bitmap = Arc::new(bitmap);
-        let mut shard = self.coverage[ex_idx].lock().expect("cache shard poisoned");
+        let mut shard = self.coverage[ex_idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         match shard.entry(pi.clone()) {
             std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -229,7 +238,12 @@ impl ColumnEvalCache {
         pi: &ColumnExtractor,
         config: &UniverseConfig,
     ) -> Arc<ColumnPhiData> {
-        if let Some(hit) = self.phi_data.lock().expect("cache shard poisoned").get(pi) {
+        if let Some(hit) = self
+            .phi_data
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(pi)
+        {
             mitra_trace::counter_add!("cache.phi_data.hit", 1);
             return Arc::clone(hit);
         }
@@ -289,7 +303,7 @@ impl ColumnEvalCache {
             rep_of,
             info,
         });
-        let mut map = self.phi_data.lock().expect("cache shard poisoned");
+        let mut map = self.phi_data.lock().unwrap_or_else(PoisonError::into_inner);
         match map.entry(pi.clone()) {
             std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -303,7 +317,10 @@ impl ColumnEvalCache {
     /// condition), computed on first use.  `max` must not vary across calls on one
     /// cache (one synthesis call fixes the universe configuration).
     pub fn constants(&self, examples: &[Example], max: usize) -> Arc<Vec<Value>> {
-        let mut slot = self.constants.lock().expect("cache shard poisoned");
+        let mut slot = self
+            .constants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         match &*slot {
             Some(hit) => {
                 mitra_trace::counter_add!("cache.constants.hit", 1);
@@ -322,7 +339,7 @@ impl ColumnEvalCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 

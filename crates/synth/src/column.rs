@@ -5,6 +5,7 @@
 //! consistent with every example.  We enumerate accepted words shortest-first so that
 //! the simplest candidates are considered first by the top-level synthesizer.
 
+use crate::budget::{Budget, BudgetBreach, BudgetResource};
 use crate::dfa::{Dfa, DfaLimits};
 use crate::synthesize::Example;
 use mitra_dsl::ast::ColumnExtractor;
@@ -108,12 +109,20 @@ pub fn learn_all_columns(
 #[derive(Debug)]
 pub struct ColumnAutomata {
     /// The intersected automaton of each column (`None` when there are no
-    /// examples, i.e. nothing to intersect).
+    /// examples, i.e. nothing to intersect — or when a state budget breached
+    /// before the column's product was completed).
     pub dfas: Vec<Option<Dfa>>,
     /// CPU time spent constructing per-example automata, summed across workers.
     pub build: std::time::Duration,
     /// Wall time spent intersecting automata (sequential, in example order).
     pub intersect: std::time::Duration,
+    /// DFA states constructed plus intersected, accumulated in canonical
+    /// (column, example) pair order then column-major intersection order —
+    /// identical at every thread count.
+    pub states_total: u64,
+    /// Set when a state budget ran out; `dfas` is then partial and must not be
+    /// used for synthesis.
+    pub breach: Option<BudgetBreach>,
 }
 
 /// Builds the intersected column automaton for **every** output column `0..arity`,
@@ -131,11 +140,34 @@ pub fn learn_column_automata(
     limits: DfaLimits,
     threads: usize,
 ) -> ColumnAutomata {
+    learn_column_automata_budgeted(examples, arity, limits, threads, None)
+}
+
+/// [`learn_column_automata`] with an optional deterministic state budget.
+///
+/// State fuel is spent in canonical order — every constructed per-(column,
+/// example) automaton's states first (pair order, regardless of which worker
+/// built it), then each sequential intersection product's states — so with
+/// `max_states` set, the breach point is a pure function of the inputs, never of
+/// the thread count.  On a breach the per-example automata are still all built
+/// (their construction fans out before accounting), but intersection stops and
+/// the result carries `breach: Some(..)` with every remaining column `None`.
+pub fn learn_column_automata_budgeted(
+    examples: &[Example],
+    arity: usize,
+    limits: DfaLimits,
+    threads: usize,
+    max_states: Option<u64>,
+) -> ColumnAutomata {
     // Workers share the example trees read-only: make sure no two of them race to
     // lazily build the same navigation index.
     for ex in examples {
         ex.tree.ensure_index();
     }
+    let budget = Budget {
+        max_dfa_states: max_states,
+        ..Budget::UNLIMITED
+    };
     let pairs: Vec<(usize, usize)> = (0..arity)
         .flat_map(|col| (0..examples.len()).map(move |ex| (col, ex)))
         .collect();
@@ -149,22 +181,54 @@ pub fn learn_column_automata(
         Dfa::construct(&ex.tree, &column, limits)
     });
 
+    // Charge construction fuel in canonical pair order, after the fan-out: every
+    // automaton is built either way (that keeps the build phase schedule-free),
+    // but the breach point is deterministic.
+    let mut states_total: u64 = 0;
+    let mut breach: Option<BudgetBreach> = None;
+    for dfa in &dfas {
+        states_total += dfa.num_states() as u64;
+        if let Err(b) = budget.check(BudgetResource::DfaStates, states_total) {
+            breach = Some(b);
+            break;
+        }
+    }
+
     let intersect_nanos = std::sync::atomic::AtomicU64::new(0);
     let combined: Vec<Option<Dfa>> = {
         let _span = mitra_trace::span_acc("synth", "dfa_intersect", &intersect_nanos);
         let mut per_dfa = dfas.into_iter();
         (0..arity)
             .map(|_| {
-                // Canonical merge: intersect this column's automata in example order.
+                // Canonical merge: intersect this column's automata in example
+                // order, charging each product's states as it is built and
+                // bailing out of further intersection work once fuel runs out.
                 let mut combined: Option<Dfa> = None;
                 for _ in 0..examples.len() {
-                    let dfa = per_dfa.next().expect("one DFA per (column, example) pair");
+                    // `dfas` holds exactly one DFA per (column, example) pair, so
+                    // the iterator cannot run dry; stop merging rather than panic
+                    // if that invariant is ever broken.
+                    let Some(dfa) = per_dfa.next() else { break };
+                    if breach.is_some() {
+                        continue;
+                    }
                     combined = Some(match combined {
                         None => dfa,
-                        Some(acc) => acc.intersect(&dfa),
+                        Some(acc) => {
+                            let product = acc.intersect(&dfa);
+                            states_total += product.num_states() as u64;
+                            if let Err(b) = budget.check(BudgetResource::DfaStates, states_total) {
+                                breach = Some(b);
+                            }
+                            product
+                        }
                     });
                 }
-                combined
+                if breach.is_some() {
+                    None
+                } else {
+                    combined
+                }
             })
             .collect()
     };
@@ -176,6 +240,8 @@ pub fn learn_column_automata(
         intersect: std::time::Duration::from_nanos(
             intersect_nanos.load(std::sync::atomic::Ordering::Relaxed),
         ),
+        states_total,
+        breach,
     }
 }
 

@@ -12,6 +12,7 @@
 //! is what makes the paper's "1M elements in ~2.5 minutes" scalability experiment (and
 //! our experiment E3) feasible.
 
+use crate::budget::{Budget, BudgetBreach, BudgetResource};
 use mitra_dsl::ast::{CompareOp, NodeExtractor, Operand, Predicate, Program};
 use mitra_dsl::eval::{eval_column, eval_node_extractor, eval_predicate, node_value};
 use mitra_dsl::{Table, Value};
@@ -122,8 +123,11 @@ pub fn plan(program: &Program) -> Plan {
                             || (j.right_col == *c && order.contains(&j.left_col))
                     })
             });
-            let next =
-                next_joined.unwrap_or_else(|| (0..arity).find(|c| !order.contains(c)).unwrap());
+            // `order.len() < arity` guarantees an unplaced column exists, so the
+            // fallback scan always finds one; bail out instead of panicking if not.
+            let Some(next) = next_joined.or_else(|| (0..arity).find(|c| !order.contains(c))) else {
+                break;
+            };
             order.push(next);
         }
     }
@@ -164,13 +168,29 @@ pub fn execute_nodes(tree: &Hdt, program: &Program) -> Vec<Vec<NodeId>> {
 /// migration layer uses these to build its per-table execution profile.
 pub fn execute_nodes_with_stats(tree: &Hdt, program: &Program) -> (Vec<Vec<NodeId>>, ExecStats) {
     let p = plan(program);
-    run_plan(tree, program, &p)
+    match run_plan(tree, program, &p, None) {
+        Ok(result) => result,
+        // An unlimited budget cannot breach.
+        Err(_) => unreachable!("unlimited row budget breached"),
+    }
+}
+
+/// Like [`execute_nodes_with_stats`], bounded by a deterministic row budget: the
+/// cumulative count of tuples materialized across the join steps and the residual
+/// filter is checked at canonical points of the (sequential) plan order, so a
+/// breach fires after exactly the same work at every thread count.
+pub fn execute_nodes_budgeted(
+    tree: &Hdt,
+    program: &Program,
+    max_rows: Option<u64>,
+) -> Result<(Vec<Vec<NodeId>>, ExecStats), BudgetBreach> {
+    let p = plan(program);
+    run_plan(tree, program, &p, max_rows)
 }
 
 /// Executes a program with the optimized plan, returning the table and statistics.
 pub fn execute_with_stats(tree: &Hdt, program: &Program) -> (Table, ExecStats) {
-    let p = plan(program);
-    let (tuples, stats) = run_plan(tree, program, &p);
+    let (tuples, stats) = execute_nodes_with_stats(tree, program);
     let mut table = if program.column_names.is_empty() {
         Table::anonymous(program.arity())
     } else {
@@ -182,12 +202,22 @@ pub fn execute_with_stats(tree: &Hdt, program: &Program) -> (Table, ExecStats) {
     (table, stats)
 }
 
-fn run_plan(tree: &Hdt, program: &Program, p: &Plan) -> (Vec<Vec<NodeId>>, ExecStats) {
+fn run_plan(
+    tree: &Hdt,
+    program: &Program,
+    p: &Plan,
+    max_rows: Option<u64>,
+) -> Result<(Vec<Vec<NodeId>>, ExecStats), BudgetBreach> {
     let _span = mitra_trace::span("exec", "run_plan");
     let arity = program.arity();
+    let budget = Budget {
+        max_rows,
+        ..Budget::UNLIMITED
+    };
+    let mut materialized: u64 = 0;
     let mut stats = ExecStats::default();
     if arity == 0 {
-        return (Vec::new(), stats);
+        return Ok((Vec::new(), stats));
     }
 
     // Evaluate and pre-filter each column.
@@ -219,6 +249,8 @@ fn run_plan(tree: &Hdt, program: &Program, p: &Plan) -> (Vec<Vec<NodeId>>, ExecS
             t
         })
         .collect();
+    materialized += partial.len() as u64;
+    budget.check(BudgetResource::Rows, materialized)?;
     let mut joined: Vec<usize> = vec![first];
 
     for &col in &p.order[1..] {
@@ -269,6 +301,10 @@ fn run_plan(tree: &Hdt, program: &Program, p: &Plan) -> (Vec<Vec<NodeId>>, ExecS
             }
         }
         partial = next_partial;
+        // Row fuel pays per tuple materialized; checking after each (sequential)
+        // join step keeps the breach point independent of the thread count.
+        materialized += partial.len() as u64;
+        budget.check(BudgetResource::Rows, materialized)?;
         joined.push(col);
     }
 
@@ -323,10 +359,14 @@ fn run_plan(tree: &Hdt, program: &Program, p: &Plan) -> (Vec<Vec<NodeId>>, ExecS
         partial.into_iter().filter(|t| keep(t)).collect()
     };
     stats.rows_emitted = result.len();
+    // Checked after all chunks merge (never per chunk — chunk boundaries depend
+    // on the thread count, the merged total does not).
+    materialized += result.len() as u64;
+    budget.check(BudgetResource::Rows, materialized)?;
     mitra_trace::counter_add!("exec.tuples_considered", stats.tuples_considered as u64);
     mitra_trace::counter_add!("exec.rows_emitted", stats.rows_emitted as u64);
     mitra_trace::hist_observe!("exec.chunks", stats.chunks as u64);
-    (result, stats)
+    Ok((result, stats))
 }
 
 /// Below this many intermediate tuples the residual filter runs inline: spawning
@@ -464,5 +504,23 @@ mod tests {
         let (out, stats) = execute_with_stats(&tree, &program);
         assert_eq!(out.len(), 9);
         assert!(stats.used_cross_product);
+    }
+
+    #[test]
+    fn row_budget_breaches_on_materialized_tuples() {
+        let pi = ColumnExtractor::children(ColumnExtractor::Input, "Person");
+        let program =
+            mitra_dsl::Program::new(TableExtractor::new(vec![pi.clone(), pi]), Predicate::True);
+        let tree = social_network(3, 1);
+        // 3 first-column tuples + 9 cross-product tuples + 9 filtered rows = 21
+        // units of fuel; a cap below that must breach, an exact one must not...
+        let breach = execute_nodes_budgeted(&tree, &program, Some(9)).unwrap_err();
+        assert_eq!(breach.resource, crate::budget::BudgetResource::Rows);
+        // ...because `check` trips at spent >= limit.
+        let (rows, _) = execute_nodes_budgeted(&tree, &program, Some(22)).unwrap();
+        assert_eq!(rows.len(), 9);
+        // Unlimited path is untouched.
+        let (rows, _) = execute_nodes_budgeted(&tree, &program, None).unwrap();
+        assert_eq!(rows.len(), 9);
     }
 }

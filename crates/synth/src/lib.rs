@@ -21,12 +21,16 @@
 //!   at every thread count.
 //! * [`cache`] — the shared, concurrency-safe column-evaluation cache that candidate
 //!   validation workers use to avoid repeating `[[π]]T` tree walks.
+//! * [`budget`] — deterministic fuel budgets (candidates / DFA states / rows, never
+//!   wall-clock) checked at the frontier, the automata intersection, and the
+//!   executor, so exhaustion is identical at every thread count.
 //! * [`optimize`]/[`exec`] — the Appendix C program optimizer and an execution engine
 //!   that replaces the naive cross-product semantics with filters and hash joins.
 //! * [`baseline`] — a deliberately naive enumerative synthesizer used for the ablation
 //!   experiments (E7 in DESIGN.md).
 
 pub mod baseline;
+pub mod budget;
 pub mod cache;
 pub mod column;
 pub mod cover;
@@ -38,9 +42,13 @@ pub mod qm;
 pub mod synthesize;
 pub mod universe;
 
+pub use budget::{Budget, BudgetBreach, BudgetExhausted, BudgetResource};
 pub use cache::{ColumnEvalCache, ColumnPhiData};
-pub use column::{learn_all_columns, learn_column_automata, learn_column_extractors};
-pub use exec::execute;
+pub use column::{
+    learn_all_columns, learn_column_automata, learn_column_automata_budgeted,
+    learn_column_extractors,
+};
+pub use exec::{execute, execute_nodes_budgeted};
 pub use predicate::{learn_predicate, learn_predicate_reference};
 pub use synthesize::{
     learn_transformation, learn_transformation_exhaustive, Example, SynthConfig, SynthError,

@@ -15,8 +15,9 @@
 //! popped on a deterministic schedule, evaluated concurrently, and merged in pop
 //! order with strict-improvement ties (cost, then enumeration index).
 
+use crate::budget::{Budget, BudgetBreach, BudgetExhausted, BudgetResource};
 use crate::cache::ColumnEvalCache;
-use crate::column::{learn_all_columns, learn_column_automata, ColumnLearnConfig};
+use crate::column::{learn_all_columns, learn_column_automata_budgeted, ColumnLearnConfig};
 use crate::dfa::{DfaLimits, WordStream};
 use crate::predicate::{
     learn_predicate_cached, learn_predicate_reference_cached, PredicateLearnConfig,
@@ -70,6 +71,11 @@ pub struct SynthConfig {
     pub exact_cover: bool,
     /// Overall wall-clock budget; `None` means unlimited.
     pub timeout: Option<Duration>,
+    /// Deterministic fuel budget (candidates popped, DFA states, rows
+    /// materialized).  Unlike `timeout`, exhaustion is a pure function of the
+    /// work done, so results under a budget are identical at every thread count
+    /// and machine speed.  Default: unlimited.
+    pub budget: Budget,
     /// Worker threads for DFA construction and candidate validation.
     ///
     /// `0` resolves to the process-global setting (`--threads` / `MITRA_THREADS` /
@@ -89,6 +95,7 @@ impl Default for SynthConfig {
             max_intermediate_rows: 50_000,
             exact_cover: true,
             timeout: Some(Duration::from_secs(120)),
+            budget: Budget::UNLIMITED,
             threads: 0,
         }
     }
@@ -108,6 +115,9 @@ pub enum SynthError {
     NoProgram,
     /// The configured timeout was exceeded before a program was found.
     Timeout,
+    /// A deterministic fuel budget ran out before any program was found; the
+    /// payload carries the breach and the partial work profile.
+    BudgetExhausted(BudgetExhausted),
 }
 
 impl fmt::Display for SynthError {
@@ -122,6 +132,7 @@ impl fmt::Display for SynthError {
             }
             SynthError::NoProgram => write!(f, "no DSL program is consistent with the examples"),
             SynthError::Timeout => write!(f, "synthesis timed out"),
+            SynthError::BudgetExhausted(e) => write!(f, "{e}"),
         }
     }
 }
@@ -188,6 +199,10 @@ pub struct Synthesis {
     pub threads_used: usize,
     /// Per-phase wall times and candidate counts.
     pub profile: SynthProfile,
+    /// Set when a fuel budget ran out *after* a valid program was already in
+    /// hand: the incumbent is returned, but the search was cut short and
+    /// "no better program" claims must be read accordingly.
+    pub budget_breach: Option<BudgetBreach>,
 }
 
 /// What became of one candidate table extractor.
@@ -400,8 +415,25 @@ pub fn learn_transformation(
     }
 
     // Phase 1: the per-column product automata, all (column, example) DFAs built in
-    // parallel.
-    let automata = learn_column_automata(examples, arity, config.dfa_limits, threads);
+    // parallel.  State accounting is canonical (pair order, then intersection
+    // order), so a `dfa_states` budget exhausts identically at every thread count.
+    let automata = learn_column_automata_budgeted(
+        examples,
+        arity,
+        config.dfa_limits,
+        threads,
+        config.budget.max_dfa_states,
+    );
+    if let Some(breach) = automata.breach {
+        return Err(SynthError::BudgetExhausted(BudgetExhausted::new(
+            breach,
+            SynthProfile {
+                dfa_build: automata.build,
+                dfa_intersect: automata.intersect,
+                ..Default::default()
+            },
+        )));
+    }
     let mut truncated = false;
     let mut dfas = Vec::with_capacity(arity);
     for (col, dfa) in automata.dfas.into_iter().enumerate() {
@@ -450,6 +482,7 @@ pub fn learn_transformation(
     let mut programs_found = 0usize;
     let mut pruned = 0usize;
     let mut timed_out = false;
+    let mut budget_breach: Option<BudgetBreach> = None;
     let mut popped_total = 0usize;
     // Deterministic batch schedule, independent of the thread count: batches grow
     // geometrically so the incumbent (and with it the pruning floor and the
@@ -458,6 +491,15 @@ pub fn learn_transformation(
     let mut batch_size = 1usize;
 
     while popped_total < config.max_table_candidates {
+        // Candidate fuel pays per frontier pop; the check (and the batch clamp
+        // below) depend only on the pop count, never on elapsed time.
+        if let Err(breach) = config
+            .budget
+            .check(BudgetResource::Candidates, popped_total as u64)
+        {
+            budget_breach = Some(breach);
+            break;
+        }
         mitra_trace::hist_observe!("synth.frontier_depth", heap.len() as u64);
         // Provably-minimal stop (DESIGN.md §8): every unexplored combo — frontier
         // entry or descendant thereof — has Σ sizes ≥ the frontier's minimum key,
@@ -475,7 +517,10 @@ pub fn learn_transformation(
 
         // Pop a deterministic batch, expanding successors as we go (a successor can
         // be popped within the same batch).
-        let take = batch_size.min(config.max_table_candidates - popped_total);
+        let mut take = batch_size.min(config.max_table_candidates - popped_total);
+        if let Some(limit) = config.budget.max_candidates {
+            take = take.min((limit as usize).saturating_sub(popped_total));
+        }
         let mut batch: Vec<(usize, Vec<usize>)> = Vec::new();
         while batch.len() < take {
             let Some(Reverse((key, idxs))) = heap.pop() else {
@@ -495,6 +540,7 @@ pub fn learn_transformation(
         if batch.is_empty() {
             break;
         }
+        let batch_start = popped_total;
         popped_total += batch.len();
 
         let jobs: Vec<(usize, Vec<ColumnExtractor>)> = batch
@@ -512,36 +558,47 @@ pub fn learn_transformation(
         // improvements must not influence later jobs, or the outcome (and the
         // candidate counts) would depend on scheduling.
         let floor = best.as_ref().map(|(_, c)| *c);
-        let outcomes: Vec<CandidateOutcome> =
-            mitra_pool::parallel_map(threads, &jobs, |_, (key, combo)| {
-                // The deadline check mirrors the sequential loop: a candidate whose
-                // turn comes up after the budget is spent is skipped, not started.
-                if let Some(limit) = config.timeout {
-                    if start.elapsed() > limit {
-                        return CandidateOutcome::DeadlineSkipped;
-                    }
+        let outcomes = mitra_pool::parallel_map_catch(threads, &jobs, |j, (key, combo)| {
+            // Fault-injection site keyed by the global pop index — which candidate
+            // dies is a pure function of the spec, never of worker scheduling.
+            mitra_trace::fault::hit("synth.validate", (batch_start + j) as u64);
+            // The deadline check mirrors the sequential loop: a candidate whose
+            // turn comes up after the budget is spent is skipped, not started.
+            if let Some(limit) = config.timeout {
+                if start.elapsed() > limit {
+                    return CandidateOutcome::DeadlineSkipped;
                 }
-                evaluate_candidate(
-                    examples,
-                    combo,
-                    *key,
-                    floor,
-                    &pred_config,
-                    &cache,
-                    config.max_intermediate_rows,
-                    &predicate_nanos,
-                    &validate_nanos,
-                )
-            });
+            }
+            evaluate_candidate(
+                examples,
+                combo,
+                *key,
+                floor,
+                &pred_config,
+                &cache,
+                config.max_intermediate_rows,
+                &predicate_nanos,
+                &validate_nanos,
+            )
+        });
 
         // Canonical merge, in pop order with strict improvement: ties between
         // equal-cost programs go to the earlier enumeration index.
+        let mut panicked = 0u64;
         for outcome in outcomes {
             match outcome {
-                CandidateOutcome::DeadlineSkipped => timed_out = true,
-                CandidateOutcome::Pruned => pruned += 1,
-                CandidateOutcome::Rejected => candidates_tried += 1,
-                CandidateOutcome::Valid(program, c) => {
+                // A panicking evaluation poisons only its own slot; the combo
+                // counts as examined-and-rejected, so candidate accounting (and
+                // with it the returned program) is identical at every thread
+                // count for an index-keyed fault.
+                Err(_) => {
+                    candidates_tried += 1;
+                    panicked += 1;
+                }
+                Ok(CandidateOutcome::DeadlineSkipped) => timed_out = true,
+                Ok(CandidateOutcome::Pruned) => pruned += 1,
+                Ok(CandidateOutcome::Rejected) => candidates_tried += 1,
+                Ok(CandidateOutcome::Valid(program, c)) => {
                     candidates_tried += 1;
                     programs_found += 1;
                     let better = match &best {
@@ -553,6 +610,9 @@ pub fn learn_transformation(
                     }
                 }
             }
+        }
+        if panicked > 0 {
+            mitra_trace::counter_add!("synth.candidates.panicked", panicked);
         }
         if timed_out {
             break;
@@ -581,9 +641,14 @@ pub fn learn_transformation(
             truncated,
             threads_used: threads,
             profile,
+            budget_breach,
         }),
         None => {
-            if timed_out {
+            if let Some(breach) = budget_breach {
+                Err(SynthError::BudgetExhausted(BudgetExhausted::new(
+                    breach, profile,
+                )))
+            } else if timed_out {
                 Err(SynthError::Timeout)
             } else {
                 Err(SynthError::NoProgram)
@@ -648,7 +713,17 @@ pub fn learn_transformation_exhaustive(
     let mut candidates_tried = 0usize;
     let mut programs_found = 0usize;
     let mut timed_out = false;
+    let mut budget_breach: Option<BudgetBreach> = None;
     for combo in &combos {
+        // The reference path spends candidate fuel per combo examined, matching
+        // the best-first frontier's pay-per-pop accounting.
+        if let Err(breach) = config
+            .budget
+            .check(BudgetResource::Candidates, candidates_tried as u64)
+        {
+            budget_breach = Some(breach);
+            break;
+        }
         if let Some(limit) = config.timeout {
             if start.elapsed() > limit {
                 timed_out = true;
@@ -681,6 +756,10 @@ pub fn learn_transformation_exhaustive(
         }
     }
 
+    let profile = SynthProfile {
+        candidates_examined: candidates_tried,
+        ..Default::default()
+    };
     match best {
         Some((program, c)) => Ok(Synthesis {
             program,
@@ -690,13 +769,15 @@ pub fn learn_transformation_exhaustive(
             elapsed: start.elapsed(),
             truncated,
             threads_used: threads,
-            profile: SynthProfile {
-                candidates_examined: candidates_tried,
-                ..Default::default()
-            },
+            profile,
+            budget_breach,
         }),
         None => {
-            if timed_out {
+            if let Some(breach) = budget_breach {
+                Err(SynthError::BudgetExhausted(BudgetExhausted::new(
+                    breach, profile,
+                )))
+            } else if timed_out {
                 Err(SynthError::Timeout)
             } else {
                 Err(SynthError::NoProgram)
@@ -912,6 +993,133 @@ mod tests {
             pretty::program(&slow.program)
         );
         assert_eq!(fast.cost, slow.cost);
+    }
+
+    #[test]
+    fn zero_candidate_budget_errs_with_partial_profile() {
+        let ex = social_example(3, 1);
+        let config = SynthConfig {
+            timeout: None,
+            threads: 1,
+            budget: Budget {
+                max_candidates: Some(0),
+                ..Budget::UNLIMITED
+            },
+            ..Default::default()
+        };
+        match learn_transformation(&[ex], &config) {
+            Err(SynthError::BudgetExhausted(e)) => {
+                assert_eq!(e.breach.resource, BudgetResource::Candidates);
+                assert_eq!(e.breach.limit, 0);
+                assert_eq!(e.profile.candidates_examined, 0);
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dfa_state_budget_errs_before_search_starts() {
+        let ex = social_example(3, 1);
+        let config = SynthConfig {
+            timeout: None,
+            threads: 1,
+            budget: Budget {
+                max_dfa_states: Some(1),
+                ..Budget::UNLIMITED
+            },
+            ..Default::default()
+        };
+        match learn_transformation(&[ex], &config) {
+            Err(SynthError::BudgetExhausted(e)) => {
+                assert_eq!(e.breach.resource, BudgetResource::DfaStates);
+                assert_eq!(e.profile.candidates_examined, 0);
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_breach_with_incumbent_returns_the_program() {
+        // The projection task terminates naturally well before the candidate cap
+        // (see `prunes_and_terminates_early_on_projection`), so the loop-top
+        // budget check — not the `max_table_candidates` loop condition — is what
+        // fires in the capped rerun.
+        let ex = Example::new(
+            social_network(3, 1),
+            Table::from_rows(&["name"], &[&["Alice"], &["Bob"], &["Carol"]]),
+        );
+        let unlimited = SynthConfig {
+            timeout: None,
+            max_table_candidates: 10_000,
+            threads: 1,
+            ..Default::default()
+        };
+        let free = learn_transformation(std::slice::from_ref(&ex), &unlimited).unwrap();
+        assert!(free.budget_breach.is_none());
+        // Allow exactly as many pops as the natural run makes: the loop-top check
+        // trips before the termination bound does, so the same incumbent comes
+        // back carrying a breach.
+        let total_pops = free.candidates_tried + free.profile.candidates_pruned;
+        let capped = SynthConfig {
+            budget: Budget {
+                max_candidates: Some(total_pops as u64),
+                ..Budget::UNLIMITED
+            },
+            ..unlimited
+        };
+        let cut = learn_transformation(std::slice::from_ref(&ex), &capped).unwrap();
+        let breach = cut.budget_breach.expect("budget must have breached");
+        assert_eq!(breach.resource, BudgetResource::Candidates);
+        assert_eq!(breach.spent, total_pops as u64);
+        assert_eq!(
+            pretty::program(&cut.program),
+            pretty::program(&free.program)
+        );
+        assert_eq!(cut.cost, free.cost);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_identical_across_thread_counts() {
+        let ex = social_example(3, 1);
+        let run = |threads: usize, max_candidates: u64| {
+            let config = SynthConfig {
+                timeout: None,
+                threads,
+                budget: Budget {
+                    max_candidates: Some(max_candidates),
+                    ..Budget::UNLIMITED
+                },
+                ..Default::default()
+            };
+            learn_transformation(std::slice::from_ref(&ex), &config)
+        };
+        for cap in [0, 1, 3, 7, 50] {
+            let seq = run(1, cap);
+            let par = run(4, cap);
+            match (&seq, &par) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(pretty::program(&a.program), pretty::program(&b.program));
+                    assert_eq!(a.cost, b.cost);
+                    assert_eq!(a.candidates_tried, b.candidates_tried);
+                    assert_eq!(a.budget_breach, b.budget_breach, "cap={cap}");
+                }
+                // Work counters must match exactly; profile *durations* are wall
+                // clock and legitimately differ between runs.
+                (Err(SynthError::BudgetExhausted(a)), Err(SynthError::BudgetExhausted(b))) => {
+                    assert_eq!(a.breach, b.breach, "cap={cap}");
+                    assert_eq!(
+                        a.profile.candidates_examined, b.profile.candidates_examined,
+                        "cap={cap}"
+                    );
+                    assert_eq!(
+                        a.profile.candidates_pruned, b.profile.candidates_pruned,
+                        "cap={cap}"
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "cap={cap}"),
+                other => panic!("thread counts diverged at cap={cap}: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 
 #[cfg(feature = "trace")]
 pub mod export;
+pub mod fault;
 #[cfg(feature = "trace")]
 mod metrics;
 #[cfg(feature = "trace")]

@@ -14,7 +14,7 @@
 use crate::enabled;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// A monotonically increasing named counter.
 #[derive(Debug, Default)]
@@ -117,6 +117,11 @@ impl HistogramSnapshot {
 
 /// Registries: name → leaked metric.  `BTreeMap` keeps snapshots deterministically
 /// ordered, which keeps `--json` output byte-stable run to run.
+///
+/// Lock poisoning is recovered (`PoisonError::into_inner`) rather than propagated:
+/// the maps are append-only and each entry is inserted with one `entry().or_insert`
+/// call, so a panic elsewhere while the guard was held cannot expose a half-written
+/// entry — and metrics must keep working while a caught worker panic is reported.
 static COUNTERS: OnceLock<Mutex<BTreeMap<&'static str, &'static Counter>>> = OnceLock::new();
 static HISTOGRAMS: OnceLock<Mutex<BTreeMap<&'static str, &'static Histogram>>> = OnceLock::new();
 
@@ -125,7 +130,7 @@ pub fn counter(name: &'static str) -> &'static Counter {
     let mut map = COUNTERS
         .get_or_init(|| Mutex::new(BTreeMap::new()))
         .lock()
-        .expect("counter registry poisoned");
+        .unwrap_or_else(PoisonError::into_inner);
     map.entry(name)
         .or_insert_with(|| Box::leak(Box::new(Counter::default())))
 }
@@ -135,7 +140,7 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
     let mut map = HISTOGRAMS
         .get_or_init(|| Mutex::new(BTreeMap::new()))
         .lock()
-        .expect("histogram registry poisoned");
+        .unwrap_or_else(PoisonError::into_inner);
     map.entry(name)
         .or_insert_with(|| Box::leak(Box::new(Histogram::default())))
 }
@@ -207,14 +212,14 @@ pub fn snapshot() -> MetricsSnapshot {
     let counters = COUNTERS
         .get_or_init(|| Mutex::new(BTreeMap::new()))
         .lock()
-        .expect("counter registry poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .iter()
         .map(|(&name, c)| (name, c.get()))
         .collect();
     let histograms = HISTOGRAMS
         .get_or_init(|| Mutex::new(BTreeMap::new()))
         .lock()
-        .expect("histogram registry poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .iter()
         .map(|(&name, h)| (name, h.get()))
         .collect();

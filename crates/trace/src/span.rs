@@ -16,7 +16,7 @@
 use crate::{duration_to_ns, events_enabled, now_ns};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Whether an event opens or closes a span.
@@ -54,6 +54,11 @@ pub struct Event {
 type EventBuffer = Arc<Mutex<Vec<Event>>>;
 
 /// The per-thread event shard: its dense thread ordinal plus the buffer.
+///
+/// All shard/buffer locks recover from poisoning (`PoisonError::into_inner`):
+/// buffers are append-only `Vec<Event>` (a push cannot be observed half-done
+/// through the guard) and tracing must stay usable while the pool reports a
+/// caught worker panic — a poisoned trace lock must not cascade the failure.
 struct Shard {
     tid: u32,
     events: EventBuffer,
@@ -72,7 +77,7 @@ thread_local! {
     static SHARD: Shard = {
         let tid = NEXT_TID.fetch_add(1, Relaxed);
         let events = Arc::new(Mutex::new(Vec::new()));
-        shards().lock().expect("trace shard registry poisoned").push(Arc::clone(&events));
+        shards().lock().unwrap_or_else(PoisonError::into_inner).push(Arc::clone(&events));
         Shard { tid, events }
     };
     /// Stack of live span ids on this thread (the hierarchy source).
@@ -85,7 +90,7 @@ fn push_event(ev: Event) {
     SHARD.with(|s| {
         s.events
             .lock()
-            .expect("trace event shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(ev)
     });
 }
@@ -238,10 +243,10 @@ pub fn clear_events() {
 }
 
 fn collect_events(drain: bool) -> Vec<Event> {
-    let shards = shards().lock().expect("trace shard registry poisoned");
+    let shards = shards().lock().unwrap_or_else(PoisonError::into_inner);
     let mut all = Vec::new();
     for shard in shards.iter() {
-        let mut buf = shard.lock().expect("trace event shard poisoned");
+        let mut buf = shard.lock().unwrap_or_else(PoisonError::into_inner);
         if drain {
             all.append(&mut buf);
         } else {
