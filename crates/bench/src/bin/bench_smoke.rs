@@ -31,11 +31,22 @@ use mitra_bench::table2::{
     MigrationRow,
 };
 use mitra_bench::{mean, median, profile_to_json, run_task, table1_config};
+use mitra_datagen::datasets::all_datasets;
 use mitra_datagen::fuzz::migration_scenario;
 use mitra_datagen::generate_corpus;
+use mitra_datagen::social;
+use mitra_dsl::ast::{
+    ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, Program, TableExtractor,
+};
+use mitra_dsl::parse::parse_program;
+use mitra_dsl::{Table, Value};
+use mitra_hdt::Hdt;
 use mitra_synth::budget::Budget;
+use mitra_synth::exec::{execute_progressive, execute_with_stats, plan_with_tree};
+use mitra_synth::synthesize::{learn_transformation, SynthConfig};
 use mitra_trace::fault::{set_fault, FaultSpec};
 use mitra_trace::TraceMode;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -203,6 +214,14 @@ fn main() {
         eprintln!("bench_smoke: wrote {path} ({} events)", events.len());
     }
 
+    // Executor comparison: the planner-driven engine (interval joins, cost-based
+    // ordering, interned keys) against the kept pre-planner progressive join, on
+    // the E3 million-element document, on a join-ordering workload the static
+    // order handles badly, and across every Table 2 dataset.  Byte-identity of
+    // the emitted tables is a hard gate, like the synthesis determinism check.
+    eprintln!("bench_smoke: executor workloads (E3 1M elements + join ordering + datasets)...");
+    let (executor, tables_identical) = executor_block(&sequential, scale);
+
     // The descendants-index headline comparison.
     eprintln!("bench_smoke: descendants index workload...");
     let m = descend::measure(400, 400, 5);
@@ -247,6 +266,7 @@ fn main() {
         ("budget_overhead", budget_overhead),
         ("degradation", degradation),
         ("descendants_index", descendants),
+        ("executor", executor),
     ]);
 
     std::fs::write(&out_path, format!("{}\n", doc.to_string_pretty()))
@@ -263,6 +283,202 @@ fn main() {
         eprintln!("bench_smoke: FATAL: synthesized programs differ between thread counts");
         std::process::exit(1);
     }
+    if !tables_identical {
+        eprintln!("bench_smoke: FATAL: planner and progressive executors emitted different tables");
+        std::process::exit(1);
+    }
+}
+
+/// Best-of-`n` wall time of `f`, returning the fastest run's result and seconds.
+fn best_of<T>(n: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best: Option<(T, f64)> = None;
+    for _ in 0..n.max(1) {
+        let start = Instant::now();
+        let value = f();
+        let secs = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+            best = Some((value, secs));
+        }
+    }
+    best.expect("n >= 1")
+}
+
+/// The three-column workload whose static join order is pathological: the only
+/// constraint links columns 1 and 2, so the legacy order ([0, 1, 2]) cross-products
+/// the two large columns before the join can prune, while the cost-based order
+/// starts from the handful of filtered column-2 rows.
+fn ordering_workload() -> (Hdt, Program) {
+    let doc = mitra_hdt::generate::social_network(1_000, 1);
+    let person = ColumnExtractor::children(ColumnExtractor::Input, "Person");
+    let fid = ColumnExtractor::descendants(ColumnExtractor::Input, "fid");
+    let id_of = NodeExtractor::child(NodeExtractor::Id, "id", 0);
+    let filter = Predicate::Compare {
+        extractor: id_of.clone(),
+        index: 2,
+        op: CompareOp::Lt,
+        rhs: Operand::Const(Value::int(5)),
+    };
+    let join = Predicate::Compare {
+        extractor: NodeExtractor::Id,
+        index: 1,
+        op: CompareOp::Eq,
+        rhs: Operand::Column {
+            extractor: id_of,
+            index: 2,
+        },
+    };
+    let program = Program::new(
+        TableExtractor::new(vec![person.clone(), fid, person]),
+        Predicate::and(filter, join),
+    );
+    (doc, program)
+}
+
+/// One planner-vs-progressive comparison as a JSON object; pushes the identity of
+/// the two tables into `identical`.
+fn compare_executors(
+    label: &str,
+    doc: &Hdt,
+    program: &Program,
+    runs: usize,
+    identical: &mut bool,
+) -> (JsonValue, f64) {
+    let ((planner_table, stats), planner_secs) = best_of(runs, || execute_with_stats(doc, program));
+    let (progressive_table, progressive_secs) = best_of(runs, || execute_progressive(doc, program));
+    let same = planner_table.to_csv() == progressive_table.to_csv();
+    *identical &= same;
+    let speedup = if planner_secs > 0.0 {
+        progressive_secs / planner_secs
+    } else {
+        0.0
+    };
+    let block = obj(vec![
+        ("workload", s(label)),
+        ("rows", int(planner_table.len())),
+        ("planner_secs", num(planner_secs)),
+        ("progressive_secs", num(progressive_secs)),
+        ("speedup", num(speedup)),
+        ("interval_join_steps", int(stats.interval_join_steps)),
+        ("hash_join_steps", int(stats.hash_join_steps)),
+        ("cross_product_steps", int(stats.cross_product_steps)),
+        ("identical", JsonValue::Bool(same)),
+    ]);
+    (block, speedup)
+}
+
+/// Builds the `executor` JSON block: the E3 million-element motivating-example
+/// document, the join-ordering workload (whose speedup CI gates at >= 2), and a
+/// per-dataset planner-vs-progressive re-execution of the Table 2 programs.
+/// Returns the block and whether every comparison was byte-identical.
+fn executor_block(sequential: &[MigrationRow], scale: usize) -> (JsonValue, bool) {
+    let mut identical = true;
+
+    // E3: the synthesized motivating-example program over ~1M elements.
+    let example = social::training_example();
+    let synthesis = learn_transformation(&[example], &SynthConfig::default())
+        .expect("motivating-example synthesis succeeds");
+    let motivating = synthesis.program;
+    let doc = social::social_network_with_elements(1_000_000, 2);
+    let elements = doc.element_count();
+    let plan = plan_with_tree(&motivating, &doc);
+    let (counts_i, counts_h, counts_c) = plan.method_counts();
+    let (mut e3, _) = compare_executors("motivating-1M", &doc, &motivating, 1, &mut identical);
+    if let JsonValue::Object(fields) = &mut e3 {
+        let planner_secs = fields
+            .iter()
+            .find(|(k, _)| k == "planner_secs")
+            .and_then(|(_, v)| match v {
+                JsonValue::Number(x) => Some(*x),
+                _ => None,
+            })
+            .unwrap_or(0.0);
+        let rows = fields
+            .iter()
+            .find(|(k, _)| k == "rows")
+            .and_then(|(_, v)| match v {
+                JsonValue::Number(x) => Some(*x),
+                _ => None,
+            })
+            .unwrap_or(0.0);
+        fields.push(("elements".to_string(), int(elements)));
+        if planner_secs > 0.0 {
+            fields.push((
+                "elements_per_sec".to_string(),
+                num(elements as f64 / planner_secs),
+            ));
+            fields.push(("rows_per_sec".to_string(), num(rows / planner_secs)));
+        }
+        fields.push((
+            "plan_shape".to_string(),
+            s(format!(
+                "{counts_i} interval / {counts_h} hash / {counts_c} cross"
+            )),
+        ));
+    }
+    drop(doc);
+
+    // The join-ordering workload: the number CI gates at >= 2.
+    let (ordering_doc, ordering_program) = ordering_workload();
+    let (ordering, ordering_speedup) = compare_executors(
+        "join-ordering",
+        &ordering_doc,
+        &ordering_program,
+        3,
+        &mut identical,
+    );
+
+    // Re-execute every synthesized Table 2 program both ways on its dataset.
+    let mut datasets = Vec::new();
+    for spec in all_datasets() {
+        let Some(row) = sequential.iter().find(|r| r.name == spec.name) else {
+            continue;
+        };
+        if row.programs.is_empty() {
+            continue;
+        }
+        let (tree, _) = spec.generate(scale);
+        let programs: Vec<Program> = row
+            .programs
+            .iter()
+            .map(|text| parse_program(text).expect("synthesized programs re-parse"))
+            .collect();
+        let (tables, planner_secs) = best_of(3, || {
+            programs
+                .iter()
+                .map(|p| execute_with_stats(&tree, p).0)
+                .collect::<Vec<Table>>()
+        });
+        let (reference, progressive_secs) = best_of(3, || {
+            programs
+                .iter()
+                .map(|p| execute_progressive(&tree, p))
+                .collect::<Vec<Table>>()
+        });
+        let same = tables
+            .iter()
+            .zip(&reference)
+            .all(|(a, b)| a.to_csv() == b.to_csv());
+        identical &= same;
+        datasets.push(obj(vec![
+            ("dataset", s(spec.name)),
+            ("tables", int(programs.len())),
+            ("planner_secs", num(planner_secs)),
+            ("progressive_secs", num(progressive_secs)),
+            ("identical", JsonValue::Bool(same)),
+        ]));
+    }
+
+    eprintln!(
+        "bench_smoke: executor ordering speedup {ordering_speedup:.1}x, tables identical: {identical}"
+    );
+    let block = obj(vec![
+        ("e3_motivating", e3),
+        ("ordering", ordering),
+        ("ordering_speedup", num(ordering_speedup)),
+        ("datasets", JsonValue::Array(datasets)),
+        ("tables_identical", JsonValue::Bool(identical)),
+    ]);
+    (block, identical)
 }
 
 /// True when both runs synthesized byte-identical programs for every dataset.

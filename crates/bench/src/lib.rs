@@ -202,6 +202,9 @@ pub fn execution_profile_to_json(p: &mitra_migrate::ExecutionProfile) -> json::J
                             ("chunks", json::int(t.chunks)),
                             ("tuples_considered", json::int(t.tuples_considered)),
                             ("rows_emitted", json::int(t.rows_emitted)),
+                            ("interval_join_steps", json::int(t.interval_join_steps)),
+                            ("hash_join_steps", json::int(t.hash_join_steps)),
+                            ("cross_product_steps", json::int(t.cross_product_steps)),
                         ])
                     })
                     .collect(),

@@ -218,6 +218,9 @@ mod tests {
                         chunks: 1,
                         tuples_considered: 300,
                         rows_emitted: 275,
+                        interval_join_steps: 0,
+                        hash_join_steps: 1,
+                        cross_product_steps: 0,
                     }],
                     wall: std::time::Duration::from_millis(1),
                 },

@@ -145,7 +145,12 @@ pub fn synthesize(
 /// `run`: evaluate a DSL program (in the paper's textual syntax) over a document and
 /// render the resulting table as CSV.  Validation warnings are prepended as `--`
 /// comment lines.
-pub fn run_program(document: &str, program_text: &str, format: Format) -> Result<String, CliError> {
+pub fn run_program(
+    document: &str,
+    program_text: &str,
+    format: Format,
+    explain: bool,
+) -> Result<String, CliError> {
     let program = parse_program(program_text).map_err(MitraError::from)?;
     let tree = format.parse(document)?;
 
@@ -165,6 +170,11 @@ pub fn run_program(document: &str, program_text: &str, format: Format) -> Result
     let mut out = String::new();
     for warning in validation.warnings() {
         let _ = writeln!(out, "-- warning: {}", warning.message);
+    }
+    if explain {
+        // `--explain`: render the cost-based query plan instead of executing it.
+        out.push_str(&mitra_synth::plan_with_tree(&program, &tree).explain(&program));
+        return Ok(out);
     }
     let table = execute(&tree, &program);
     out.push_str(&table.to_csv());
@@ -391,14 +401,14 @@ mod tests {
             .filter(|l| !l.starts_with("--"))
             .collect::<Vec<_>>()
             .join("\n");
-        let csv = run_program(XML, &program_text, Format::Xml).unwrap();
+        let csv = run_program(XML, &program_text, Format::Xml, false).unwrap();
         assert!(csv.contains("Ada,engineer"));
         assert!(csv.contains("Grace,admiral"));
     }
 
     #[test]
     fn run_rejects_invalid_programs() {
-        assert!(run_program(XML, "not a program", Format::Xml).is_err());
+        assert!(run_program(XML, "not a program", Format::Xml, false).is_err());
     }
 
     #[test]
@@ -407,7 +417,7 @@ mod tests {
         // CSV is prefixed with warning comments.
         let program_text =
             "\\tau. filter((\\s.pchildren(children(s, nosuch), name, 0)){root(tau)}, \\t. true)";
-        let out = run_program(XML, program_text, Format::Xml).unwrap();
+        let out = run_program(XML, program_text, Format::Xml, false).unwrap();
         assert!(out.contains("-- warning"));
     }
 

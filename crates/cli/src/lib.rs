@@ -5,7 +5,7 @@
 //! ```text
 //! mitra-cli synthesize --input doc.xml --output example.csv [--format xml|json|html]
 //!                      [--emit dsl|xslt|js] [--out program.txt]
-//! mitra-cli run        --program program.dsl --input big.xml [--format ...] [--out rows.csv]
+//! mitra-cli run        --program program.dsl --input big.xml [--format ...] [--out rows.csv] [--explain]
 //! mitra-cli corpus     [--limit N]
 //! mitra-cli datasets
 //! mitra-cli migrate    <dblp|imdb|mondial|yelp> [--scale N] [--query 'SELECT ...'] [--strict]
@@ -75,7 +75,7 @@ pub const USAGE: &str = "mitra-cli — programming-by-example migration of hiera
 
 USAGE:
     mitra-cli synthesize --input <doc> --output <example.csv> [--format xml|json|html] [--emit dsl|xslt|js] [--out <file>]
-    mitra-cli run --program <program.dsl> --input <doc> [--format xml|json|html] [--out <file>]
+    mitra-cli run --program <program.dsl> --input <doc> [--format xml|json|html] [--out <file>] [--explain]
     mitra-cli corpus [--limit <n>]
     mitra-cli datasets
     mitra-cli migrate <dblp|imdb|mondial|yelp> [--scale <per-entity>] [--query <sql>] [--strict]
@@ -96,7 +96,9 @@ default summary) picks how much the always-on metrics layer records.
 The synthesize command learns a transformation program from a single input document and
 the relational table it should produce (given as CSV with a header line).  The run
 command executes a previously saved program (in the textual DSL syntax) over a new,
-usually much larger, document.
+usually much larger, document; with --explain it prints the cost-based query plan
+(scan / interval-join / hash-join / cross steps with cardinality estimates) instead
+of executing the program.
 
 The migrate command accepts deterministic fuel budgets: --budget-candidates,
 --budget-dfa-states and --budget-rows cap, per table, the candidate programs
@@ -183,7 +185,8 @@ fn dispatch(args: &ParsedArgs, command: &str) -> Result<String, CliError> {
                 .filter(|l| !l.trim_start().starts_with("--"))
                 .collect::<Vec<_>>()
                 .join("\n");
-            let rendered = commands::run_program(&document, &program_text, format)?;
+            let rendered =
+                commands::run_program(&document, &program_text, format, args.has_flag("explain"))?;
             write_or_return(args, rendered)
         }
         "corpus" => {
@@ -310,6 +313,21 @@ mod tests {
         ])
         .unwrap();
         assert!(csv.contains("Ada,engineer"));
+
+        // `--explain` renders the query plan instead of the table.
+        let plan = run_cli([
+            "run",
+            "--program",
+            program_file.to_str().unwrap(),
+            "--input",
+            doc.to_str().unwrap(),
+            "--explain",
+        ])
+        .unwrap();
+        assert!(plan.starts_with("plan:"), "{plan}");
+        assert!(plan.contains("scan"), "{plan}");
+        assert!(plan.contains("output: rows sorted"), "{plan}");
+        assert!(!plan.contains("Ada,engineer"), "{plan}");
         for path in [doc, example, program_file] {
             let _ = fs::remove_file(path);
         }

@@ -9,9 +9,11 @@
 //!
 //! The emitted source is text; this crate does not ship an XSLT or JavaScript runtime.
 //! The benchmark harness measures the `LOC` statistic of Table 1 from these artifacts
-//! and the integration tests check their structure (one loop per column extractor, one
-//! conditional per predicate atom, correct escaping).
+//! and the integration tests check their structure (one loop per column extractor,
+//! predicate guards pushed to the shallowest loop that binds their columns, correct
+//! escaping).  Guard placement is derived from the static query plan in [`guards`].
 
+mod guards;
 pub mod js;
 pub mod loc;
 pub mod xslt;

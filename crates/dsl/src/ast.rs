@@ -166,6 +166,19 @@ impl ColumnExtractor {
             | ColumnExtractor::Descendants { inner, .. } => 1 + inner.size(),
         }
     }
+
+    /// Tag selected by the *last* step of the extractor (`None` for the identity).
+    /// Every node the extractor can produce carries this tag, so the tag's
+    /// occurrence-list length bounds the column cardinality — the basis of the query
+    /// planner's cost estimates.
+    pub fn last_tag(&self) -> Option<TagId> {
+        match self {
+            ColumnExtractor::Input => None,
+            ColumnExtractor::Children { tag, .. }
+            | ColumnExtractor::PChildren { tag, .. }
+            | ColumnExtractor::Descendants { tag, .. } => Some(*tag),
+        }
+    }
 }
 
 /// One step of a column extractor, i.e. one letter of the DFA alphabet (Figure 9).
@@ -251,6 +264,18 @@ impl NodeExtractor {
             NodeExtractor::Id => 0,
             NodeExtractor::Parent(inner) => 1 + inner.size(),
             NodeExtractor::Child { inner, .. } => 1 + inner.size(),
+        }
+    }
+
+    /// If the extractor is a pure parent chain `parent^q(n)`, returns `q` (`Some(0)`
+    /// for the identity).  Returns `None` as soon as a `child` step appears.  The
+    /// query planner uses this to recognize join constraints that are really
+    /// ancestor/descendant relations and compile them to pre-order interval joins.
+    pub fn parent_chain_depth(&self) -> Option<usize> {
+        match self {
+            NodeExtractor::Id => Some(0),
+            NodeExtractor::Parent(inner) => inner.parent_chain_depth().map(|q| q + 1),
+            NodeExtractor::Child { .. } => None,
         }
     }
 }
@@ -345,6 +370,29 @@ impl Predicate {
             Predicate::Compare { .. } => 1,
             Predicate::And(a, b) | Predicate::Or(a, b) => a.atom_count() + b.atom_count(),
             Predicate::Not(a) => a.atom_count(),
+        }
+    }
+
+    /// Largest tuple-component index referenced anywhere in the predicate (`None`
+    /// when no comparison references a component).  Code generators use this to hoist
+    /// a guard to the shallowest loop depth at which all its components are bound.
+    pub fn max_column_index(&self) -> Option<usize> {
+        match self {
+            Predicate::True | Predicate::False => None,
+            Predicate::Compare { index, rhs, .. } => {
+                let mut max = *index;
+                if let Operand::Column { index: j, .. } = rhs {
+                    max = max.max(*j);
+                }
+                Some(max)
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                match (a.max_column_index(), b.max_column_index()) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                }
+            }
+            Predicate::Not(a) => a.max_column_index(),
         }
     }
 
@@ -542,5 +590,61 @@ mod tests {
     fn node_extractor_size() {
         let phi = NodeExtractor::child(NodeExtractor::parent(NodeExtractor::Id), "id", 0);
         assert_eq!(phi.size(), 2);
+    }
+
+    #[test]
+    fn parent_chain_depth_recognizes_pure_chains() {
+        assert_eq!(NodeExtractor::Id.parent_chain_depth(), Some(0));
+        assert_eq!(
+            NodeExtractor::parent(NodeExtractor::Id).parent_chain_depth(),
+            Some(1)
+        );
+        assert_eq!(
+            NodeExtractor::parent(NodeExtractor::parent(NodeExtractor::parent(
+                NodeExtractor::Id
+            )))
+            .parent_chain_depth(),
+            Some(3)
+        );
+        assert_eq!(
+            NodeExtractor::child(NodeExtractor::Id, "id", 0).parent_chain_depth(),
+            None
+        );
+        assert_eq!(
+            NodeExtractor::parent(NodeExtractor::child(NodeExtractor::Id, "id", 0))
+                .parent_chain_depth(),
+            None
+        );
+    }
+
+    #[test]
+    fn last_tag_is_final_step_tag() {
+        assert_eq!(ColumnExtractor::Input.last_tag(), None);
+        let pi = ColumnExtractor::pchildren(
+            ColumnExtractor::children(ColumnExtractor::Input, "Person"),
+            "name",
+            0,
+        );
+        assert_eq!(pi.last_tag(), Some(TagId::from("name")));
+    }
+
+    #[test]
+    fn max_column_index_spans_both_sides() {
+        assert_eq!(Predicate::True.max_column_index(), None);
+        assert_eq!(atom(2).max_column_index(), Some(2));
+        let join = Predicate::Compare {
+            extractor: NodeExtractor::Id,
+            index: 1,
+            op: CompareOp::Eq,
+            rhs: Operand::Column {
+                extractor: NodeExtractor::Id,
+                index: 3,
+            },
+        };
+        assert_eq!(join.max_column_index(), Some(3));
+        assert_eq!(
+            Predicate::or(atom(0), Predicate::not(join)).max_column_index(),
+            Some(3)
+        );
     }
 }

@@ -308,8 +308,11 @@ impl<'a> Parser<'a> {
     }
 
     fn starts_with_ci(&self, s: &str) -> bool {
-        let rest = self.rest();
-        rest.len() >= s.len() && rest[..s.len()].eq_ignore_ascii_case(s)
+        // Byte-wise: a `str` slice of the first `s.len()` bytes panics when that
+        // offset lands inside a multi-byte character (e.g. U+FFFD from lossy
+        // recovery of corrupted input).
+        let rest = &self.input.as_bytes()[self.pos..];
+        rest.len() >= s.len() && rest[..s.len()].eq_ignore_ascii_case(s.as_bytes())
     }
 
     fn skip_ws(&mut self) {
@@ -757,5 +760,15 @@ mod tests {
         let html = "<p>  spread \n  over   lines  </p>";
         let doc = parse_html(html).unwrap();
         assert_eq!(doc.root.text.as_deref(), Some("spread over lines"));
+    }
+
+    #[test]
+    fn multi_byte_text_at_a_prefix_probe_offset_does_not_panic() {
+        // Fixed fuzz regression (seeded suite, scenario 195): lossy recovery of
+        // corrupted bytes puts U+FFFD in text content so that the 4-byte `<!--`
+        // prefix probe lands inside the character; `starts_with_ci` used to slice
+        // the `str` at that offset and panic on the char boundary.
+        let html = "n-\u{fffd}0</td><td>545</td><tr><td>n-1</td></table>";
+        assert!(parse_html(html).is_ok(), "lenient parse must not panic");
     }
 }

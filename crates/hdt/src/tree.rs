@@ -34,6 +34,10 @@ struct TreeIndex {
     /// Exclusive end of each node's subtree in pre-order numbering: every strict
     /// descendant `d` of `n` satisfies `pre[n] < pre[d] < end[n]`.
     end: Vec<u32>,
+    /// Depth of each node (root is 0), indexed by arena position.  Cached so the
+    /// executor's structural interval joins can compare ancestor distances in O(1)
+    /// instead of walking parent chains.
+    depth: Vec<u32>,
     /// Per-tag occurrence lists, both vectors sorted by pre-order number in lockstep.
     occurrences: HashMap<TagId, TagOccurrences>,
     /// Children of a node holding a given tag, in document order.
@@ -54,6 +58,7 @@ impl TreeIndex {
         let n = tree.nodes.len();
         let mut pre = vec![0u32; n];
         let mut end = vec![0u32; n];
+        let mut depth = vec![0u32; n];
         let mut order: Vec<NodeId> = Vec::with_capacity(n);
 
         // Iterative pre-order numbering with explicit enter/exit frames so arbitrarily
@@ -72,6 +77,7 @@ impl TreeIndex {
                     order.push(id);
                     stack.push(Frame::Exit(id));
                     for c in tree.node(id).children.iter().rev() {
+                        depth[c.index()] = depth[id.index()] + 1;
                         stack.push(Frame::Enter(*c));
                     }
                 }
@@ -102,6 +108,7 @@ impl TreeIndex {
         TreeIndex {
             pre,
             end,
+            depth,
             occurrences,
             children_by_tag,
         }
@@ -352,6 +359,25 @@ impl Hdt {
         let a = occ.pre.partition_point(|&p| p < lo);
         let b = occ.pre.partition_point(|&p| p < hi);
         &occ.nodes[a..b]
+    }
+
+    /// Depth of a node via the navigation index (root is 0).  O(1) once the index
+    /// exists; [`Hdt::depth`] is the index-free O(depth) parent walk.
+    #[inline]
+    pub fn node_depth(&self, id: NodeId) -> u32 {
+        self.index().depth[id.index()]
+    }
+
+    /// Number of nodes in the whole tree carrying the given tag — the length of the
+    /// tag's occurrence list.  The query planner uses this as a column-cardinality
+    /// estimate when ordering joins.
+    pub fn tag_count(&self, tag: impl Into<TagId>) -> usize {
+        let tag = tag.into();
+        self.index()
+            .occurrences
+            .get(&tag)
+            .map(|occ| occ.nodes.len())
+            .unwrap_or(0)
     }
 
     /// All (strict) descendants of `id` with the given tag, found by walking the
@@ -728,6 +754,28 @@ mod tests {
         let t = sample();
         assert_eq!(t.depth(t.root()), 0);
         assert_eq!(t.height(), 4); // root -> Person -> Friendship -> Friend -> fid
+    }
+
+    #[test]
+    fn node_depth_agrees_with_parent_walk() {
+        let t = sample();
+        for id in t.ids() {
+            assert_eq!(
+                t.node_depth(id) as usize,
+                t.depth(id),
+                "depth mismatch at {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn tag_count_matches_occurrences() {
+        let t = sample();
+        assert_eq!(t.tag_count("Person"), 2);
+        assert_eq!(t.tag_count("name"), 2);
+        assert_eq!(t.tag_count("years"), 1);
+        assert_eq!(t.tag_count("root"), 1);
+        assert_eq!(t.tag_count("absent"), 0);
     }
 
     #[test]

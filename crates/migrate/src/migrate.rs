@@ -149,6 +149,12 @@ pub struct TableExecProfile {
     pub tuples_considered: usize,
     /// Rows the program emitted (before key columns are attached).
     pub rows_emitted: usize,
+    /// Join steps executed as pre-order interval joins.
+    pub interval_join_steps: usize,
+    /// Join steps executed as hash joins.
+    pub hash_join_steps: usize,
+    /// Extension steps executed as cross products.
+    pub cross_product_steps: usize,
 }
 
 /// The execution-phase profile of a whole migration: one entry per table, in task
@@ -280,6 +286,9 @@ impl MigrationReport {
                     chunks: t.exec_stats.chunks,
                     tuples_considered: t.exec_stats.tuples_considered,
                     rows_emitted: t.exec_stats.rows_emitted,
+                    interval_join_steps: t.exec_stats.interval_join_steps,
+                    hash_join_steps: t.exec_stats.hash_join_steps,
+                    cross_product_steps: t.exec_stats.cross_product_steps,
                 })
                 .collect(),
             wall: self.execution_wall,

@@ -7,6 +7,7 @@ use super::ast::{Aggregate, ColumnRef, ComparisonOp, Expr, Join, Query, SelectIt
 use super::QueryError;
 use crate::Database;
 use mitra_dsl::{Row, Table, Value};
+use mitra_synth::ops::ValueInterner;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
@@ -120,17 +121,23 @@ impl BoundRows {
         if let Some((left_idx, right_idx, residual)) =
             equi_join_key(&join.on, &self.layout, &right.layout)
         {
-            let mut index: HashMap<String, Vec<&Row>> = HashMap::new();
+            // Keys are interned value ids from the shared physical-operator layer
+            // (`mitra_synth::ops::ValueInterner`): one u32 per distinct value
+            // instead of a rendered `String` per row.
+            let mut interner = ValueInterner::new();
+            let mut index: HashMap<u32, Vec<&Row>> = HashMap::new();
             for row in &right.rows {
-                index.entry(row[right_idx].render()).or_default().push(row);
+                index
+                    .entry(interner.intern(&row[right_idx]))
+                    .or_default()
+                    .push(row);
             }
             let mut rows = Vec::new();
             for left_row in &self.rows {
-                let key = left_row[left_idx].render();
                 if left_row[left_idx].is_null() {
                     continue;
                 }
-                let Some(matches) = index.get(&key) else {
+                let Some(matches) = index.get(&interner.intern(&left_row[left_idx])) else {
                     continue;
                 };
                 for right_row in matches {

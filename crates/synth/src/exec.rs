@@ -2,143 +2,39 @@
 //!
 //! The naive semantics of `filter(π1 × … × πk, φ)` materializes the full cross product
 //! before filtering, which is hopeless on large documents (the intermediate table grows
-//! as the product of the column sizes).  This module builds an execution *plan* that
+//! as the product of the column sizes).  Execution here is split into a query planner
+//! ([`crate::plan`]) and a physical-operator layer ([`crate::ops`]):
 //!
-//! 1. pushes constant comparisons down onto individual columns (pre-filtering),
-//! 2. turns equality comparisons between two tuple components into hash joins, and
-//! 3. evaluates whatever remains as a residual predicate on the surviving tuples.
+//! 1. the planner pushes single-column comparisons down onto individual columns,
+//!    turns equality comparisons between two tuple components into join constraints,
+//!    and orders the joins smallest-first using cardinality estimates from the tree's
+//!    per-tag occurrence lists (columns themselves are materialized through the same
+//!    index — `eval_column` resolves `descendants` steps as `descendants_with_tag`
+//!    range scans over the pre-order interval);
+//! 2. join steps run as pre-order **interval joins** when the constraint is an
+//!    ancestor/descendant relation, as **hash joins** over interned keys otherwise,
+//!    with cross products deferred to last;
+//! 3. whatever remains is evaluated as a **vectorized residual filter**,
+//!    column-at-a-time over ≥8192-tuple chunks.
 //!
-//! For the motivating example this reduces execution from O(n³) to roughly O(n), which
-//! is what makes the paper's "1M elements in ~2.5 minutes" scalability experiment (and
-//! our experiment E3) feasible.
+//! Whatever order the planner picks, finished rows are sorted by their per-column
+//! positions permuted into [`legacy_order`] — the emission order of the pre-planner
+//! progressive join (kept below as [`execute_nodes_progressive`] for differential
+//! testing) — so the output is byte-identical at every thread count and plan shape.
+//! Row-budget checks stay at canonical sequential points (after the initial scan,
+//! after each join step, after the merged residual filter), so a `BudgetBreach`
+//! fires after exactly the same work regardless of threading.
 
 use crate::budget::{Budget, BudgetBreach, BudgetResource};
-use mitra_dsl::ast::{CompareOp, NodeExtractor, Operand, Predicate, Program};
+use crate::ops;
+pub use crate::plan::{
+    legacy_order, plan, plan_with_tree, JoinConstraint, Plan, PlanStep, StepMethod,
+};
+use mitra_dsl::ast::Program;
 use mitra_dsl::eval::{eval_column, eval_node_extractor, eval_predicate, node_value};
 use mitra_dsl::{Table, Value};
 use mitra_hdt::{Hdt, NodeId};
 use std::collections::HashMap;
-
-/// A join/filter plan derived from a program's predicate.
-#[derive(Debug, Clone)]
-pub struct Plan {
-    /// Per-column constant filters (conjunction of atoms mentioning only that column).
-    pub column_filters: Vec<Vec<Predicate>>,
-    /// Equality join constraints between two columns.
-    pub joins: Vec<JoinConstraint>,
-    /// Whatever could not be pushed down or turned into a join.
-    pub residual: Predicate,
-    /// Column evaluation/join order (a permutation of `0..arity`).
-    pub order: Vec<usize>,
-}
-
-/// An equi-join constraint `(λn.ϕa) t[a] = (λn.ϕb) t[b]`.
-#[derive(Debug, Clone)]
-pub struct JoinConstraint {
-    /// Left column index.
-    pub left_col: usize,
-    /// Node extractor applied to the left column's node.
-    pub left_extractor: NodeExtractor,
-    /// Right column index.
-    pub right_col: usize,
-    /// Node extractor applied to the right column's node.
-    pub right_extractor: NodeExtractor,
-}
-
-/// Key used for hash joins: node identity for internal nodes, data value for leaves.
-/// This mirrors the comparison semantics of Figure 7 (leaf–leaf compares data,
-/// internal–internal compares identity, mixed comparisons are false).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum JoinKey {
-    Node(NodeId),
-    Data(String),
-}
-
-fn join_key(tree: &Hdt, node: NodeId) -> JoinKey {
-    if tree.is_leaf(node) {
-        JoinKey::Data(Value::from_data(tree.data(node).unwrap_or("")).render())
-    } else {
-        JoinKey::Node(node)
-    }
-}
-
-/// Builds an execution plan for a program (the planning half of Appendix C).
-pub fn plan(program: &Program) -> Plan {
-    let arity = program.arity();
-    let cnf = program.predicate.to_cnf();
-    let mut column_filters: Vec<Vec<Predicate>> = vec![Vec::new(); arity];
-    let mut joins: Vec<JoinConstraint> = Vec::new();
-    let mut residual_clauses: Vec<Vec<Predicate>> = Vec::new();
-
-    for clause in cnf {
-        if clause.len() == 1 {
-            match &clause[0] {
-                Predicate::Compare {
-                    extractor,
-                    index,
-                    op,
-                    rhs: Operand::Const(_),
-                } => {
-                    let _ = (extractor, op);
-                    column_filters[*index].push(clause[0].clone());
-                    continue;
-                }
-                Predicate::Compare {
-                    extractor,
-                    index,
-                    op: CompareOp::Eq,
-                    rhs:
-                        Operand::Column {
-                            extractor: rhs_extractor,
-                            index: rhs_index,
-                        },
-                } if index != rhs_index => {
-                    joins.push(JoinConstraint {
-                        left_col: *index,
-                        left_extractor: extractor.clone(),
-                        right_col: *rhs_index,
-                        right_extractor: rhs_extractor.clone(),
-                    });
-                    continue;
-                }
-                _ => {}
-            }
-        }
-        residual_clauses.push(clause);
-    }
-
-    let residual = Predicate::conjunction(residual_clauses.into_iter().map(Predicate::disjunction));
-
-    // Join order: start from column 0, repeatedly add the column connected to the
-    // already-joined set by some join constraint; fall back to the next unjoined column
-    // (which will require a cross product step).
-    let mut order = Vec::with_capacity(arity);
-    if arity > 0 {
-        order.push(0);
-        while order.len() < arity {
-            let next_joined = (0..arity).find(|c| {
-                !order.contains(c)
-                    && joins.iter().any(|j| {
-                        (j.left_col == *c && order.contains(&j.right_col))
-                            || (j.right_col == *c && order.contains(&j.left_col))
-                    })
-            });
-            // `order.len() < arity` guarantees an unplaced column exists, so the
-            // fallback scan always finds one; bail out instead of panicking if not.
-            let Some(next) = next_joined.or_else(|| (0..arity).find(|c| !order.contains(c))) else {
-                break;
-            };
-            order.push(next);
-        }
-    }
-
-    Plan {
-        column_filters,
-        joins,
-        residual,
-        order,
-    }
-}
 
 /// Statistics gathered during execution (useful for the ablation benchmarks and
 /// the migration execution profile).
@@ -152,6 +48,12 @@ pub struct ExecStats {
     pub used_cross_product: bool,
     /// Number of chunks the residual filter fanned out over (1 when it ran inline).
     pub chunks: usize,
+    /// Join steps executed as pre-order interval joins.
+    pub interval_join_steps: usize,
+    /// Join steps executed as hash joins.
+    pub hash_join_steps: usize,
+    /// Extension steps executed as cross products.
+    pub cross_product_steps: usize,
 }
 
 /// Executes a program with the optimized plan, returning the output table.
@@ -167,8 +69,7 @@ pub fn execute_nodes(tree: &Hdt, program: &Program) -> Vec<Vec<NodeId>> {
 /// Like [`execute_nodes`], additionally returning the execution statistics — the
 /// migration layer uses these to build its per-table execution profile.
 pub fn execute_nodes_with_stats(tree: &Hdt, program: &Program) -> (Vec<Vec<NodeId>>, ExecStats) {
-    let p = plan(program);
-    match run_plan(tree, program, &p, None) {
+    match run_plan(tree, program, None) {
         Ok(result) => result,
         // An unlimited budget cannot breach.
         Err(_) => unreachable!("unlimited row budget breached"),
@@ -184,28 +85,30 @@ pub fn execute_nodes_budgeted(
     program: &Program,
     max_rows: Option<u64>,
 ) -> Result<(Vec<Vec<NodeId>>, ExecStats), BudgetBreach> {
-    let p = plan(program);
-    run_plan(tree, program, &p, max_rows)
+    run_plan(tree, program, max_rows)
 }
 
 /// Executes a program with the optimized plan, returning the table and statistics.
 pub fn execute_with_stats(tree: &Hdt, program: &Program) -> (Table, ExecStats) {
     let (tuples, stats) = execute_nodes_with_stats(tree, program);
+    (project(tree, program, &tuples), stats)
+}
+
+fn project(tree: &Hdt, program: &Program, tuples: &[Vec<NodeId>]) -> Table {
     let mut table = if program.column_names.is_empty() {
         Table::anonymous(program.arity())
     } else {
         Table::new(program.column_names.clone())
     };
-    for t in &tuples {
+    for t in tuples {
         table.push(t.iter().map(|n| node_value(tree, *n)).collect());
     }
-    (table, stats)
+    table
 }
 
 fn run_plan(
     tree: &Hdt,
     program: &Program,
-    p: &Plan,
     max_rows: Option<u64>,
 ) -> Result<(Vec<Vec<NodeId>>, ExecStats), BudgetBreach> {
     let _span = mitra_trace::span("exec", "run_plan");
@@ -220,16 +123,158 @@ fn run_plan(
         return Ok((Vec::new(), stats));
     }
 
-    // Evaluate and pre-filter each column.
+    let (p, columns) = crate::plan::plan_and_columns(program, tree);
+
+    // Initial scan (the first plan step is always a scan).
+    let first = p.steps[0].col;
+    let mut tuples = ops::scan(arity, first, &columns[first]);
+    materialized += tuples.len() as u64;
+    budget.check(BudgetResource::Rows, materialized)?;
+
+    let mut interner = ops::KeyInterner::new(tree);
+    for step in &p.steps[1..] {
+        let col = step.col;
+        tuples = match step.method {
+            StepMethod::Scan => unreachable!("scan can only be the first plan step"),
+            StepMethod::IntervalJoin { join, chain_len } => {
+                stats.interval_join_steps += 1;
+                let (_, old_col, old_extractor) = p.joins[join].oriented(col);
+                ops::interval_join(
+                    tree,
+                    &tuples,
+                    col,
+                    &columns[col],
+                    chain_len,
+                    old_col,
+                    old_extractor,
+                )
+            }
+            StepMethod::HashJoin { join } => {
+                stats.hash_join_steps += 1;
+                let (new_extractor, old_col, old_extractor) = p.joins[join].oriented(col);
+                ops::hash_join(
+                    tree,
+                    &mut interner,
+                    &tuples,
+                    col,
+                    &columns[col],
+                    new_extractor,
+                    old_col,
+                    old_extractor,
+                )
+            }
+            StepMethod::CrossProduct => {
+                stats.cross_product_steps += 1;
+                stats.used_cross_product = true;
+                ops::cross_join(&tuples, col, &columns[col])
+            }
+        };
+        // Row fuel pays per tuple materialized; checking after each (sequential)
+        // join step keeps the breach point independent of the thread count.
+        materialized += tuples.len() as u64;
+        budget.check(BudgetResource::Rows, materialized)?;
+    }
+
+    stats.tuples_considered = tuples.len();
+
+    // Residual filtering, column-at-a-time.  On large intermediates the filter fans
+    // out over contiguous chunks whose survivors are re-concatenated in chunk order,
+    // keeping the surviving index sequence independent of the thread count.
+    let rp = ops::ResidualPlan::build(&p);
+    let threads = mitra_pool::threads();
+    let total = tuples.len();
+    let mut survivors: Vec<u32> =
+        if threads > 1 && total >= PARALLEL_FILTER_MIN_TUPLES && !rp.is_empty() {
+            let chunk_size = total.div_ceil(threads);
+            let ranges: Vec<(usize, usize)> = (0..total)
+                .step_by(chunk_size)
+                .map(|s| (s, (s + chunk_size).min(total)))
+                .collect();
+            stats.chunks = ranges.len();
+            mitra_pool::parallel_map(threads, &ranges, |_, &(s, e)| {
+                ops::filter_tuples(tree, &tuples, s, e, &rp)
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            stats.chunks = 1;
+            ops::filter_tuples(tree, &tuples, 0, total, &rp)
+        };
+
+    // Emission-order contract: rows sorted lexicographically by their per-column
+    // positions permuted into the legacy progressive order.  Position vectors are
+    // unique per tuple, so this is a total (deterministic) order.
+    let order = legacy_order(arity, &p.joins);
+    survivors.sort_unstable_by(|&a, &b| {
+        let pa = tuples.row_pos(a as usize);
+        let pb = tuples.row_pos(b as usize);
+        order
+            .iter()
+            .map(|&c| pa[c].cmp(&pb[c]))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let result: Vec<Vec<NodeId>> = survivors
+        .iter()
+        .map(|&i| tuples.row(i as usize).to_vec())
+        .collect();
+    stats.rows_emitted = result.len();
+    // Checked after all chunks merge (never per chunk — chunk boundaries depend
+    // on the thread count, the merged total does not).
+    materialized += result.len() as u64;
+    budget.check(BudgetResource::Rows, materialized)?;
+    mitra_trace::counter_add!("exec.tuples_considered", stats.tuples_considered as u64);
+    mitra_trace::counter_add!("exec.rows_emitted", stats.rows_emitted as u64);
+    mitra_trace::hist_observe!("exec.chunks", stats.chunks as u64);
+    if stats.interval_join_steps > 0 {
+        mitra_trace::counter_add!("exec.join.interval", stats.interval_join_steps as u64);
+    }
+    if stats.hash_join_steps > 0 {
+        mitra_trace::counter_add!("exec.join.hash", stats.hash_join_steps as u64);
+    }
+    if stats.cross_product_steps > 0 {
+        mitra_trace::counter_add!("exec.join.cross", stats.cross_product_steps as u64);
+    }
+    Ok((result, stats))
+}
+
+/// Below this many intermediate tuples the residual filter runs inline: spawning
+/// workers costs more than the checks themselves.
+const PARALLEL_FILTER_MIN_TUPLES: usize = 8192;
+
+/// The pre-refactor progressive join, kept verbatim as a reference implementation:
+/// fixed static order, string-keyed hash joins, tuple-at-a-time residual filtering.
+/// The differential test suite and the executor benchmarks compare the planner
+/// against this for byte-identical output.
+pub fn execute_nodes_progressive(tree: &Hdt, program: &Program) -> Vec<Vec<NodeId>> {
+    /// Legacy join key: node identity for internal nodes, rendered data for leaves.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum LegacyKey {
+        Node(NodeId),
+        Data(String),
+    }
+    fn legacy_key(tree: &Hdt, node: NodeId) -> LegacyKey {
+        if tree.is_leaf(node) {
+            LegacyKey::Data(Value::from_data(tree.data(node).unwrap_or("")).render())
+        } else {
+            LegacyKey::Node(node)
+        }
+    }
+
+    let p = plan(program);
+    let arity = program.arity();
+    if arity == 0 {
+        return Vec::new();
+    }
+
+    // Evaluate and pre-filter each column (dummy-tuple filter evaluation, as before).
     let mut columns: Vec<Vec<NodeId>> = Vec::with_capacity(arity);
     for (i, pi) in program.extractor.columns.iter().enumerate() {
         let mut nodes = eval_column(tree, pi);
         if !p.column_filters[i].is_empty() {
             nodes.retain(|n| {
-                // Column filters only mention column i; present the node at position i
-                // of a dummy tuple.
-                let mut dummy = vec![*n; arity];
-                dummy[i] = *n;
+                let dummy = vec![*n; arity];
                 p.column_filters[i]
                     .iter()
                     .all(|f| eval_predicate(tree, &dummy, f))
@@ -238,8 +283,6 @@ fn run_plan(
         columns.push(nodes);
     }
 
-    // Progressive join following the plan order.  Partial tuples are stored as vectors
-    // indexed by column id with placeholder entries for not-yet-joined columns.
     let first = p.order[0];
     let mut partial: Vec<Vec<NodeId>> = columns[first]
         .iter()
@@ -249,12 +292,9 @@ fn run_plan(
             t
         })
         .collect();
-    materialized += partial.len() as u64;
-    budget.check(BudgetResource::Rows, materialized)?;
     let mut joined: Vec<usize> = vec![first];
 
     for &col in &p.order[1..] {
-        // Find a join constraint linking `col` to an already joined column.
         let constraint = p.joins.iter().find(|j| {
             (j.left_col == col && joined.contains(&j.right_col))
                 || (j.right_col == col && joined.contains(&j.left_col))
@@ -262,17 +302,15 @@ fn run_plan(
         let mut next_partial: Vec<Vec<NodeId>> = Vec::new();
         match constraint {
             Some(j) => {
-                // Normalize so that `new_extractor` applies to the new column `col`.
                 let (new_extractor, old_col, old_extractor) = if j.left_col == col {
                     (&j.left_extractor, j.right_col, &j.right_extractor)
                 } else {
                     (&j.right_extractor, j.left_col, &j.left_extractor)
                 };
-                // Build a hash index over the new column.
-                let mut index: HashMap<JoinKey, Vec<NodeId>> = HashMap::new();
+                let mut index: HashMap<LegacyKey, Vec<NodeId>> = HashMap::new();
                 for &n in &columns[col] {
                     if let Some(target) = eval_node_extractor(tree, n, new_extractor) {
-                        index.entry(join_key(tree, target)).or_default().push(n);
+                        index.entry(legacy_key(tree, target)).or_default().push(n);
                     }
                 }
                 for t in &partial {
@@ -280,7 +318,7 @@ fn run_plan(
                     let Some(target) = eval_node_extractor(tree, old_node, old_extractor) else {
                         continue;
                     };
-                    if let Some(matches) = index.get(&join_key(tree, target)) {
+                    if let Some(matches) = index.get(&legacy_key(tree, target)) {
                         for &m in matches {
                             let mut nt = t.clone();
                             nt[col] = m;
@@ -290,7 +328,6 @@ fn run_plan(
                 }
             }
             None => {
-                stats.used_cross_product = true;
                 for t in &partial {
                     for &n in &columns[col] {
                         let mut nt = t.clone();
@@ -301,24 +338,15 @@ fn run_plan(
             }
         }
         partial = next_partial;
-        // Row fuel pays per tuple materialized; checking after each (sequential)
-        // join step keeps the breach point independent of the thread count.
-        materialized += partial.len() as u64;
-        budget.check(BudgetResource::Rows, materialized)?;
         joined.push(col);
     }
 
-    stats.tuples_considered = partial.len();
-
-    // Remaining join constraints that were not used to drive the join order (e.g. a
-    // second constraint between the same pair of columns) plus the residual predicate
-    // must still be checked.
     let keep = |t: &[NodeId]| -> bool {
         let joins_ok = p.joins.iter().all(|j| {
             let l = eval_node_extractor(tree, t[j.left_col], &j.left_extractor);
             let r = eval_node_extractor(tree, t[j.right_col], &j.right_extractor);
             match (l, r) {
-                (Some(l), Some(r)) => join_key(tree, l) == join_key(tree, r),
+                (Some(l), Some(r)) => legacy_key(tree, l) == legacy_key(tree, r),
                 _ => false,
             }
         });
@@ -328,22 +356,16 @@ fn run_plan(
         if !eval_predicate(tree, t, &p.residual) {
             return false;
         }
-        // Column filters were applied with dummy tuples; re-check them on the real
-        // tuple for safety (cheap, they are constant comparisons).
         p.column_filters
             .iter()
             .flatten()
             .all(|f| eval_predicate(tree, t, f))
     };
 
-    // Tuples are filtered independently; on large intermediates the check fans out
-    // over contiguous chunks whose survivors are re-concatenated in chunk order, so
-    // the emitted rows match the sequential order exactly.
     let threads = mitra_pool::threads();
-    let result: Vec<Vec<NodeId>> = if threads > 1 && partial.len() >= PARALLEL_FILTER_MIN_TUPLES {
+    if threads > 1 && partial.len() >= PARALLEL_FILTER_MIN_TUPLES {
         let chunk_size = partial.len().div_ceil(threads);
         let chunks: Vec<&[Vec<NodeId>]> = partial.chunks(chunk_size).collect();
-        stats.chunks = chunks.len();
         mitra_pool::parallel_map(threads, &chunks, |_, chunk| {
             chunk
                 .iter()
@@ -355,29 +377,23 @@ fn run_plan(
         .flatten()
         .collect()
     } else {
-        stats.chunks = 1;
         partial.into_iter().filter(|t| keep(t)).collect()
-    };
-    stats.rows_emitted = result.len();
-    // Checked after all chunks merge (never per chunk — chunk boundaries depend
-    // on the thread count, the merged total does not).
-    materialized += result.len() as u64;
-    budget.check(BudgetResource::Rows, materialized)?;
-    mitra_trace::counter_add!("exec.tuples_considered", stats.tuples_considered as u64);
-    mitra_trace::counter_add!("exec.rows_emitted", stats.rows_emitted as u64);
-    mitra_trace::hist_observe!("exec.chunks", stats.chunks as u64);
-    Ok((result, stats))
+    }
 }
 
-/// Below this many intermediate tuples the residual filter runs inline: spawning
-/// workers costs more than the checks themselves.
-const PARALLEL_FILTER_MIN_TUPLES: usize = 8192;
+/// Table-level wrapper around [`execute_nodes_progressive`].
+pub fn execute_progressive(tree: &Hdt, program: &Program) -> Table {
+    let tuples = execute_nodes_progressive(tree, program);
+    project(tree, program, &tuples)
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::synthesize::{learn_transformation, Example, SynthConfig};
-    use mitra_dsl::ast::{ColumnExtractor, TableExtractor};
+    use mitra_dsl::ast::{
+        ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, TableExtractor,
+    };
     use mitra_dsl::eval::eval_program;
     use mitra_hdt::generate::{social_network, social_network_rows};
 
@@ -414,6 +430,31 @@ mod tests {
         let program = synthesized_program();
         let p = plan(&program);
         assert!(!p.joins.is_empty(), "expected at least one equi-join");
+    }
+
+    #[test]
+    fn motivating_example_uses_an_interval_join() {
+        // The synthesized predicate joins via parent-chain extractors
+        // (parent(t[0]) = parent^3(t[2]) in Figure 3); at least one join step must
+        // compile to a pre-order interval join.
+        let program = synthesized_program();
+        let tree = social_network(10, 2);
+        let (_, stats) = execute_with_stats(&tree, &program);
+        assert!(
+            stats.interval_join_steps >= 1,
+            "expected an interval join, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn planner_matches_progressive_reference_exactly() {
+        let program = synthesized_program();
+        for (n, f) in [(2, 1), (5, 2), (20, 3)] {
+            let tree = social_network(n, f);
+            let fast = execute_nodes(&tree, &program);
+            let reference = execute_nodes_progressive(&tree, &program);
+            assert_eq!(fast, reference, "row mismatch at n={n} f={f}");
+        }
     }
 
     #[test]
@@ -504,6 +545,7 @@ mod tests {
         let (out, stats) = execute_with_stats(&tree, &program);
         assert_eq!(out.len(), 9);
         assert!(stats.used_cross_product);
+        assert_eq!(stats.cross_product_steps, 1);
     }
 
     #[test]

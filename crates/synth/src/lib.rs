@@ -24,8 +24,10 @@
 //! * [`budget`] — deterministic fuel budgets (candidates / DFA states / rows, never
 //!   wall-clock) checked at the frontier, the automata intersection, and the
 //!   executor, so exhaustion is identical at every thread count.
-//! * [`optimize`]/[`exec`] — the Appendix C program optimizer and an execution engine
-//!   that replaces the naive cross-product semantics with filters and hash joins.
+//! * [`optimize`]/[`plan`]/[`ops`]/[`exec`] — the Appendix C program optimizer and an
+//!   execution engine split into a cost-based query planner, a physical-operator
+//!   layer (tag-indexed scans, pre-order interval joins, interned-key hash joins,
+//!   vectorized residual filters) and the executor driving them.
 //! * [`baseline`] — a deliberately naive enumerative synthesizer used for the ablation
 //!   experiments (E7 in DESIGN.md).
 
@@ -36,7 +38,9 @@ pub mod column;
 pub mod cover;
 pub mod dfa;
 pub mod exec;
+pub mod ops;
 pub mod optimize;
+pub mod plan;
 pub mod predicate;
 pub mod qm;
 pub mod synthesize;
@@ -49,6 +53,8 @@ pub use column::{
     learn_column_extractors,
 };
 pub use exec::{execute, execute_nodes_budgeted};
+pub use ops::ValueInterner;
+pub use plan::{plan_with_tree, Plan, PlanStep, StepMethod};
 pub use predicate::{learn_predicate, learn_predicate_reference};
 pub use synthesize::{
     learn_transformation, learn_transformation_exhaustive, Example, SynthConfig, SynthError,

@@ -1,0 +1,637 @@
+//! Physical operators backing the query planner (`plan.rs`) and the executor
+//! (`exec.rs`).
+//!
+//! The operator inventory is deliberately small — scan, hash join, structural
+//! interval join, cross product, and a vectorized residual filter — and every
+//! operator works over [`Tuples`], a struct-of-arrays tuple store that tracks, for
+//! each tuple and column, the *position* of the chosen node inside its filtered
+//! column.  Those positions are what lets the executor emit rows in the legacy
+//! progressive-join order no matter which join order the planner chose.
+//!
+//! Join keys mirror the comparison semantics of Figure 7: internal nodes join by
+//! identity, leaves by the *rendered* typed value of their data (so `"1"` and
+//! `"1.0"` collide exactly as the pre-planner executor's string keys did).
+//! [`KeyInterner`] memoizes that rendering per distinct raw string, replacing the
+//! old `String` allocation per probe with a `u32` id.
+
+use crate::plan::Plan;
+use mitra_dsl::ast::{CompareOp, NodeExtractor, Operand, Predicate};
+use mitra_dsl::eval::{eval_node_extractor, eval_predicate, node_value};
+use mitra_dsl::Value;
+use mitra_hdt::{Hdt, NodeId};
+use std::collections::HashMap;
+
+/// Key used for hash joins: node identity for internal nodes, an interned rendered
+/// value id for leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKey {
+    /// An internal node, joining by identity.
+    Node(NodeId),
+    /// A leaf, joining by the interned id of its rendered data value.
+    Data(u32),
+}
+
+/// Interns leaf data for join keys.  Two leaves receive the same id exactly when
+/// `Value::from_data(data).render()` agrees — the equality the pre-planner executor
+/// implemented by allocating that rendered `String` for every probe.  The interner
+/// renders once per *distinct raw string* per execution and hands out `Copy` ids.
+pub struct KeyInterner<'t> {
+    tree: &'t Hdt,
+    by_raw: HashMap<&'t str, u32>,
+    by_rendered: HashMap<String, u32>,
+}
+
+impl<'t> KeyInterner<'t> {
+    /// Creates an empty interner over one tree.
+    pub fn new(tree: &'t Hdt) -> Self {
+        KeyInterner {
+            tree,
+            by_raw: HashMap::new(),
+            by_rendered: HashMap::new(),
+        }
+    }
+
+    /// The join key of a node.
+    pub fn key(&mut self, node: NodeId) -> JoinKey {
+        if !self.tree.is_leaf(node) {
+            return JoinKey::Node(node);
+        }
+        let raw = self.tree.data(node).unwrap_or("");
+        if let Some(&id) = self.by_raw.get(raw) {
+            return JoinKey::Data(id);
+        }
+        let rendered = Value::from_data(raw).render();
+        let next = self.by_rendered.len() as u32;
+        let id = *self.by_rendered.entry(rendered).or_insert(next);
+        self.by_raw.insert(raw, id);
+        JoinKey::Data(id)
+    }
+}
+
+/// Interns [`Value`]s to dense `u32` ids.  The migrate query path uses this for its
+/// hash-join keys instead of rendering every cell to a fresh `String`.
+#[derive(Debug, Default)]
+pub struct ValueInterner {
+    ids: HashMap<Value, u32>,
+}
+
+impl ValueInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        ValueInterner::default()
+    }
+
+    /// The id of a value, assigning the next free id on first sight.
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        if let Some(&id) = self.ids.get(v) {
+            return id;
+        }
+        let id = self.ids.len() as u32;
+        self.ids.insert(v.clone(), id);
+        id
+    }
+}
+
+/// A struct-of-arrays tuple store: `arity`-strided rows of node ids plus, in
+/// lockstep, the position of each node inside its filtered column.  Cells of
+/// not-yet-joined columns hold `NodeId(u32::MAX)` / `u32::MAX` placeholders.
+#[derive(Debug, Clone)]
+pub struct Tuples {
+    arity: usize,
+    nodes: Vec<NodeId>,
+    pos: Vec<u32>,
+}
+
+impl Tuples {
+    /// An empty store of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Tuples {
+            arity,
+            nodes: Vec::new(),
+            pos: Vec::new(),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.nodes.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// True when no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node ids of tuple `i`, indexed by column.
+    pub fn row(&self, i: usize) -> &[NodeId] {
+        &self.nodes[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// The column positions of tuple `i`, indexed by column.
+    pub fn row_pos(&self, i: usize) -> &[u32] {
+        &self.pos[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Appends a copy of `src`'s tuple `i` extended with `node` (at position
+    /// `position` of its column) in column `col`.
+    fn push_extended(&mut self, src: &Tuples, i: usize, col: usize, node: NodeId, position: u32) {
+        self.nodes.extend_from_slice(src.row(i));
+        self.pos.extend_from_slice(src.row_pos(i));
+        let base = self.nodes.len() - self.arity;
+        self.nodes[base + col] = node;
+        self.pos[base + col] = position;
+    }
+}
+
+/// Materializes a filtered column as the initial tuple set (one tuple per node,
+/// position = index in the column).
+pub fn scan(arity: usize, col: usize, nodes: &[NodeId]) -> Tuples {
+    let mut out = Tuples {
+        arity,
+        nodes: Vec::with_capacity(nodes.len() * arity),
+        pos: Vec::with_capacity(nodes.len() * arity),
+    };
+    for (p, &n) in nodes.iter().enumerate() {
+        out.nodes.resize(out.nodes.len() + arity, NodeId(u32::MAX));
+        out.pos.resize(out.pos.len() + arity, u32::MAX);
+        let base = out.nodes.len() - arity;
+        out.nodes[base + col] = n;
+        out.pos[base + col] = p as u32;
+    }
+    out
+}
+
+/// Hash join: extends each input tuple with the nodes of `col` whose derived join
+/// key matches the key derived from the tuple's `old_col` node.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join(
+    tree: &Hdt,
+    interner: &mut KeyInterner<'_>,
+    input: &Tuples,
+    col: usize,
+    col_nodes: &[NodeId],
+    new_extractor: &NodeExtractor,
+    old_col: usize,
+    old_extractor: &NodeExtractor,
+) -> Tuples {
+    let mut index: HashMap<JoinKey, Vec<(NodeId, u32)>> = HashMap::new();
+    for (p, &n) in col_nodes.iter().enumerate() {
+        if let Some(target) = eval_node_extractor(tree, n, new_extractor) {
+            let key = interner.key(target);
+            index.entry(key).or_default().push((n, p as u32));
+        }
+    }
+    let mut out = Tuples::new(input.arity);
+    for i in 0..input.len() {
+        let old_node = input.row(i)[old_col];
+        let Some(target) = eval_node_extractor(tree, old_node, old_extractor) else {
+            continue;
+        };
+        let key = interner.key(target);
+        if let Some(matches) = index.get(&key) {
+            for &(n, p) in matches {
+                out.push_extended(input, i, col, n, p);
+            }
+        }
+    }
+    out
+}
+
+/// Structural interval join for constraints whose new-column extractor is a pure
+/// parent chain `parent^q(n)`: a match means the tuple's anchor node (derived via
+/// the old column's extractor) is the unique `q`-th ancestor of the new node, i.e.
+/// the new node lies strictly inside the anchor's pre-order interval at depth
+/// `depth(anchor) + q`.  Leaf anchors have an empty strict interval, matching the
+/// hash-join semantics where a `Data` key never equals a `Node` key.
+pub fn interval_join(
+    tree: &Hdt,
+    input: &Tuples,
+    col: usize,
+    col_nodes: &[NodeId],
+    chain_len: usize,
+    old_col: usize,
+    old_extractor: &NodeExtractor,
+) -> Tuples {
+    // Sort the new column once by pre-order number (duplicated nodes stay adjacent
+    // in position order); every probe is then a binary-searched range scan.
+    let mut sorted: Vec<(u32, u32, NodeId)> = col_nodes
+        .iter()
+        .enumerate()
+        .map(|(p, &n)| (tree.preorder_number(n), p as u32, n))
+        .collect();
+    sorted.sort_unstable();
+    let pres: Vec<u32> = sorted.iter().map(|e| e.0).collect();
+    let mut out = Tuples::new(input.arity);
+    for i in 0..input.len() {
+        let old_node = input.row(i)[old_col];
+        let Some(anchor) = eval_node_extractor(tree, old_node, old_extractor) else {
+            continue;
+        };
+        let lo = tree.preorder_number(anchor) + 1;
+        let hi = tree.subtree_end(anchor);
+        if lo >= hi {
+            continue;
+        }
+        let want_depth = tree.node_depth(anchor) + chain_len as u32;
+        let a = pres.partition_point(|&p| p < lo);
+        let b = pres.partition_point(|&p| p < hi);
+        for &(_, p, n) in &sorted[a..b] {
+            if tree.node_depth(n) == want_depth {
+                out.push_extended(input, i, col, n, p);
+            }
+        }
+    }
+    out
+}
+
+/// Cross product: extends each input tuple with every node of `col`.
+pub fn cross_join(input: &Tuples, col: usize, col_nodes: &[NodeId]) -> Tuples {
+    let mut out = Tuples::new(input.arity);
+    for i in 0..input.len() {
+        for (p, &n) in col_nodes.iter().enumerate() {
+            out.push_extended(input, i, col, n, p as u32);
+        }
+    }
+    out
+}
+
+/// Evaluates a single-column filter directly against a node, mirroring
+/// [`eval_predicate`] on a tuple whose every component is that node.  This is what
+/// column pre-filtering uses instead of allocating a dummy tuple per node × filter.
+pub fn eval_filter_on_node(tree: &Hdt, node: NodeId, p: &Predicate) -> bool {
+    match p {
+        Predicate::True => true,
+        Predicate::False => false,
+        Predicate::Not(inner) => !eval_filter_on_node(tree, node, inner),
+        Predicate::And(a, b) => {
+            eval_filter_on_node(tree, node, a) && eval_filter_on_node(tree, node, b)
+        }
+        Predicate::Or(a, b) => {
+            eval_filter_on_node(tree, node, a) || eval_filter_on_node(tree, node, b)
+        }
+        Predicate::Compare {
+            extractor, op, rhs, ..
+        } => {
+            let Some(left) = eval_node_extractor(tree, node, extractor) else {
+                return false;
+            };
+            match rhs {
+                Operand::Const(c) => match node_value(tree, left).compare(c) {
+                    Some(ord) => op.test(ord),
+                    None => false,
+                },
+                Operand::Column {
+                    extractor: ext2, ..
+                } => {
+                    let Some(right) = eval_node_extractor(tree, node, ext2) else {
+                        return false;
+                    };
+                    compare_nodes(tree, left, right, *op)
+                }
+            }
+        }
+    }
+}
+
+/// Figure-7 comparison of two derived nodes: leaves compare data values, internal
+/// nodes only support identity (`=`/`!=`), mixed comparisons are false.
+fn compare_nodes(tree: &Hdt, l: NodeId, r: NodeId, op: CompareOp) -> bool {
+    let (ll, rl) = (tree.is_leaf(l), tree.is_leaf(r));
+    if ll && rl {
+        match node_value(tree, l).compare(&node_value(tree, r)) {
+            Some(ord) => op.test(ord),
+            None => false,
+        }
+    } else if !ll && !rl {
+        match op {
+            CompareOp::Eq => l == r,
+            CompareOp::Ne => l != r,
+            _ => false,
+        }
+    } else {
+        false
+    }
+}
+
+/// Join-key equality of two derived nodes (used to re-check join constraints that
+/// did not drive a join step): internal nodes by identity, leaves by rendered data.
+fn join_keys_equal(tree: &Hdt, a: NodeId, b: NodeId) -> bool {
+    match (tree.is_leaf(a), tree.is_leaf(b)) {
+        (false, false) => a == b,
+        (true, true) => {
+            let da = tree.data(a).unwrap_or("");
+            let db = tree.data(b).unwrap_or("");
+            da == db || Value::from_data(da).render() == Value::from_data(db).render()
+        }
+        _ => false,
+    }
+}
+
+/// The right-hand side of a compiled residual atom.
+#[derive(Debug, Clone)]
+enum AtomRhs {
+    /// Compare against a constant.
+    Const(Value),
+    /// Compare against another derived-node pair (index into `ResidualPlan::pairs`).
+    Pair(usize),
+}
+
+/// One literal of a residual clause, compiled against the derived-node pair table.
+#[derive(Debug, Clone)]
+enum ResidualAtom {
+    /// `(pair ⊙ rhs) ⊕ negated` with the Figure-7 ⊥-is-false convention applied
+    /// before the negation, matching `eval_predicate` on `Not(Compare…)`.
+    Cmp {
+        pair: usize,
+        op: CompareOp,
+        rhs: AtomRhs,
+        negated: bool,
+    },
+    /// Anything else falls back to the tuple-at-a-time evaluator.
+    Fallback(Predicate),
+}
+
+/// The residual work after the join steps, compiled for column-at-a-time
+/// evaluation: a table of distinct `(column, extractor)` pairs, the residual CNF
+/// clauses over those pairs, and the unused join constraints to re-check.
+#[derive(Debug, Clone)]
+pub struct ResidualPlan {
+    pairs: Vec<(usize, NodeExtractor)>,
+    clauses: Vec<Vec<ResidualAtom>>,
+    checks: Vec<(usize, usize)>,
+}
+
+fn pair_id(pairs: &mut Vec<(usize, NodeExtractor)>, col: usize, ext: &NodeExtractor) -> usize {
+    if let Some(i) = pairs.iter().position(|(c, e)| *c == col && e == ext) {
+        return i;
+    }
+    pairs.push((col, ext.clone()));
+    pairs.len() - 1
+}
+
+impl ResidualPlan {
+    /// Compiles the residual part of a plan.
+    pub fn build(plan: &Plan) -> ResidualPlan {
+        let mut pairs: Vec<(usize, NodeExtractor)> = Vec::new();
+        let checks: Vec<(usize, usize)> = plan
+            .unused_joins
+            .iter()
+            .map(|&j| {
+                let c = &plan.joins[j];
+                (
+                    pair_id(&mut pairs, c.left_col, &c.left_extractor),
+                    pair_id(&mut pairs, c.right_col, &c.right_extractor),
+                )
+            })
+            .collect();
+        let clauses: Vec<Vec<ResidualAtom>> = plan
+            .residual_clauses
+            .iter()
+            .map(|clause| {
+                clause
+                    .iter()
+                    .map(|lit| compile_literal(&mut pairs, lit))
+                    .collect()
+            })
+            .collect();
+        ResidualPlan {
+            pairs,
+            clauses,
+            checks,
+        }
+    }
+
+    /// True when there is nothing to filter (every tuple survives).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty() && self.checks.is_empty()
+    }
+}
+
+fn compile_literal(pairs: &mut Vec<(usize, NodeExtractor)>, lit: &Predicate) -> ResidualAtom {
+    let mut negated = false;
+    let mut cur = lit;
+    while let Predicate::Not(inner) = cur {
+        negated = !negated;
+        cur = inner;
+    }
+    if let Predicate::Compare {
+        extractor,
+        index,
+        op,
+        rhs,
+    } = cur
+    {
+        let pair = pair_id(pairs, *index, extractor);
+        let rhs = match rhs {
+            Operand::Const(c) => AtomRhs::Const(c.clone()),
+            Operand::Column {
+                extractor: ext2,
+                index: j,
+            } => AtomRhs::Pair(pair_id(pairs, *j, ext2)),
+        };
+        return ResidualAtom::Cmp {
+            pair,
+            op: *op,
+            rhs,
+            negated,
+        };
+    }
+    ResidualAtom::Fallback(lit.clone())
+}
+
+/// Runs the residual filter over the tuple range `[start, end)` column-at-a-time:
+/// first the derived node of every `(column, extractor)` pair is computed for the
+/// whole range, then unused-join checks and clause masks are applied over those
+/// arrays.  Returns the (global) indices of surviving tuples in order.
+pub fn filter_tuples(
+    tree: &Hdt,
+    tuples: &Tuples,
+    start: usize,
+    end: usize,
+    rp: &ResidualPlan,
+) -> Vec<u32> {
+    let n = end - start;
+    if n == 0 {
+        return Vec::new();
+    }
+    if rp.is_empty() {
+        return (start..end).map(|i| i as u32).collect();
+    }
+    let derived: Vec<Vec<Option<NodeId>>> = rp
+        .pairs
+        .iter()
+        .map(|(col, ext)| {
+            (start..end)
+                .map(|i| eval_node_extractor(tree, tuples.row(i)[*col], ext))
+                .collect()
+        })
+        .collect();
+    let mut keep = vec![true; n];
+    for &(lp, rpair) in &rp.checks {
+        for (k, kept) in keep.iter_mut().enumerate() {
+            if *kept {
+                *kept = match (derived[lp][k], derived[rpair][k]) {
+                    (Some(l), Some(r)) => join_keys_equal(tree, l, r),
+                    _ => false,
+                };
+            }
+        }
+    }
+    let mut mask = vec![false; n];
+    for clause in &rp.clauses {
+        mask.iter_mut().for_each(|m| *m = false);
+        for atom in clause {
+            match atom {
+                ResidualAtom::Cmp {
+                    pair,
+                    op,
+                    rhs,
+                    negated,
+                } => {
+                    for k in 0..n {
+                        if !keep[k] || mask[k] {
+                            continue;
+                        }
+                        let raw = match derived[*pair][k] {
+                            None => false,
+                            Some(l) => match rhs {
+                                AtomRhs::Const(c) => match node_value(tree, l).compare(c) {
+                                    Some(ord) => op.test(ord),
+                                    None => false,
+                                },
+                                AtomRhs::Pair(j) => match derived[*j][k] {
+                                    Some(r) => compare_nodes(tree, l, r, *op),
+                                    None => false,
+                                },
+                            },
+                        };
+                        mask[k] = raw != *negated;
+                    }
+                }
+                ResidualAtom::Fallback(p) => {
+                    for k in 0..n {
+                        if !keep[k] || mask[k] {
+                            continue;
+                        }
+                        mask[k] = eval_predicate(tree, tuples.row(start + k), p);
+                    }
+                }
+            }
+        }
+        for k in 0..n {
+            keep[k] &= mask[k];
+        }
+    }
+    (0..n)
+        .filter(|&k| keep[k])
+        .map(|k| (start + k) as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitra_hdt::HdtBuilder;
+
+    fn two_person_tree() -> Hdt {
+        HdtBuilder::new("root")
+            .open("Person")
+            .leaf("id", "1")
+            .leaf("score", "1.0")
+            .close()
+            .open("Person")
+            .leaf("id", "01")
+            .leaf("score", "2")
+            .close()
+            .build()
+    }
+
+    #[test]
+    fn interned_keys_match_rendered_value_semantics() {
+        let tree = two_person_tree();
+        let mut interner = KeyInterner::new(&tree);
+        let ids = tree.descendants_with_tag(tree.root(), "id").to_vec();
+        // "1" and "01" both render to "1": identical keys.
+        assert_eq!(interner.key(ids[0]), interner.key(ids[1]));
+        let scores = tree.descendants_with_tag(tree.root(), "score").to_vec();
+        // "1.0" renders to "1" as well — the legacy collision must be preserved.
+        assert_eq!(interner.key(ids[0]), interner.key(scores[0]));
+        assert_ne!(interner.key(scores[0]), interner.key(scores[1]));
+        // Internal nodes key by identity, never equal to a leaf key.
+        let persons = tree.children_with_tag(tree.root(), "Person").to_vec();
+        assert_eq!(interner.key(persons[0]), JoinKey::Node(persons[0]));
+        assert_ne!(interner.key(persons[0]), interner.key(ids[0]));
+    }
+
+    #[test]
+    fn value_interner_is_stable_per_value() {
+        let mut vi = ValueInterner::new();
+        let a = vi.intern(&Value::int(7));
+        let b = vi.intern(&Value::from_data("7"));
+        assert_eq!(a, b);
+        assert_ne!(a, vi.intern(&Value::from_data("8")));
+    }
+
+    #[test]
+    fn scan_records_positions() {
+        let tree = two_person_tree();
+        let persons = tree.children_with_tag(tree.root(), "Person").to_vec();
+        let t = scan(2, 1, &persons);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(0)[1], persons[0]);
+        assert_eq!(t.row_pos(0), &[u32::MAX, 0]);
+        assert_eq!(t.row_pos(1), &[u32::MAX, 1]);
+    }
+
+    #[test]
+    fn interval_join_matches_parent_chain_hash_join() {
+        let tree = two_person_tree();
+        let persons = tree.children_with_tag(tree.root(), "Person").to_vec();
+        let ids = tree.descendants_with_tag(tree.root(), "id").to_vec();
+        let input = scan(2, 0, &persons);
+        // Constraint: parent(t[1]) = t[0], i.e. the id leaf's parent is the person.
+        let chain = NodeExtractor::parent(NodeExtractor::Id);
+        let mut interner = KeyInterner::new(&tree);
+        let via_hash = hash_join(
+            &tree,
+            &mut interner,
+            &input,
+            1,
+            &ids,
+            &chain,
+            0,
+            &NodeExtractor::Id,
+        );
+        let via_interval = interval_join(&tree, &input, 1, &ids, 1, 0, &NodeExtractor::Id);
+        assert_eq!(via_hash.len(), 2);
+        assert_eq!(via_interval.len(), via_hash.len());
+        for i in 0..via_hash.len() {
+            assert_eq!(via_interval.row(i), via_hash.row(i));
+            assert_eq!(via_interval.row_pos(i), via_hash.row_pos(i));
+        }
+    }
+
+    #[test]
+    fn filter_tuples_handles_negated_bottom_as_false() {
+        // Literal: !(child(n, missing, 0) = 1).  The extractor is ⊥ on every node,
+        // so the inner compare is false and the negation keeps every tuple —
+        // exactly eval_predicate's behavior.
+        let tree = two_person_tree();
+        let persons = tree.children_with_tag(tree.root(), "Person").to_vec();
+        let tuples = scan(1, 0, &persons);
+        let lit = Predicate::not(Predicate::Compare {
+            extractor: NodeExtractor::child(NodeExtractor::Id, "missing", 0),
+            index: 0,
+            op: CompareOp::Eq,
+            rhs: Operand::Const(Value::int(1)),
+        });
+        let mut pairs = Vec::new();
+        let rp = ResidualPlan {
+            clauses: vec![vec![compile_literal(&mut pairs, &lit)]],
+            pairs,
+            checks: Vec::new(),
+        };
+        let survivors = filter_tuples(&tree, &tuples, 0, tuples.len(), &rp);
+        assert_eq!(survivors, vec![0, 1]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Differential tests for the query planner and physical-operator layer:
+//!
+//! * on random trees, every program in a fixed operator matrix (scans, interval
+//!   joins, hash joins on values and on derived nodes, cross products, pushed-down
+//!   filters, residual clauses) must produce tables **byte-identical** to the kept
+//!   pre-planner progressive join, and bag-equal to the naive cross-product
+//!   evaluator — byte-identical to it too whenever the legacy join order is the
+//!   identity permutation (then the two emission orders provably coincide);
+//! * the planner's output must be byte-identical at 1 and 4 worker threads on a
+//!   workload large enough to cross the parallel residual-filter threshold;
+//! * `Plan::explain` output is snapshot-pinned for the synthesized
+//!   motivating-example program and for a synthesized MONDIAL table, so `--explain`
+//!   stays stable unless the plan genuinely changes.
+
+use mitra::dsl::ast::{
+    ColumnExtractor, CompareOp, NodeExtractor, Operand, Predicate, Program, TableExtractor,
+};
+use mitra::dsl::eval::{eval_program_with, EvalLimits};
+use mitra::dsl::Value;
+use mitra::hdt::generate::social_network;
+use mitra::hdt::Hdt;
+use mitra::synth::exec::{execute, execute_progressive, legacy_order, plan, plan_with_tree};
+use mitra::synth::synthesize::{learn_transformation, Example, SynthConfig};
+use mitra_datagen::datasets::{all_datasets, dataset_synth_config};
+use mitra_datagen::social;
+use proptest::prelude::*;
+
+/// Strategy for small random trees mixing internal nodes and numeric leaves over a
+/// fixed tag alphabet, so the operator matrix below always has something to chew on.
+fn random_tree() -> impl Strategy<Value = Hdt> {
+    let ops = prop::collection::vec((0u8..3, 0usize..4, 0usize..9), 1..40);
+    ops.prop_map(|ops| {
+        let tags = ["item", "group", "entry", "field"];
+        let mut tree = Hdt::with_root("root");
+        let mut stack = vec![tree.root()];
+        for (kind, tag_idx, val) in ops {
+            let top = *stack.last().unwrap();
+            match kind {
+                0 => {
+                    let id = tree.add_child(top, tags[tag_idx], None);
+                    stack.push(id);
+                }
+                1 => {
+                    tree.add_child(top, tags[tag_idx], Some(val.to_string()));
+                }
+                _ => {
+                    if stack.len() > 1 {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        tree
+    })
+}
+
+fn leaf_cmp(index: usize, op: CompareOp, k: i64) -> Predicate {
+    Predicate::Compare {
+        extractor: NodeExtractor::Id,
+        index,
+        op,
+        rhs: Operand::Const(Value::int(k)),
+    }
+}
+
+fn col_join(
+    left: NodeExtractor,
+    left_col: usize,
+    right: NodeExtractor,
+    right_col: usize,
+) -> Predicate {
+    Predicate::Compare {
+        extractor: left,
+        index: left_col,
+        op: CompareOp::Eq,
+        rhs: Operand::Column {
+            extractor: right,
+            index: right_col,
+        },
+    }
+}
+
+/// A fixed set of programs covering every physical operator and every predicate
+/// decomposition path in the planner.
+fn operator_matrix() -> Vec<Program> {
+    use ColumnExtractor as CE;
+    let d = |t: &str| CE::descendants(CE::Input, t);
+    let item = CE::children(CE::Input, "item");
+    let child_field = NodeExtractor::child(NodeExtractor::Id, "field", 0);
+    vec![
+        // Scan with a pushed-down constant filter on leaf values.
+        Program::new(
+            TableExtractor::new(vec![d("field")]),
+            leaf_cmp(0, CompareOp::Lt, 5),
+        ),
+        // Interval join: the new column's extractor is a pure parent chain.
+        Program::new(
+            TableExtractor::new(vec![d("item"), d("entry")]),
+            col_join(
+                NodeExtractor::Id,
+                0,
+                NodeExtractor::parent(NodeExtractor::Id),
+                1,
+            ),
+        ),
+        // Hash join on leaf values (interned Data keys).
+        Program::new(
+            TableExtractor::new(vec![d("field"), d("field")]),
+            col_join(NodeExtractor::Id, 0, NodeExtractor::Id, 1),
+        ),
+        // Hash join through a child extractor (stays a hash join, never interval).
+        Program::new(
+            TableExtractor::new(vec![d("item"), d("group")]),
+            col_join(child_field.clone(), 0, child_field.clone(), 1),
+        ),
+        // Pure cross product.
+        Program::new(
+            TableExtractor::new(vec![item.clone(), d("group")]),
+            Predicate::True,
+        ),
+        // Join (0,2) with a cross-producted middle column: legacy order [0, 2, 1].
+        Program::new(
+            TableExtractor::new(vec![d("item"), d("group"), d("item")]),
+            col_join(NodeExtractor::Id, 0, NodeExtractor::Id, 2),
+        ),
+        // Residual clause spanning both columns (a true disjunction, not pushable).
+        Program::new(
+            TableExtractor::new(vec![d("item"), d("field")]),
+            Predicate::or(
+                leaf_cmp(1, CompareOp::Lt, 4),
+                col_join(child_field.clone(), 0, NodeExtractor::Id, 1),
+            ),
+        ),
+        // Negated pushed-down filter plus a residual disjunction.
+        Program::new(
+            TableExtractor::new(vec![d("field"), d("entry")]),
+            Predicate::and(
+                Predicate::not(leaf_cmp(0, CompareOp::Eq, 3)),
+                Predicate::or(leaf_cmp(0, CompareOp::Gt, 1), leaf_cmp(1, CompareOp::Ne, 2)),
+            ),
+        ),
+        // Same-column extractor comparison: pushed down, not a join.
+        Program::new(
+            TableExtractor::new(vec![d("group")]),
+            col_join(
+                child_field,
+                0,
+                NodeExtractor::child(NodeExtractor::Id, "entry", 0),
+                0,
+            ),
+        ),
+        // Unsatisfiable predicate: every engine must emit the empty table.
+        Program::new(
+            TableExtractor::new(vec![item, d("entry")]),
+            Predicate::False,
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn planner_agrees_with_progressive_and_naive(tree in random_tree()) {
+        for (i, program) in operator_matrix().iter().enumerate() {
+            let fast = execute(&tree, program);
+            let reference = execute_progressive(&tree, program);
+            prop_assert!(
+                fast.to_csv() == reference.to_csv(),
+                "program {} diverged from the progressive reference", i
+            );
+            let naive = eval_program_with(&tree, program, &EvalLimits::with_max_rows(usize::MAX))
+                .expect("naive evaluation succeeds");
+            prop_assert!(
+                fast.same_bag(&naive),
+                "program {} is not bag-equal to the naive evaluator", i
+            );
+            // When the legacy order is the identity permutation, the progressive
+            // emission order coincides with the naive mixed-radix order, so the
+            // tables must be byte-identical, not merely bag-equal.
+            let p = plan(program);
+            let arity = program.arity();
+            if legacy_order(arity, &p.joins) == (0..arity).collect::<Vec<_>>() {
+                prop_assert!(
+                    fast.to_csv() == naive.to_csv(),
+                    "program {} diverged from the naive order despite identity legacy order", i
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_output_is_identical_at_1_and_4_threads() {
+    // 150 × 150 descendants cross product = 22_500 intermediate tuples, above the
+    // 8192-tuple parallel residual-filter threshold, with a two-column residual
+    // clause so the parallel filter actually runs.
+    let tree = social_network(150, 1);
+    let program = Program::new(
+        TableExtractor::new(vec![
+            ColumnExtractor::descendants(ColumnExtractor::Input, "fid"),
+            ColumnExtractor::descendants(ColumnExtractor::Input, "years"),
+        ]),
+        Predicate::or(
+            leaf_cmp(0, CompareOp::Lt, 70),
+            leaf_cmp(1, CompareOp::Gt, 1200),
+        ),
+    );
+    mitra_pool::set_threads(1);
+    let sequential = execute(&tree, &program);
+    mitra_pool::set_threads(4);
+    let parallel = execute(&tree, &program);
+    mitra_pool::set_threads(0);
+    assert!(
+        sequential.len() > 8192,
+        "workload too small to exercise the parallel path"
+    );
+    assert_eq!(sequential.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn explain_snapshot_motivating_example() {
+    let example = social::training_example();
+    let synthesis =
+        learn_transformation(&[example], &SynthConfig::default()).expect("synthesis succeeds");
+    let tree = social_network(5, 2);
+    let text = plan_with_tree(&synthesis.program, &tree).explain(&synthesis.program);
+    let expected = "\
+plan: 3 column(s), 2 join constraint(s), 0 pushed-down filter(s)
+  1. scan         t[0] := descendants(s, name), est 5
+  2. interval-join t[2] := descendants(s, years) inside subtree of ((\\n.parent(n)) t[0]) at depth +3, est 10
+  3. hash-join    t[1] := descendants(s, name) on ((\\n.child(parent(n), id, 0)) t[1]) = ((\\n.child(parent(n), fid, 0)) t[2]), est 5
+  residual: none
+  output: rows sorted by column positions in order [0, 2, 1]
+";
+    assert_eq!(text, expected, "\n--- explain output ---\n{text}");
+}
+
+#[test]
+fn explain_snapshot_mondial_province() {
+    let spec = all_datasets()
+        .into_iter()
+        .find(|s| s.name == "MONDIAL")
+        .expect("MONDIAL spec exists");
+    let (tree, expected_tables) = spec.generate(2);
+    let output = expected_tables
+        .get("province")
+        .expect("province table exists")
+        .clone();
+    let example = Example::new(tree.clone(), output);
+    let synthesis =
+        learn_transformation(&[example], &dataset_synth_config()).expect("synthesis succeeds");
+    let text = plan_with_tree(&synthesis.program, &tree).explain(&synthesis.program);
+    let expected = "\
+plan: 5 column(s), 4 join constraint(s), 0 pushed-down filter(s)
+  1. scan         t[0] := descendants(s, country_code), est 2
+  2. interval-join t[1] := descendants(s, province_name) inside subtree of ((\\n.parent(n)) t[0]) at depth +2, est 4
+  3. hash-join    t[2] := descendants(s, province_capital) on ((\\n.child(parent(n), province_name, 0)) t[2]) = ((\\n.n) t[1]), est 4
+  4. hash-join    t[3] := descendants(s, province_area) on ((\\n.child(parent(n), province_name, 0)) t[3]) = ((\\n.n) t[1]), est 4
+  5. hash-join    t[4] := descendants(s, city_population) on ((\\n.n) t[4]) = ((\\n.child(parent(n), province_population, 0)) t[1]), est 4
+  residual: none
+  output: rows sorted by column positions in order [0, 1, 2, 3, 4]
+";
+    assert_eq!(text, expected, "\n--- explain output ---\n{text}");
+}
