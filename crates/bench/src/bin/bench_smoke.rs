@@ -17,7 +17,11 @@
 //! * `descendants_index` — the descendants-heavy evaluation workload comparing the
 //!   pre-refactor subtree walk against the pre-order/occurrence-list index (the
 //!   headline number of the tag-interning + indexing refactor; `speedup` must stay
-//!   well above 2).
+//!   well above 2);
+//! * `corpus` — the checkpointed corpus migration service on a seeded mixer
+//!   corpus: thread-count and crash-resume byte-identity, exact quarantine of
+//!   the malformed fraction, docs/sec throughput, and the surfaced
+//!   `corpus.*` / `pool.panics_caught` counters.
 //!
 //! CI runs this binary on every push and uploads the JSON as an artifact; the
 //! repository keeps a committed baseline so the trajectory is reviewable in-diff.
@@ -222,6 +226,25 @@ fn main() {
     eprintln!("bench_smoke: executor workloads (E3 1M elements + join ordering + datasets)...");
     let (executor, tables_identical) = executor_block(&sequential, scale);
 
+    // Corpus-service block: the checkpointed migration service on a seeded
+    // mixer corpus — thread-count determinism, crash-resume byte-identity
+    // (injected shard panic), exact quarantine of the malformed fraction, and
+    // the surfaced corpus.* / pool.panics_caught counters (DESIGN.md §12).
+    eprintln!("bench_smoke: corpus service (200 docs, 10% malformed, crash + resume)...");
+    let corpus_scratch =
+        std::env::temp_dir().join(format!("mitra-bench-corpus-{}", std::process::id()));
+    let corpus_bench = mitra_bench::corpus_bench::measure(200, 10, 0xC0FF, &corpus_scratch);
+    let _ = std::fs::remove_dir_all(&corpus_scratch);
+    eprintln!(
+        "bench_smoke: corpus {} ok / {} quarantined, {:.0} docs/s, resume_identical={}",
+        corpus_bench.docs - corpus_bench.quarantined,
+        corpus_bench.quarantined,
+        corpus_bench.docs_per_sec,
+        corpus_bench.resume_identical
+    );
+    let corpus_ok = corpus_bench.passed();
+    let corpus = corpus_bench.to_json();
+
     // The descendants-index headline comparison.
     eprintln!("bench_smoke: descendants index workload...");
     let m = descend::measure(400, 400, 5);
@@ -265,6 +288,7 @@ fn main() {
         ("trace_overhead", trace_overhead),
         ("budget_overhead", budget_overhead),
         ("degradation", degradation),
+        ("corpus", corpus),
         ("descendants_index", descendants),
         ("executor", executor),
     ]);
@@ -285,6 +309,10 @@ fn main() {
     }
     if !tables_identical {
         eprintln!("bench_smoke: FATAL: planner and progressive executors emitted different tables");
+        std::process::exit(1);
+    }
+    if !corpus_ok {
+        eprintln!("bench_smoke: FATAL: a corpus-service determinism or quarantine gate failed");
         std::process::exit(1);
     }
 }

@@ -1,0 +1,108 @@
+//! Corpus-service CI gate.
+//!
+//! Run with: `cargo run -p mitra-bench --release --bin corpus_smoke
+//! [-- --docs N] [-- --malformed-pct P] [-- --seed S]`
+//!
+//! Generates a seeded mixer corpus (10% of the documents corrupted until
+//! unparseable by default) and drives the checkpointed corpus migration
+//! service through the full robustness matrix — 1 vs 4 threads, an injected
+//! mid-corpus shard panic followed by `resume`, and the quarantine ledger —
+//! then exits non-zero unless every contract holds:
+//!
+//! * artifacts byte-identical across thread counts and across crash+resume;
+//! * exactly the seeded malformed documents quarantined, all with typed
+//!   errors (never a panic), and zero constraint violations among survivors;
+//! * a throughput floor (docs/sec) so the per-shape program cache cannot
+//!   silently regress into per-document synthesis.
+
+use mitra_bench::corpus_bench;
+
+/// Generous throughput floor: tiny documents behind a per-shape program cache
+/// migrate orders of magnitude faster than this even on shared CI runners;
+/// falling below it means synthesis is running per document again.
+const DOCS_PER_SEC_FLOOR: f64 = 5.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let docs: usize = get("--docs").and_then(|v| v.parse().ok()).unwrap_or(200);
+    let malformed_pct: u32 = get("--malformed-pct")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(0xC0FF);
+    mitra_trace::set_mode(mitra_trace::TraceMode::Summary);
+
+    let base = std::env::temp_dir().join(format!("mitra-corpus-smoke-{}", std::process::id()));
+    eprintln!(
+        "corpus_smoke: {docs} docs, {malformed_pct}% malformed, seed {seed:#x}, scratch {}",
+        base.display()
+    );
+    let bench = corpus_bench::measure(docs, malformed_pct, seed, &base);
+
+    eprintln!(
+        "corpus_smoke: {} ok / {} quarantined (expected {}), {} retries, {} violations",
+        bench.docs - bench.quarantined,
+        bench.quarantined,
+        bench.malformed_expected,
+        bench.retried,
+        bench.violations
+    );
+    eprintln!(
+        "corpus_smoke: {} shards, {} resumed after the injected panic; {} shapes -> {} syntheses",
+        bench.shards, bench.resumed_shards, bench.shapes, bench.programs_synthesized
+    );
+    eprintln!(
+        "corpus_smoke: {:.1} docs/s, {:.1} rows/s; threads_identical={} resume_identical={} quarantine_exact={}",
+        bench.docs_per_sec,
+        bench.rows_per_sec,
+        bench.threads_identical,
+        bench.resume_identical,
+        bench.quarantine_exact
+    );
+    for (name, value) in &bench.counters {
+        eprintln!("corpus_smoke: counter {name} = {value}");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut failed = false;
+    if !bench.passed() {
+        eprintln!(
+            "corpus_smoke: FATAL: a determinism or quarantine gate failed \
+             (threads_identical={}, resume_identical={}, quarantine_exact={}, violations={})",
+            bench.threads_identical,
+            bench.resume_identical,
+            bench.quarantine_exact,
+            bench.violations
+        );
+        failed = true;
+    }
+    if bench.resumed_shards == 0 {
+        eprintln!("corpus_smoke: FATAL: the resumed run replayed no shards from the journal");
+        failed = true;
+    }
+    if bench.docs_per_sec < DOCS_PER_SEC_FLOOR {
+        eprintln!(
+            "corpus_smoke: FATAL: throughput floor broken: {:.2} docs/s < {DOCS_PER_SEC_FLOOR} \
+             (is synthesis running per document instead of per shape?)",
+            bench.docs_per_sec
+        );
+        failed = true;
+    }
+    let panics = bench
+        .counters
+        .iter()
+        .find(|(n, _)| *n == "pool.panics_caught")
+        .map_or(0, |(_, v)| *v);
+    if panics == 0 {
+        eprintln!("corpus_smoke: FATAL: the injected shard panic was not caught by the pool");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("corpus_smoke: all gates passed");
+}

@@ -23,6 +23,7 @@ use mitra_datagen::corpus::{DocFormat, Task};
 use mitra_synth::synthesize::{learn_transformation, SynthConfig, SynthProfile, Synthesis};
 use std::time::Duration;
 
+pub mod corpus_bench;
 pub mod descend;
 pub mod json;
 pub mod table2;

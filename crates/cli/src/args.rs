@@ -20,13 +20,14 @@ pub struct ParsedArgs {
 }
 
 /// Option keys that take a value; everything else starting with `--` is a switch.
-const VALUE_OPTIONS: [&str; 15] = [
+const VALUE_OPTIONS: [&str; 21] = [
     "input",
     "output",
     "program",
     "format",
     "emit",
     "out",
+    "out-dir",
     "limit",
     "scale",
     "query",
@@ -36,6 +37,11 @@ const VALUE_OPTIONS: [&str; 15] = [
     "budget-candidates",
     "budget-dfa-states",
     "budget-rows",
+    "docs",
+    "seed",
+    "malformed-pct",
+    "shard-size",
+    "retries",
 ];
 
 impl ParsedArgs {

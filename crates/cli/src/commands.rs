@@ -220,6 +220,48 @@ pub fn corpus_report(limit: usize) -> String {
     out
 }
 
+/// `corpus run` / `corpus resume`: render the finished [`CorpusReport`] as a
+/// human-readable summary pointing at the artifacts on disk.
+pub fn corpus_service_summary(report: &mitra_migrate::CorpusReport, out_dir: &str) -> String {
+    let mut out = String::new();
+    let wall = report.wall.as_secs_f64().max(f64::EPSILON);
+    let _ = writeln!(
+        out,
+        "corpus: {} documents in {} shards ({} resumed from the journal)",
+        report.docs, report.shards, report.resumed_shards
+    );
+    let _ = writeln!(
+        out,
+        "shapes: {} distinct; {} programs synthesized (cached per shape)",
+        report.shapes, report.programs_synthesized
+    );
+    let _ = writeln!(
+        out,
+        "migrated: {} ok, {} quarantined, {} budget retries, {} constraint violations",
+        report.ok_docs,
+        report.quarantined.len(),
+        report.retried,
+        report.violations
+    );
+    for (table, rows) in &report.table_rows {
+        let _ = writeln!(out, "table {table}: {rows} rows");
+    }
+    let _ = writeln!(
+        out,
+        "throughput: {:.1} docs/s, {:.1} rows/s over {:.2}s (synthesis {:.2}s, execution {:.2}s)",
+        report.docs as f64 / wall,
+        report.total_rows() as f64 / wall,
+        wall,
+        report.synth_wall.as_secs_f64(),
+        report.exec_wall.as_secs_f64(),
+    );
+    let _ = writeln!(
+        out,
+        "artifacts: {out_dir}/tables/*.csv, {out_dir}/failure_ledger.jsonl, {out_dir}/summary.json"
+    );
+    out
+}
+
 /// `datasets`: migrate one of the built-in dataset simulators into a relational
 /// database at the given scale and optionally run a SQL query over the result.
 ///

@@ -7,6 +7,8 @@
 //!                      [--emit dsl|xslt|js] [--out program.txt]
 //! mitra-cli run        --program program.dsl --input big.xml [--format ...] [--out rows.csv] [--explain]
 //! mitra-cli corpus     [--limit N]
+//! mitra-cli corpus gen --out F [--docs N] [--seed S] [--malformed-pct P]
+//! mitra-cli corpus run|resume --input F --out-dir D [--shard-size N] [--retries K] [--budget-rows N]
 //! mitra-cli datasets
 //! mitra-cli migrate    <dblp|imdb|mondial|yelp> [--scale N] [--query 'SELECT ...'] [--strict]
 //!                      [--budget-candidates N] [--budget-dfa-states N] [--budget-rows N]
@@ -77,6 +79,9 @@ USAGE:
     mitra-cli synthesize --input <doc> --output <example.csv> [--format xml|json|html] [--emit dsl|xslt|js] [--out <file>]
     mitra-cli run --program <program.dsl> --input <doc> [--format xml|json|html] [--out <file>] [--explain]
     mitra-cli corpus [--limit <n>]
+    mitra-cli corpus gen --out <file> [--docs <n>] [--seed <s>] [--malformed-pct <p>]
+    mitra-cli corpus run --input <file> --out-dir <dir> [--shard-size <n>] [--retries <k>] [--budget-rows <n>]
+    mitra-cli corpus resume --input <file> --out-dir <dir> [--shard-size <n>] [--retries <k>] [--budget-rows <n>]
     mitra-cli datasets
     mitra-cli migrate <dblp|imdb|mondial|yelp> [--scale <per-entity>] [--query <sql>] [--strict]
                       [--budget-candidates <n>] [--budget-dfa-states <n>] [--budget-rows <n>]
@@ -99,6 +104,15 @@ command executes a previously saved program (in the textual DSL syntax) over a n
 usually much larger, document; with --explain it prints the cost-based query plan
 (scan / interval-join / hash-join / cross steps with cardinality estimates) instead
 of executing the program.
+
+The corpus service (`corpus gen` / `corpus run` / `corpus resume`) migrates a
+whole corpus of documents — one document per line — through the checkpointed
+pipeline of DESIGN.md §12: programs are synthesized once per document *shape*
+and cached, shards execute in deterministic waves, every completed shard is
+journaled (fsync'd, fixed field order) so `corpus resume` after a crash replays
+only unfinished shards and produces byte-identical tables, and malformed or
+budget-exhausted documents land in `<out-dir>/failure_ledger.jsonl` with a
+typed error instead of aborting the run.
 
 The migrate command accepts deterministic fuel budgets: --budget-candidates,
 --budget-dfa-states and --budget-rows cap, per table, the candidate programs
@@ -189,10 +203,17 @@ fn dispatch(args: &ParsedArgs, command: &str) -> Result<String, CliError> {
                 commands::run_program(&document, &program_text, format, args.has_flag("explain"))?;
             write_or_return(args, rendered)
         }
-        "corpus" => {
-            let limit = args.numeric_option("limit", 98).map_err(CliError::Usage)?;
-            Ok(commands::corpus_report(limit))
-        }
+        "corpus" => match args.positional.first().map(String::as_str) {
+            None => {
+                let limit = args.numeric_option("limit", 98).map_err(CliError::Usage)?;
+                Ok(commands::corpus_report(limit))
+            }
+            Some("gen") => corpus_gen(args),
+            Some(verb @ ("run" | "resume")) => corpus_service(args, verb),
+            Some(other) => Err(CliError::Usage(format!(
+                "unknown corpus subcommand `{other}` (expected gen, run or resume)"
+            ))),
+        },
         "datasets" => {
             let mut out = commands::list_datasets();
             if args.has_flag("verbose") {
@@ -226,6 +247,68 @@ fn dispatch(args: &ParsedArgs, command: &str) -> Result<String, CliError> {
             "unknown command `{other}`\n\n{USAGE}"
         ))),
     }
+}
+
+/// `corpus gen`: write a seeded mixer corpus (one XML document per line, a
+/// configurable fraction corrupted until unparseable) for `corpus run`.
+fn corpus_gen(args: &ParsedArgs) -> Result<String, CliError> {
+    let out = args.require("out").map_err(CliError::Usage)?;
+    let docs = args.numeric_option("docs", 100).map_err(CliError::Usage)?;
+    let seed = args.numeric_option("seed", 1).map_err(CliError::Usage)? as u64;
+    let malformed_pct = args
+        .numeric_option("malformed-pct", 10)
+        .map_err(CliError::Usage)?;
+    if malformed_pct > 100 {
+        return Err(CliError::Usage(
+            "option `--malformed-pct` expects a percentage (0-100)".to_string(),
+        ));
+    }
+    let mix = mitra_datagen::fuzz::CorpusMix {
+        seed,
+        docs,
+        malformed_pct: malformed_pct as u32,
+        promo_pct: 0,
+    };
+    let corpus = mitra_datagen::fuzz::mixed_corpus(&mix);
+    fs::write(out, &corpus.text)
+        .map_err(|e| CliError::Output(format!("cannot write `{out}`: {e}")))?;
+    Ok(format!(
+        "wrote {docs} documents ({} malformed) to {out}\n",
+        corpus.malformed.len()
+    ))
+}
+
+/// `corpus run` / `corpus resume`: migrate a mixer corpus through the
+/// checkpointed corpus service (DESIGN.md §12).  `run` starts fresh; `resume`
+/// replays the journal in `--out-dir` and executes only unfinished shards.
+fn corpus_service(args: &ParsedArgs, verb: &str) -> Result<String, CliError> {
+    let input = args.require("input").map_err(CliError::Usage)?;
+    let out_dir = args.require("out-dir").map_err(CliError::Usage)?;
+    let text = read_file(input)?;
+    let mut job = mitra_datagen::fuzz::mixer_job();
+    job.config.shard_size = args
+        .numeric_option("shard-size", 32)
+        .map_err(CliError::Usage)?;
+    let retries = args.numeric_option("retries", 3).map_err(CliError::Usage)?;
+    job.config.retry.max_attempts = (retries as u32).max(1);
+    job.config.max_rows_per_doc = budget_option(args, "budget-rows")?;
+    if verb == "resume" && !std::path::Path::new(out_dir).join("journal.jsonl").exists() {
+        return Err(CliError::Input(format!(
+            "nothing to resume: `{out_dir}/journal.jsonl` does not exist (run `corpus run` first)"
+        )));
+    }
+    let report = match verb {
+        "resume" => mitra_migrate::corpus::resume(&job, &text, std::path::Path::new(out_dir)),
+        _ => mitra_migrate::corpus::run(&job, &text, std::path::Path::new(out_dir)),
+    }
+    .map_err(|e| match &e {
+        mitra_migrate::CorpusError::Io { .. } => CliError::Output(e.to_string()),
+        mitra_migrate::CorpusError::Corpus(_) | mitra_migrate::CorpusError::Journal(_) => {
+            CliError::Input(e.to_string())
+        }
+        _ => CliError::Synthesis(e.to_string()),
+    })?;
+    Ok(commands::corpus_service_summary(&report, out_dir))
 }
 
 /// Parses one optional `--budget-*` fuel limit; absent means unlimited.
@@ -422,6 +505,114 @@ mod tests {
         ));
         // Restore the auto-detection default for the other tests in this process.
         mitra_pool::set_threads(0);
+    }
+
+    #[test]
+    fn corpus_gen_run_and_resume_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mitra-cli-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let corpus_file = dir.join("corpus.txt");
+        let out_dir = dir.join("out");
+
+        let gen_msg = run_cli([
+            "corpus",
+            "gen",
+            "--out",
+            corpus_file.to_str().unwrap(),
+            "--docs",
+            "20",
+            "--seed",
+            "5",
+            "--malformed-pct",
+            "10",
+        ])
+        .unwrap();
+        assert!(gen_msg.contains("wrote 20 documents"), "{gen_msg}");
+
+        let run_msg = run_cli([
+            "corpus",
+            "run",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+            "--shard-size",
+            "4",
+        ])
+        .unwrap();
+        assert!(run_msg.contains("20 documents in 5 shards"), "{run_msg}");
+        assert!(run_msg.contains("table customer:"), "{run_msg}");
+        assert!(run_msg.contains("0 constraint violations"), "{run_msg}");
+        assert!(out_dir.join("tables").join("purchase.csv").exists());
+        assert!(out_dir.join("failure_ledger.jsonl").exists());
+
+        // Resuming a finished run replays every shard from the journal and
+        // rewrites identical artifacts.
+        let before = fs::read(out_dir.join("tables").join("customer.csv")).unwrap();
+        let resume_msg = run_cli([
+            "corpus",
+            "resume",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+            "--shard-size",
+            "4",
+        ])
+        .unwrap();
+        assert!(
+            resume_msg.contains("(5 resumed from the journal)"),
+            "{resume_msg}"
+        );
+        let after = fs::read(out_dir.join("tables").join("customer.csv")).unwrap();
+        assert_eq!(before, after);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_subcommands_validate_their_options() {
+        assert!(matches!(
+            run_cli(["corpus", "frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_cli(["corpus", "gen"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_cli(["corpus", "gen", "--out", "/tmp/x", "--malformed-pct", "150"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_cli([
+                "corpus",
+                "run",
+                "--input",
+                "/no/such/corpus",
+                "--out-dir",
+                "/tmp/x"
+            ]),
+            Err(CliError::Input(_))
+        ));
+        // Resuming with no journal in the output directory is an input error.
+        let dir = std::env::temp_dir().join(format!("mitra-cli-nojournal-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let corpus_file = dir.join("c.txt");
+        fs::write(&corpus_file, "<shop><customer><name>a</name><tier>1</tier><order><item>s</item><total>2</total></order></customer></shop>\n").unwrap();
+        assert!(matches!(
+            run_cli([
+                "corpus",
+                "resume",
+                "--input",
+                corpus_file.to_str().unwrap(),
+                "--out-dir",
+                dir.join("out").to_str().unwrap(),
+            ]),
+            Err(CliError::Input(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

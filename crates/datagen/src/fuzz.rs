@@ -25,14 +25,16 @@
 //! [`learn_transformation`]: mitra_synth::synthesize::learn_transformation
 //! [`learn_transformation_exhaustive`]: mitra_synth::synthesize::learn_transformation_exhaustive
 
-use mitra_dsl::eval::{eval_program_with, EvalLimits};
+use mitra_dsl::ast::NodeExtractor;
+use mitra_dsl::eval::{eval_program_with, node_value, EvalLimits};
 use mitra_dsl::{pretty, Table, Value};
 use mitra_hdt::html::html_to_hdt;
 use mitra_hdt::json::json_to_hdt;
 use mitra_hdt::xml::xml_to_hdt;
 use mitra_hdt::Hdt;
+use mitra_migrate::corpus::{CorpusJob, CorpusTableSource, CorpusTask, DocFormat, ExampleOracle};
 use mitra_migrate::migrate::{MigrationPlan, TableSource, TableTask};
-use mitra_migrate::{Column, Schema, TableSchema};
+use mitra_migrate::{Column, KeySpec, Schema, TableSchema};
 use mitra_synth::exec::execute_with_stats;
 use mitra_synth::synthesize::{
     learn_transformation, learn_transformation_exhaustive, Example, SynthConfig,
@@ -645,6 +647,250 @@ fn corrupt(rng: &mut StdRng, text: &str) -> String {
     chars.into_iter().collect()
 }
 
+// ---------------------------------------------------------------------------
+// Seeded corpus mixer (corpus-service harness, DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// Parameters of a mixed corpus: N shop documents sharing one schema, with a
+/// seeded fraction corrupted via the [`corrupt`] modes (the same corruption
+/// family as the `tests/fixtures/malformed/` fixtures) and an optional
+/// fraction carrying a `<promo>` element that gives them a second shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusMix {
+    /// Suite seed; every document is a pure function of `(seed, index)`.
+    pub seed: u64,
+    /// Documents to generate.
+    pub docs: usize,
+    /// Percentage (0–100) of documents corrupted into unparseable text.
+    pub malformed_pct: u32,
+    /// Percentage (0–100) of well-formed documents that carry a `<promo>`
+    /// child (a second document shape); `0` keeps the corpus single-shape.
+    pub promo_pct: u32,
+}
+
+/// A generated corpus: the text (one document per line, `#mitra-corpus`
+/// header first) plus the indices of the documents that were corrupted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedCorpus {
+    /// The corpus text, ready for `mitra_migrate::corpus::run`.
+    pub text: String,
+    /// Document indices (0-based, in corpus order) that are malformed.
+    pub malformed: Vec<usize>,
+}
+
+/// One guaranteed-unparseable, non-blank, non-comment line — the fallback when
+/// [`corrupt`] happens to produce text the strict XML parser still accepts.
+const MALFORMED_FALLBACK: &str = "<shop><broken";
+
+fn mixed_doc(rng: &mut StdRng, doc: usize, promo: bool) -> String {
+    let mut text = String::from("<shop>");
+    if promo {
+        text.push_str("<promo>save-big</promo>");
+    }
+    // Every value is unique *within the document*: any document can become the
+    // shape's synthesis exemplar, and the example-based predicate learner
+    // labels candidate tuples by value, so a tier or total duplicated across
+    // rows would make the exemplar's expected table ambiguous (several node
+    // tuples render the same row) and synthesis would correctly report that
+    // no program is consistent.  Uniqueness comes from embedding the customer
+    // and order indices in the low digits; the random high digits still vary
+    // the data across documents.
+    for c in 0..2 + rng.gen_range(0usize..3) {
+        text.push_str("<customer>");
+        text.push_str(&format!("<name>c{doc}x{c}</name>"));
+        text.push_str(&format!(
+            "<tier>{}</tier>",
+            rng.gen_range(1u32..6) * 10 + c as u32
+        ));
+        for o in 0..1 + rng.gen_range(0usize..3) {
+            text.push_str(&format!(
+                "<order><item>sku{doc}x{c}x{o}</item><total>{}</total></order>",
+                rng.gen_range(1u32..10) * 100 + (c as u32) * 10 + o as u32
+            ));
+        }
+        text.push_str("</customer>");
+    }
+    text.push_str("</shop>");
+    text
+}
+
+/// Corrupts a document until the strict XML parser rejects it, falling back to
+/// [`MALFORMED_FALLBACK`] if 16 corruption rounds all stayed parseable.  The
+/// result is always a single non-blank, non-comment line, so corrupting a
+/// document never changes the corpus's document indexing.
+fn corrupt_until_unparseable(rng: &mut StdRng, clean: &str) -> String {
+    for _ in 0..16 {
+        let candidate: String = corrupt(rng, clean).replace('\n', " ");
+        if candidate.trim().is_empty() || candidate.trim_start().starts_with('#') {
+            continue;
+        }
+        if xml_to_hdt(&candidate).is_err() {
+            return candidate;
+        }
+    }
+    MALFORMED_FALLBACK.to_string()
+}
+
+/// Generates a mixed corpus.  Every document is a pure function of
+/// `(mix.seed, index)`, so two calls with the same mix produce byte-identical
+/// text and the same malformed index set.
+pub fn mixed_corpus(mix: &CorpusMix) -> MixedCorpus {
+    let mut text = format!(
+        "#mitra-corpus v1 format=xml job=mixer seed={} docs={} malformed_pct={} promo_pct={}\n",
+        mix.seed, mix.docs, mix.malformed_pct, mix.promo_pct
+    );
+    let mut malformed = Vec::new();
+    for i in 0..mix.docs {
+        let mut rng = StdRng::seed_from_u64(
+            mix.seed
+                ^ (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(17),
+        );
+        let is_malformed = rng.gen_range(0u32..100) < mix.malformed_pct;
+        let promo = rng.gen_range(0u32..100) < mix.promo_pct;
+        let clean = mixed_doc(&mut rng, i, promo);
+        if is_malformed {
+            malformed.push(i);
+            text.push_str(&corrupt_until_unparseable(&mut rng, &clean));
+        } else {
+            text.push_str(&clean);
+        }
+        text.push('\n');
+    }
+    MixedCorpus { text, malformed }
+}
+
+/// The mixer's target schema: `customer(ck PK, name, tier)` and
+/// `purchase(pk PK, customer_fk → customer.ck, item, total)`.
+pub fn mixer_schema() -> Schema {
+    Schema::new()
+        .with_table(
+            TableSchema::new(
+                "customer",
+                vec![
+                    Column::text("ck"),
+                    Column::text("name"),
+                    Column::integer("tier"),
+                ],
+            )
+            .with_primary_key(&["ck"]),
+        )
+        .with_table(
+            TableSchema::new(
+                "purchase",
+                vec![
+                    Column::text("pk"),
+                    Column::text("customer_fk"),
+                    Column::text("item"),
+                    Column::integer("total"),
+                ],
+            )
+            .with_primary_key(&["pk"])
+            .with_foreign_key(&["customer_fk"], "customer", &["ck"]),
+        )
+}
+
+/// The `text` leaf holding an element's character data (the XML→HDT mapping
+/// stores `<name>c0x0</name>` as an internal `name` node with a `text` leaf
+/// child — see `mitra_hdt::xml`).
+fn text_leaf(tree: &Hdt, parent: mitra_hdt::NodeId, tag: &str) -> Option<mitra_hdt::NodeId> {
+    tree.child(tree.child(parent, tag, 0)?, "text", 0)
+}
+
+fn expected_customers(tree: &Hdt) -> Option<Table> {
+    let mut out = Table::new(vec!["name".to_string(), "tier".to_string()]);
+    for &cust in tree.children_with_tag(tree.root(), "customer") {
+        let name = text_leaf(tree, cust, "name")?;
+        let tier = text_leaf(tree, cust, "tier")?;
+        out.push(vec![node_value(tree, name), node_value(tree, tier)]);
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+fn expected_purchases(tree: &Hdt) -> Option<Table> {
+    let mut out = Table::new(vec!["item".to_string(), "total".to_string()]);
+    for &cust in tree.children_with_tag(tree.root(), "customer") {
+        for &order in tree.children_with_tag(cust, "order") {
+            let item = text_leaf(tree, order, "item")?;
+            let total = text_leaf(tree, order, "total")?;
+            out.push(vec![node_value(tree, item), node_value(tree, total)]);
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// The corpus tasks matching [`mixer_schema`].  Data columns come from oracles
+/// (so a program is synthesized once per shape); `purchase.customer_fk`
+/// re-derives the owning customer's node tuple — item text leaf → item element
+/// → order → customer → (name text, tier text) — mirroring the row nodes the
+/// customer program produces.
+pub fn mixer_tasks() -> Vec<CorpusTask> {
+    let customers: ExampleOracle = std::sync::Arc::new(expected_customers);
+    let purchases: ExampleOracle = std::sync::Arc::new(expected_purchases);
+    let owner = NodeExtractor::parent(NodeExtractor::parent(NodeExtractor::parent(
+        NodeExtractor::Id,
+    )));
+    vec![
+        CorpusTask {
+            table: "customer".to_string(),
+            source: CorpusTableSource::Oracle(customers),
+            keys: vec![("ck".to_string(), KeySpec::SyntheticPrimary)],
+            data_columns: vec!["name".to_string(), "tier".to_string()],
+        },
+        CorpusTask {
+            table: "purchase".to_string(),
+            source: CorpusTableSource::Oracle(purchases),
+            keys: vec![
+                ("pk".to_string(), KeySpec::SyntheticPrimary),
+                (
+                    "customer_fk".to_string(),
+                    KeySpec::Foreign {
+                        derivations: vec![
+                            (
+                                0,
+                                NodeExtractor::child(
+                                    NodeExtractor::child(owner.clone(), "name", 0),
+                                    "text",
+                                    0,
+                                ),
+                            ),
+                            (
+                                0,
+                                NodeExtractor::child(
+                                    NodeExtractor::child(owner, "tier", 0),
+                                    "text",
+                                    0,
+                                ),
+                            ),
+                        ],
+                    },
+                ),
+            ],
+            data_columns: vec!["item".to_string(), "total".to_string()],
+        },
+    ]
+}
+
+/// A ready-to-run corpus job for mixer corpora (default [`CorpusJob::config`];
+/// callers tune shard size, budgets and threads on the returned value).
+pub fn mixer_job() -> CorpusJob {
+    CorpusJob {
+        schema: mixer_schema(),
+        tasks: mixer_tasks(),
+        format: DocFormat::Xml,
+        config: Default::default(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,5 +951,86 @@ mod tests {
         let (doc2, plan2) = migration_scenario(5, 3);
         let report2 = plan2.run(&doc2).unwrap();
         assert_eq!(report.summary_json(), report2.summary_json());
+    }
+
+    #[test]
+    fn mixed_corpus_is_deterministic_and_exactly_the_seeded_fraction_fails() {
+        let mix = CorpusMix {
+            seed: 42,
+            docs: 50,
+            malformed_pct: 20,
+            promo_pct: 0,
+        };
+        let a = mixed_corpus(&mix);
+        let b = mixed_corpus(&mix);
+        assert_eq!(a, b, "byte-identical for the same mix");
+        assert!(
+            !a.malformed.is_empty(),
+            "20% of 50 docs should corrupt some"
+        );
+        let (header, docs) = mitra_migrate::corpus::parse_corpus_text(&a.text);
+        assert_eq!(header.get("job"), Some("mixer"));
+        assert_eq!(docs.len(), mix.docs, "corruption must not change indexing");
+        for doc in &docs {
+            let parsed = xml_to_hdt(doc.text);
+            assert_eq!(
+                parsed.is_err(),
+                a.malformed.contains(&doc.index),
+                "doc {} parse outcome must match the seeded malformed set",
+                doc.index
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_fallback_line_is_unparseable() {
+        assert!(xml_to_hdt(MALFORMED_FALLBACK).is_err());
+        assert!(!MALFORMED_FALLBACK.trim().is_empty());
+        assert!(!MALFORMED_FALLBACK.starts_with('#'));
+    }
+
+    #[test]
+    fn single_shape_mix_fingerprints_identically() {
+        let mix = CorpusMix {
+            seed: 7,
+            docs: 12,
+            malformed_pct: 0,
+            promo_pct: 0,
+        };
+        let corpus = mixed_corpus(&mix);
+        let (_, docs) = mitra_migrate::corpus::parse_corpus_text(&corpus.text);
+        let fps: Vec<_> = docs
+            .iter()
+            .map(|d| mitra_synth::fingerprint::fingerprint(&xml_to_hdt(d.text).unwrap()))
+            .collect();
+        assert!(fps.windows(2).all(|w| w[0] == w[1]), "one shape expected");
+        let promo_mix = CorpusMix {
+            promo_pct: 100,
+            ..mix
+        };
+        let promo = mixed_corpus(&promo_mix);
+        let (_, pdocs) = mitra_migrate::corpus::parse_corpus_text(&promo.text);
+        let pfp = mitra_synth::fingerprint::fingerprint(&xml_to_hdt(pdocs[0].text).unwrap());
+        assert_ne!(pfp, fps[0], "promo documents are a second shape");
+    }
+
+    #[test]
+    fn mixer_oracles_walk_the_generated_documents() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let doc = mixed_doc(&mut rng, 0, false);
+        let tree = xml_to_hdt(&doc).unwrap();
+        let customers = expected_customers(&tree).unwrap();
+        let purchases = expected_purchases(&tree).unwrap();
+        assert!(customers.len() >= 2);
+        assert!(purchases.len() >= customers.len());
+        // The oracles must land on the `text` leaves, not the internal
+        // element nodes whose node_value is NULL.
+        for row in customers.rows.iter().chain(purchases.rows.iter()) {
+            assert!(
+                row.iter().all(|v| !matches!(v, mitra_dsl::Value::Null)),
+                "oracle rows must carry real data: {row:?}"
+            );
+        }
+        assert!(mixer_job().validate().is_ok());
     }
 }

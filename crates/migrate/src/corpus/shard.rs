@@ -1,0 +1,148 @@
+//! Per-shard result files (`shards/shard-NNNNNN.tbl`).
+//!
+//! Each completed shard persists its rows to one file so that final tables are
+//! assembled the same way on every path — fresh run, crash-resume, any thread
+//! count: concatenate the shard files in shard order.  The format is
+//! line-oriented CSV grouped into `#table <name>` sections, one section per
+//! task table **in task order** (present even when empty, so the section
+//! layout is a pure function of the job).  Cells use exactly the
+//! `Table::to_csv` escaping, and documents are single lines of the corpus, so
+//! cell text can never contain a raw newline that would break the framing.
+
+use super::CorpusError;
+use mitra_dsl::Value;
+
+/// The file name of shard `i` (fixed width so lexicographic = numeric order).
+pub fn shard_file_name(shard: usize) -> String {
+    format!("shard-{shard:06}.tbl")
+}
+
+/// Escapes one CSV cell exactly like `mitra_dsl::Table::to_csv`.
+pub(crate) fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders one row of values as a CSV line.
+pub(crate) fn render_row(row: &[Value]) -> String {
+    let cells: Vec<String> = row.iter().map(|v| csv_escape(&v.render())).collect();
+    cells.join(",")
+}
+
+/// Renders a shard's sections (`(table name, csv lines)` in task order) as the
+/// shard file text.
+pub fn render_shard(sections: &[(String, Vec<String>)]) -> String {
+    let mut out = String::new();
+    for (table, lines) in sections {
+        out.push_str("#table ");
+        out.push_str(table);
+        out.push('\n');
+        for line in lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses a shard file back into its sections.
+pub fn parse_shard(text: &str) -> Result<Vec<(String, Vec<String>)>, CorpusError> {
+    let mut sections: Vec<(String, Vec<String>)> = Vec::new();
+    for line in text.lines() {
+        if let Some(name) = line.strip_prefix("#table ") {
+            sections.push((name.to_string(), Vec::new()));
+        } else if let Some((_, lines)) = sections.last_mut() {
+            lines.push(line.to_string());
+        } else {
+            return Err(CorpusError::Corpus(format!(
+                "shard file row before any #table section: {line:?}"
+            )));
+        }
+    }
+    Ok(sections)
+}
+
+/// Splits one CSV line into cell strings, undoing [`csv_escape`].  Quoted
+/// cells may contain commas and doubled quotes; raw newlines cannot occur
+/// (documents are single corpus lines).
+pub fn split_csv_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cell = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cell.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cell.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => cells.push(std::mem::take(&mut cell)),
+                c => cell.push(c),
+            }
+        }
+    }
+    cells.push(cell);
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_file_names_sort_numerically() {
+        assert_eq!(shard_file_name(0), "shard-000000.tbl");
+        assert_eq!(shard_file_name(123), "shard-000123.tbl");
+        assert!(shard_file_name(9) < shard_file_name(10));
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let sections = vec![
+            (
+                "customer".to_string(),
+                vec!["d0_1,alice,2".to_string(), "d1_1,\"a,b\",3".to_string()],
+            ),
+            ("purchase".to_string(), Vec::new()),
+        ];
+        let text = render_shard(&sections);
+        assert_eq!(parse_shard(&text).unwrap(), sections);
+    }
+
+    #[test]
+    fn empty_sections_are_preserved() {
+        let sections = vec![("a".to_string(), Vec::new()), ("b".to_string(), Vec::new())];
+        let parsed = parse_shard(&render_shard(&sections)).unwrap();
+        assert_eq!(parsed, sections);
+    }
+
+    #[test]
+    fn rows_before_a_section_are_rejected() {
+        assert!(parse_shard("x,y\n#table t\n").is_err());
+    }
+
+    #[test]
+    fn csv_round_trip_matches_table_escaping() {
+        let row = vec![
+            Value::Str("x,y".into()),
+            Value::Str("say \"hi\"".into()),
+            Value::Int(3),
+            Value::Null,
+        ];
+        let line = render_row(&row);
+        assert_eq!(line, "\"x,y\",\"say \"\"hi\"\"\",3,");
+        assert_eq!(split_csv_line(&line), vec!["x,y", "say \"hi\"", "3", ""]);
+    }
+}

@@ -16,11 +16,14 @@
 //! * [`migrate`] — the per-table orchestration: synthesize (or accept) one program per
 //!   table, execute them with the optimized engine, generate keys, and assemble the
 //!   final database;
+//! * [`corpus`] — the checkpointed corpus migration service: per-shape program reuse,
+//!   deterministic shard waves, a crash-resume journal and a quarantine ledger;
 //! * [`sql`] — a SQL dump back-end (DDL `CREATE TABLE` + `INSERT` statements);
 //! * [`query`] — a small SQL `SELECT` engine over the migrated database, closing the
 //!   loop on the paper's motivation that migrated data is meant to be queried
 //!   relationally.
 
+pub mod corpus;
 pub mod database;
 pub mod keys;
 pub mod migrate;
@@ -28,6 +31,10 @@ pub mod query;
 pub mod schema;
 pub mod sql;
 
+pub use corpus::{
+    CorpusConfig, CorpusError, CorpusJob, CorpusReport, CorpusTableSource, CorpusTask, DocFormat,
+    FailureKind, QuarantineRecord, RetryPolicy,
+};
 pub use database::Database;
 pub use keys::KeySpec;
 pub use migrate::{

@@ -1,0 +1,201 @@
+//! Document-shape fingerprints and the per-shape program cache (DESIGN.md §12).
+//!
+//! A corpus-scale migration (millions of documents sharing a handful of
+//! layouts) must not pay the ~seconds synthesis cost per document when
+//! execution costs milliseconds.  The corpus service therefore synthesizes a
+//! program once per document *shape* and streams it over every document with
+//! that shape.  The shape of an HDT is its set of root-to-node **tag paths**:
+//! two documents with the same path set — no matter how many records each
+//! holds — admit exactly the same column extractors (`children`/`pchildren`
+//! chains are tag-path programs), so a program learned on one executes on the
+//! other.
+//!
+//! Fingerprints are computed over the interned-tag structure but hashed via the
+//! stable *tag names*, not the process-local [`TagId`](mitra_hdt::TagId)
+//! values, so a fingerprint written to a checkpoint journal in one process
+//! matches the one recomputed after a crash in a fresh process.  The hash is a
+//! 64-bit FNV-1a fold over the sorted path-hash set: deterministic, ordering-
+//! and multiplicity-insensitive, with no dependency beyond `mitra-hdt`.
+
+use mitra_hdt::Hdt;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex, PoisonError};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Extends an FNV-1a state with one path segment (a tag name plus a
+/// separator, so `ab`/`c` and `a`/`bc` hash differently).
+fn fnv_segment(mut h: u64, tag: &str) -> u64 {
+    for b in tag.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h ^= 0x1f;
+    h.wrapping_mul(FNV_PRIME)
+}
+
+/// A 64-bit shape fingerprint: the FNV-1a fold of a document's sorted
+/// tag-path-hash set.  Stable across processes and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// Fixed-width lowercase hex rendering, used by journals and ledgers.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Computes the shape fingerprint of a document: hash the root-to-node tag
+/// path of every node (explicit stack — adversarially deep documents must not
+/// overflow), collect the distinct path hashes, and fold them in sorted order.
+pub fn fingerprint(tree: &Hdt) -> Fingerprint {
+    tree.ensure_index();
+    let root = tree.root();
+    let mut paths: BTreeSet<u64> = BTreeSet::new();
+    let mut stack: Vec<(mitra_hdt::NodeId, u64)> =
+        vec![(root, fnv_segment(FNV_OFFSET, tree.tag_name(root)))];
+    while let Some((id, h)) = stack.pop() {
+        paths.insert(h);
+        for &child in tree.children(id) {
+            stack.push((child, fnv_segment(h, tree.tag_name(child))));
+        }
+    }
+    let mut h = FNV_OFFSET;
+    for p in &paths {
+        for b in p.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    Fingerprint(h)
+}
+
+/// A concurrency-safe, first-write-wins memo from [`Fingerprint`] to a shared
+/// per-shape value (the corpus service stores the learned per-table programs —
+/// or the typed synthesis failure — for each shape).
+///
+/// The cache never evicts: a corpus has a handful of shapes, and determinism
+/// requires that every document of a shape sees the same entry.  When two
+/// writers race on the same fingerprint the first insert wins and both receive
+/// the same `Arc`, so readers can never observe two different programs for one
+/// shape.
+#[derive(Debug, Default)]
+pub struct ProgramCache<V> {
+    inner: Mutex<HashMap<Fingerprint, Arc<V>>>,
+}
+
+impl<V> ProgramCache<V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ProgramCache {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Looks a shape up, counting `cache.shape_programs.{hit,miss}`.
+    pub fn get(&self, fp: Fingerprint) -> Option<Arc<V>> {
+        let found = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&fp)
+            .cloned();
+        if found.is_some() {
+            mitra_trace::counter_add!("cache.shape_programs.hit", 1);
+        } else {
+            mitra_trace::counter_add!("cache.shape_programs.miss", 1);
+        }
+        found
+    }
+
+    /// Inserts a value for a shape (first write wins) and returns the entry
+    /// that ended up cached.
+    pub fn insert(&self, fp: Fingerprint, value: V) -> Arc<V> {
+        let mut map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = map.entry(fp).or_insert_with(|| {
+            mitra_trace::counter_add!("cache.shape_programs.insert", 1);
+            Arc::new(value)
+        });
+        Arc::clone(entry)
+    }
+
+    /// Number of cached shapes.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no shape has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitra_hdt::xml::xml_to_hdt;
+
+    #[test]
+    fn multiplicity_does_not_change_the_fingerprint() {
+        let two = xml_to_hdt("<r><p><a>1</a><b>2</b></p><p><a>3</a><b>4</b></p></r>").unwrap();
+        let five = xml_to_hdt(
+            "<r><p><a>1</a><b>2</b></p><p><a>3</a><b>4</b></p><p><a>5</a><b>6</b></p>\
+             <p><a>7</a><b>8</b></p><p><a>9</a><b>0</b></p></r>",
+        )
+        .unwrap();
+        assert_eq!(fingerprint(&two), fingerprint(&five));
+    }
+
+    #[test]
+    fn data_does_not_change_the_fingerprint_but_structure_does() {
+        let a = xml_to_hdt("<r><p><a>hello</a></p></r>").unwrap();
+        let b = xml_to_hdt("<r><p><a>world</a></p></r>").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let extra = xml_to_hdt("<r><p><a>hello</a><z>1</z></p></r>").unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&extra));
+        let renamed = xml_to_hdt("<r><q><a>hello</a></q></r>").unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&renamed));
+    }
+
+    #[test]
+    fn sibling_order_does_not_change_the_fingerprint() {
+        let ab = xml_to_hdt("<r><a>1</a><b>2</b></r>").unwrap();
+        let ba = xml_to_hdt("<r><b>2</b><a>1</a></r>").unwrap();
+        assert_eq!(fingerprint(&ab), fingerprint(&ba));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_hex_renderable_values() {
+        let t = xml_to_hdt("<r><a>1</a></r>").unwrap();
+        let fp = fingerprint(&t);
+        assert_eq!(fp, fingerprint(&t));
+        assert_eq!(fp.to_hex().len(), 16);
+        assert_eq!(fp.to_hex(), format!("{fp}"));
+    }
+
+    #[test]
+    fn cache_is_first_write_wins() {
+        let cache: ProgramCache<u32> = ProgramCache::new();
+        let t = xml_to_hdt("<r><a>1</a></r>").unwrap();
+        let fp = fingerprint(&t);
+        assert!(cache.get(fp).is_none());
+        assert!(cache.is_empty());
+        let first = cache.insert(fp, 7);
+        let second = cache.insert(fp, 99);
+        assert_eq!(*first, 7);
+        assert_eq!(*second, 7, "first insert must win");
+        assert_eq!(*cache.get(fp).unwrap(), 7);
+        assert_eq!(cache.len(), 1);
+    }
+}

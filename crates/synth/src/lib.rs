@@ -28,6 +28,8 @@
 //!   execution engine split into a cost-based query planner, a physical-operator
 //!   layer (tag-indexed scans, pre-order interval joins, interned-key hash joins,
 //!   vectorized residual filters) and the executor driving them.
+//! * [`fingerprint`] — document-shape fingerprints (stable tag-path-set hashes) and the
+//!   per-shape program cache that lets the corpus service synthesize once per shape.
 //! * [`baseline`] — a deliberately naive enumerative synthesizer used for the ablation
 //!   experiments (E7 in DESIGN.md).
 
@@ -38,6 +40,7 @@ pub mod column;
 pub mod cover;
 pub mod dfa;
 pub mod exec;
+pub mod fingerprint;
 pub mod ops;
 pub mod optimize;
 pub mod plan;
@@ -53,6 +56,7 @@ pub use column::{
     learn_column_extractors,
 };
 pub use exec::{execute, execute_nodes_budgeted};
+pub use fingerprint::{fingerprint, Fingerprint, ProgramCache};
 pub use ops::ValueInterner;
 pub use plan::{plan_with_tree, Plan, PlanStep, StepMethod};
 pub use predicate::{learn_predicate, learn_predicate_reference};

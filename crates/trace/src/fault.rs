@@ -19,6 +19,8 @@
 //! | `pool.slot`      | item index inside one `parallel_map` call        |
 //! | `synth.validate` | global candidate pop index of the table search   |
 //! | `migrate.table`  | task index inside one `MigrationPlan::run`       |
+//! | `corpus.shard`   | shard index of one corpus-service run            |
+//! | `corpus.doc`     | document index within the corpus                 |
 //!
 //! Panic capture: when `mitra-pool` catches a worker panic it calls
 //! [`record_panic`]; the payload message and a backtrace captured at the unwind
